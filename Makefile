@@ -1,0 +1,33 @@
+# Development entry points.  The environment this repo was built in has
+# no `wheel` package, hence the setup.py fallback; on normal machines
+# `pip install -e .[test]` works directly.
+
+.PHONY: install test bench harness-quick harness-full examples clean
+
+install:
+	pip install -e .[test] || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+harness-quick:
+	python -m repro.harness all --quick --out results-quick/
+
+harness-full:
+	python -m repro.harness all --out results/
+
+examples:
+	python examples/quickstart.py
+	python examples/roadmap_routing.py
+	python examples/social_reach.py
+	python examples/nqueens_tasks.py
+	python examples/taskdag_pipeline.py
+	python examples/queue_profiling.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \
+	    benchmarks/reports results-quick
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,70 @@
+"""Ablation evidence — the naive same-expected CAS queue convoys.
+
+DESIGN.md §7 documents why the shipping BASE uses speculative tickets
+rather than the textbook per-lane CAS loop: under lock-step execution the
+naive formulation feeds at most one lane per wavefront attempt, and its
+failure traffic saturates the atomic unit.  This bench regenerates that
+evidence on a small saturating workload.
+"""
+
+from conftest import save_report
+
+from repro.bfs import bfs_queue_capacity
+from repro.bfs.common import alloc_graph_buffers
+from repro.bfs.persistent import BFSWorker
+from repro.core import SchedulerControl, make_queue, persistent_kernel
+from repro.ext import NaiveCasQueue
+from repro.graphs import synthetic_saturating
+from repro.harness.report import render_table
+from repro.harness.results import ExperimentResult
+from repro.simt import FIJI, Engine
+
+
+def _run(queue_factory, g):
+    dev, wg = FIJI, 28
+    engine = Engine(dev)
+    alloc_graph_buffers(engine.memory, g, 0)
+    queue = queue_factory(bfs_queue_capacity(g, dev, wg))
+    sched = SchedulerControl()
+    queue.allocate(engine.memory)
+    sched.allocate(engine.memory)
+    queue.seed(engine.memory, [0])
+    sched.seed(engine.memory, 1)
+    kern = persistent_kernel(queue, BFSWorker(), sched)
+    return engine.launch(kern, wg)
+
+
+def test_ablation_naive_cas_convoys(benchmark, cfg, reports_dir):
+    g = synthetic_saturating(8192, plateau_width=2048)
+    g.name = "synthetic-small"
+
+    def run_both():
+        return {
+            "NAIVE": _run(NaiveCasQueue, g),
+            "BASE": _run(lambda cap: make_queue("BASE", cap), g),
+            "RF/AN": _run(lambda cap: make_queue("RF/AN", cap), g),
+        }
+
+    runs = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [
+        [label, r.cycles, r.stats.cas_attempts, r.stats.cas_failures]
+        for label, r in runs.items()
+    ]
+    result = ExperimentResult(
+        "ablation_naive_cas",
+        "Ablation — naive same-expected CAS vs ticket-speculated BASE",
+        render_table(["queue", "cycles", "cas attempts", "cas failures"], rows),
+        {k: {"cycles": r.cycles, "cas_attempts": r.stats.cas_attempts,
+             "cas_failures": r.stats.cas_failures}
+         for k, r in runs.items()},
+    )
+    print()
+    print(result.text)
+    save_report(result, reports_dir)
+
+    naive, base, rfan = runs["NAIVE"], runs["BASE"], runs["RF/AN"]
+    # the naive formulation is dramatically worse than the shipped BASE,
+    # which in turn is worse than RF/AN — the ordering DESIGN.md §7 cites.
+    assert naive.cycles > 3 * base.cycles
+    assert base.cycles > rfan.cycles
+    assert naive.stats.cas_failures > base.stats.cas_failures

@@ -1,0 +1,70 @@
+"""Ablation — termination-counter aggregation (DESIGN.md §7).
+
+The paper leaves the scheduler's global termination test unspecified; our
+design counts in-flight tasks with fetch-adds, aggregated through the
+proxy lane for arbitrary-n variants.  This bench forces RF/AN to use
+*per-lane* counter updates instead and measures the cost of giving up
+aggregation on the hot counter word.
+"""
+
+from conftest import save_report
+
+from repro.core import SchedulerControl, make_queue, persistent_kernel
+from repro.bfs import bfs_queue_capacity
+from repro.bfs.common import alloc_graph_buffers, read_costs
+from repro.bfs.persistent import BFSWorker
+from repro.harness.report import render_table
+from repro.harness.results import ExperimentResult
+from repro.simt import FIJI, Engine
+
+
+def _run(g, src, aggregate, cfg):
+    dev = FIJI
+    wg = 56
+    engine = Engine(dev)
+    alloc_graph_buffers(engine.memory, g, src)
+    queue = make_queue("RF/AN", bfs_queue_capacity(g, dev, wg))
+    sched = SchedulerControl()
+    queue.allocate(engine.memory)
+    sched.allocate(engine.memory)
+    queue.seed(engine.memory, [src])
+    sched.seed(engine.memory, 1)
+    kern = persistent_kernel(
+        queue, BFSWorker(), sched, aggregate_termination=aggregate
+    )
+    res = engine.launch(kern, wg)
+    return res
+
+
+def test_ablation_termination_aggregation(benchmark, cfg, reports_dir):
+    g = cfg.build("Synthetic")
+    src = cfg.source("Synthetic")
+
+    def run_both():
+        return {
+            "aggregated": _run(g, src, True, cfg),
+            "per-lane": _run(g, src, False, cfg),
+        }
+
+    runs = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [
+        [mode, r.cycles, r.stats.total_atomic_requests]
+        for mode, r in runs.items()
+    ]
+    result = ExperimentResult(
+        "ablation_termination",
+        "Ablation — proxy-aggregated vs per-lane termination counting",
+        render_table(["mode", "cycles", "atomic requests"], rows),
+        {m: {"cycles": r.cycles,
+             "atomics": r.stats.total_atomic_requests}
+         for m, r in runs.items()},
+    )
+    print()
+    print(result.text)
+    save_report(result, reports_dir)
+
+    agg, lane = runs["aggregated"], runs["per-lane"]
+    # per-lane counting floods the counter word with atomics...
+    assert lane.stats.total_atomic_requests > agg.stats.total_atomic_requests
+    # ...and costs real time on the saturating workload.
+    assert lane.cycles > agg.cycles

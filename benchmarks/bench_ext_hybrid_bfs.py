@@ -1,0 +1,68 @@
+"""Extension — queue-scheduled top-down BFS vs direction-optimizing BFS.
+
+The follow-up comparison the paper's §5.1 footnote invites: how does the
+proposed persistent-thread top-down BFS fare against the "faster BFS"
+family (direction-optimizing, per Enterprise/Beamer)?  Expected shape,
+per the literature: hybrid wins on shallow wide social graphs, the
+persistent queue wins on deep narrow roadmaps.
+"""
+
+from conftest import save_report
+
+from repro.bfs import run_persistent_bfs
+from repro.ext import run_hybrid_bfs
+from repro.harness.report import render_table
+from repro.harness.results import ExperimentResult
+from repro.simt import SPECTRE
+
+
+def test_ext_hybrid_vs_persistent(benchmark, cfg, reports_dir):
+    datasets = ["gplus_combined", "USA-road-d.NY"]
+
+    def run_all():
+        rows = {}
+        for name in datasets:
+            g = cfg.build(name)
+            src = cfg.source(name)
+            hybrid = run_hybrid_bfs(g, src, SPECTRE, verify=cfg.verify)
+            rfan = run_persistent_bfs(
+                g, src, "RF/AN", SPECTRE, 16 if cfg.quick else 32,
+                verify=cfg.verify,
+            )
+            rows[name] = (hybrid, rfan)
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = [
+        [name,
+         hybrid.seconds * 1e3,
+         rfan.seconds * 1e3,
+         f"{hybrid.seconds / rfan.seconds:.2f}x",
+         "+".join(sorted(set(hybrid.extra["modes"])))]
+        for name, (hybrid, rfan) in rows.items()
+    ]
+    result = ExperimentResult(
+        "ext_hybrid_bfs",
+        "Extension — hybrid (direction-optimizing) vs RF/AN persistent BFS",
+        render_table(
+            ["dataset", "hybrid ms", "RF/AN ms", "hybrid/RF-AN", "modes"],
+            table,
+        ),
+        {
+            name: {
+                "hybrid_ms": h.seconds * 1e3,
+                "rfan_ms": r.seconds * 1e3,
+                "modes": h.extra["modes"],
+            }
+            for name, (h, r) in rows.items()
+        },
+    )
+    print()
+    print(result.text)
+    save_report(result, reports_dir)
+
+    # the social graph's huge frontier flips the hybrid to bottom-up
+    assert "bu" in rows["gplus_combined"][0].extra["modes"]
+    # the roadmap never flips and loses to the persistent queue
+    road_hybrid, road_rfan = rows["USA-road-d.NY"]
+    assert road_rfan.cycles < road_hybrid.cycles

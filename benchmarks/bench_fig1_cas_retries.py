@@ -1,0 +1,33 @@
+"""Figure 1 — CAS failures grow with the number of active threads.
+
+Runs the BASE-queue BFS on the saturating synthetic dataset over a
+workgroup sweep and asserts the paper's reading: retries caused by CAS
+failure increase as actively running threads increase.
+"""
+
+from conftest import save_report
+
+from repro.harness.experiments import run_fig1
+
+
+def test_fig1_cas_retries(benchmark, cfg, reports_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig1(cfg), rounds=1, iterations=1
+    )
+    print()
+    print(result.text)
+    save_report(result, reports_dir)
+
+    wgs = result.data["workgroups"]
+    failures = result.data["cas_failures"]
+    assert len(wgs) >= 3
+
+    # monotone growth in the large: the top of the sweep fails far more
+    # than the bottom, and the curve never collapses back to near zero.
+    assert failures[-1] > 10 * max(failures[0], 1)
+    assert failures[-1] > failures[len(failures) // 2] * 0.5
+
+    # failures are real but not the majority of attempts (the speculative
+    # ticket formulation mostly succeeds — see DESIGN.md §7).
+    attempts = result.data["cas_attempts"]
+    assert 0 < failures[-1] < attempts[-1]

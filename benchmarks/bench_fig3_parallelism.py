@@ -1,0 +1,41 @@
+"""Figure 3 — dynamic data parallelism per BFS level.
+
+Asserts each dataset category's parallelism profile: the synthetic
+saturates and stays saturated; social graphs spike wide and shallow;
+roadmaps stay narrow and deep.
+"""
+
+from conftest import save_report
+
+from repro.harness.experiments import run_fig3
+
+
+def test_fig3_parallelism_profiles(benchmark, cfg, reports_dir):
+    result = benchmark.pedantic(lambda: run_fig3(cfg), rounds=1, iterations=1)
+    print()
+    print(result.text)
+    save_report(result, reports_dir)
+
+    d = result.data
+    # synthetic: fanout-4 growth then a plateau of constant width
+    prof = d["Synthetic"]["profile"]
+    assert prof[0] == 1 and prof[1] == 4 and prof[2] == 16
+    plateau = prof[8:-1] if len(prof) > 9 else prof[3:-1]
+    assert len(set(plateau)) <= 2  # constant (allow one partial step)
+
+    # social: shallow with a dominant wide level
+    for name in ("gplus_combined", "soc-LiveJournal1"):
+        assert d[name]["levels"] <= 8
+        assert d[name]["max_width"] > 0.3 * d[name]["total"]
+
+    # roadmaps: deep and narrow
+    for name in ("USA-road-d.NY", "USA-road-d.LKS", "USA-road-d.USA"):
+        assert d[name]["levels"] > 50
+        assert d[name]["max_width"] < 0.05 * d[name]["total"]
+
+    # relative depth ladder: NY < LKS < USA
+    assert (
+        d["USA-road-d.NY"]["levels"]
+        < d["USA-road-d.LKS"]["levels"]
+        < d["USA-road-d.USA"]["levels"]
+    )

@@ -1,0 +1,47 @@
+"""Figure 4 — execution time and speedup as workgroups are added.
+
+The quick configuration sweeps one saturating dataset (the synthetic) and
+one starved dataset (the NY roadmap) on both device geometries, and
+asserts the paper's reading of the figure:
+
+* with saturating work, RF/AN's speedup tracks the ideal line closely
+  while BASE falls off as threads are added;
+* with starved work (roadmaps), adding threads buys little for anyone —
+  idle threads do not contribute acceleration (§6.1).
+"""
+
+from conftest import save_report
+
+from repro.harness.experiments import run_fig4
+
+
+def test_fig4_scalability(benchmark, cfg, reports_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig4(cfg, datasets=["Synthetic", "USA-road-d.NY"]),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.text)
+    save_report(result, reports_dir)
+
+    for dev in ("Fiji", "Spectre"):
+        syn = result.data[f"{dev}|Synthetic"]
+        wgs = syn["workgroups"]
+        top = wgs[-1]
+        rfan_speedup = syn["speedup"]["RF/AN"][-1]
+        base_speedup = syn["speedup"]["BASE"][-1]
+        # RF/AN scales: at the top of the sweep it achieves a large
+        # fraction of ideal; BASE trails it.
+        assert rfan_speedup > 0.4 * top, (dev, rfan_speedup, top)
+        assert rfan_speedup > base_speedup, dev
+        # every variant improves on 1 WG (speedup > 1 at the top)
+        for v in ("BASE", "AN", "RF/AN"):
+            assert syn["speedup"][v][-1] > 1.0, (dev, v)
+
+        road = result.data[f"{dev}|USA-road-d.NY"]
+        # starved dataset: even RF/AN is far from ideal at the top
+        assert road["speedup"]["RF/AN"][-1] < 0.5 * top, dev
+        # and the variant gap is small (little atomic competition, §6.3)
+        ratio = road["seconds"]["BASE"][-1] / road["seconds"]["RF/AN"][-1]
+        assert ratio < 3.0, (dev, ratio)

@@ -1,0 +1,39 @@
+"""Tables 1 & 2 — dataset statistics of the generated stand-ins.
+
+Asserts that every stand-in reproduces the statistical signature the
+paper's evaluation depends on (heavy-tailed social degrees; sparse
+bounded roadmap degrees).
+"""
+
+from conftest import save_report
+
+from repro.harness.experiments import run_tab1, run_tab2
+
+
+def test_tab1_social_stats(benchmark, cfg, reports_dir):
+    result = benchmark.pedantic(lambda: run_tab1(cfg), rounds=1, iterations=1)
+    print()
+    print(result.text)
+    save_report(result, reports_dir)
+
+    for name, cell in result.data.items():
+        v, e, dmin, dmax, davg, dstd = cell["measured"]
+        assert dstd > davg, name          # heavy tail (Table 1 signature)
+        assert dmax > 8 * davg, name      # hub vertices
+
+
+def test_tab2_roadmap_stats(benchmark, cfg, reports_dir):
+    result = benchmark.pedantic(lambda: run_tab2(cfg), rounds=1, iterations=1)
+    print()
+    print(result.text)
+    save_report(result, reports_dir)
+
+    for name, cell in result.data.items():
+        v, e, dmin, dmax, davg, dstd = cell["measured"]
+        assert dmin >= 1, name
+        assert dmax <= 9, name            # Table 2 envelope
+        assert 2.0 <= davg <= 3.2, name
+        # the paper's size ladder survives scaling
+    sizes = [result.data[n]["measured"][0] for n in
+             ("USA-road-d.NY", "USA-road-d.LKS", "USA-road-d.USA")]
+    assert sizes == sorted(sizes)

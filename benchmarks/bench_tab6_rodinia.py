@@ -1,0 +1,32 @@
+"""Table 6 — comparison with the Rodinia-style level-synchronous BFS.
+
+Asserts the paper's qualitative results (§6.4.2): the persistent
+queue-driven BFS wins on every Rodinia dataset on both devices, and
+Rodinia's *relative* overhead shrinks as the dataset grows (the paper's
+smaller datasets "have relatively more overhead than the large dataset").
+"""
+
+from conftest import save_report
+
+from repro.harness.experiments import run_tab6
+
+
+def test_tab6_rodinia_comparison(benchmark, cfg, reports_dir):
+    result = benchmark.pedantic(lambda: run_tab6(cfg), rounds=1, iterations=1)
+    print()
+    print(result.text)
+    save_report(result, reports_dir)
+
+    data = result.data
+    assert len(data) == 6  # 3 datasets x 2 devices
+
+    for key, cell in data.items():
+        assert cell["speedup"] > 1.0, (key, cell)  # RF/AN wins everywhere
+
+    # relative overhead shrinks with size: the largest dataset shows the
+    # smallest speedup on each device (paper: 1.26x-3.41x for graph1MW_6
+    # vs up to 36x for the small ones).
+    for dev in ("Fiji", "Spectre"):
+        big = data[f"graph1MW_6|{dev}"]["speedup"]
+        small = data[f"graph4096|{dev}"]["speedup"]
+        assert big <= small, (dev, big, small)

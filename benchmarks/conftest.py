@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates a paper artefact through the harness in
+*quick* configuration (small stand-in datasets, reduced sweeps) so the
+whole suite completes in minutes, and saves the rendered report under
+``benchmarks/reports/`` for inspection.  Run the full-scale versions with
+``python -m repro.harness <exp>`` (no ``--quick``).
+
+Benchmarks use ``benchmark.pedantic(..., rounds=1)``: each experiment is
+a deterministic simulation, so the interesting number is the one
+simulated result (and its wall cost), not a timing distribution.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness import HarnessConfig
+
+REPORTS = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def cfg() -> HarnessConfig:
+    return HarnessConfig(quick=True)
+
+
+@pytest.fixture(scope="session")
+def reports_dir() -> Path:
+    REPORTS.mkdir(exist_ok=True)
+    return REPORTS
+
+
+def save_report(result, reports_dir: Path) -> None:
+    result.save(reports_dir)

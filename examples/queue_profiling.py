@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Profiling the queue variants with the simulator's analysis layer.
+
+Shows how to go beyond end-to-end times: run the same workload under
+each queue variant (plus the distributed-with-stealing extension) and
+compare issue-pipe utilization, atomic-unit pressure, and retry rates —
+the quantities that explain *why* the retry-free arbitrary-n design wins.
+
+Run:  python examples/queue_profiling.py
+"""
+
+import numpy as np
+
+from repro import simt
+from repro.bfs import bfs_queue_capacity
+from repro.bfs.common import alloc_graph_buffers, read_costs
+from repro.bfs.persistent import BFSWorker
+from repro.core import SchedulerControl, make_queue, persistent_kernel
+from repro.ext import DistributedWorkQueues
+from repro.graphs import bfs_levels, synthetic_saturating
+from repro.simt import analyze, utilization_report
+
+def run_variant(queue, graph, device, workgroups):
+    engine = simt.Engine(device)
+    alloc_graph_buffers(engine.memory, graph, 0)
+    sched = SchedulerControl()
+    queue.allocate(engine.memory)
+    sched.allocate(engine.memory)
+    queue.seed(engine.memory, [0])
+    sched.seed(engine.memory, 1)
+    kernel = persistent_kernel(queue, BFSWorker(), sched)
+    result = engine.launch(kernel, workgroups)
+    costs = read_costs(engine.memory, graph.n_vertices)
+    assert np.array_equal(costs, bfs_levels(graph, 0)), "BFS mismatch"
+    return result
+
+def main() -> None:
+    graph = synthetic_saturating(30_000, plateau_width=4_096)
+    graph.name = "profiled-synthetic"
+    device = simt.TESTGPU
+    workgroups = 8
+    cap = bfs_queue_capacity(graph, device, workgroups)
+    print(
+        f"workload: {graph.n_vertices} vertices; device {device.name}, "
+        f"{workgroups} workgroups\n"
+    )
+
+    runs = {}
+    for variant in ("BASE", "AN", "RF/AN"):
+        runs[variant] = run_variant(
+            make_queue(variant, cap), graph, device, workgroups
+        )
+    runs["DIST x4"] = run_variant(
+        DistributedWorkQueues(cap, n_queues=4), graph, device, workgroups
+    )
+
+    print(utilization_report(runs))
+
+    base, rfan = analyze(runs["BASE"]), analyze(runs["RF/AN"])
+    print(
+        f"\nBASE spends {base.atomic_pressure:.2f} serialized atomic "
+        f"cycles per run cycle vs RF/AN's {rfan.atomic_pressure:.2f} — "
+        "the contended hot spot the proxy fetch-add removes (paper §3.2)"
+    )
+
+if __name__ == "__main__":
+    main()

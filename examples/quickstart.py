@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: the retry-free arbitrary-n queue in five minutes.
+
+Builds a small irregular graph, runs the persistent-thread BFS with each
+queue variant on a simulated GPU, verifies every result against the CPU
+oracle, and prints the contention statistics that motivate the paper's
+design.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import simt
+from repro.bfs import run_persistent_bfs
+from repro.graphs import synthetic_saturating
+
+def main() -> None:
+    # 1. a workload with plenty of dynamic parallelism: the paper's
+    #    fanout-4 synthetic dataset, scaled to run in seconds.
+    graph = synthetic_saturating(n_vertices=20_000, plateau_width=2_048)
+    graph.name = "quickstart-synthetic"
+    print(f"graph: {graph.n_vertices} vertices, {graph.n_edges} edges")
+
+    # 2. a simulated GPU.  TESTGPU is small and fast; simt.FIJI and
+    #    simt.SPECTRE reproduce the paper's hardware geometry.
+    device = simt.TESTGPU
+    workgroups = 8
+    print(f"device: {device.name}, {workgroups} workgroups of "
+          f"{device.wavefront_size} lanes\n")
+
+    # 3. run the same top-down BFS with each queue variant.
+    print(f"{'variant':8s} {'sim time':>12s} {'atomic ops':>11s} "
+          f"{'CAS fails':>10s} {'queue-empty':>12s}")
+    results = {}
+    for variant in ("BASE", "AN", "RF/AN"):
+        run = run_persistent_bfs(
+            graph, 0, variant, device, workgroups, verify=True
+        )
+        results[variant] = run
+        print(
+            f"{variant:8s} {run.seconds * 1e3:10.3f} ms "
+            f"{run.stats.total_atomic_requests:11d} "
+            f"{run.stats.cas_failures:10d} "
+            f"{int(run.stats.custom.get('queue.empty_exceptions', 0)):12d}"
+        )
+
+    # 4. the paper's claim in one line: the retry-free / arbitrary-n
+    #    queue never fails an atomic and never raises queue-empty.
+    rfan = results["RF/AN"]
+    assert rfan.stats.cas_failures == 0
+    assert rfan.stats.custom.get("queue.empty_exceptions", 0) == 0
+    speedup = results["BASE"].seconds / rfan.seconds
+    print(f"\nRF/AN vs BASE speedup on this run: {speedup:.2f}x")
+    print("all three cost vectors verified against the CPU oracle")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Road-network reachability: the starved-parallelism regime.
+
+Road maps are the paper's hard case (§5.2): tiny fanout, hundreds of BFS
+levels, never enough frontier to feed a big GPU.  This example computes
+hop distances from a depot over a generated city grid on both of the
+paper's device geometries and shows (a) why extra threads buy nothing
+here and (b) that the retry-free queue still wins, just by less.
+
+Run:  python examples/roadmap_routing.py
+"""
+
+import numpy as np
+
+from repro import simt
+from repro.bfs import run_persistent_bfs
+from repro.graphs import level_profile, roadmap_graph
+
+def main() -> None:
+    # a ~90x90-block city; vertex 0 is the depot in one corner
+    city = roadmap_graph(90, 90, seed=42)
+    city.name = "city-grid"
+    depot = 0
+    prof = level_profile(city, depot)
+    print(
+        f"city: {city.n_vertices} intersections, {city.n_edges} road "
+        f"segments, {prof.size} BFS levels, widest level {int(prof.max())}"
+    )
+
+    print("\nscaling the same search across workgroups (RF/AN, Fiji):")
+    print(f"{'nWG':>5s} {'threads':>8s} {'sim time':>12s} {'speedup':>8s}")
+    base_time = None
+    for wg in (1, 4, 16, 64, 224):
+        run = run_persistent_bfs(city, depot, "RF/AN", simt.FIJI, wg,
+                                 verify=True)
+        base_time = base_time or run.seconds
+        print(
+            f"{wg:5d} {wg * 64:8d} {run.seconds * 1e3:10.3f} ms "
+            f"{base_time / run.seconds:7.2f}x"
+        )
+    print("-> the frontier never feeds more than a few hundred lanes, so "
+          "added threads idle (paper §6.1)")
+
+    print("\nqueue variants at the paper's Spectre geometry (32 WGs):")
+    for variant in ("BASE", "AN", "RF/AN"):
+        run = run_persistent_bfs(city, depot, variant, simt.SPECTRE, 32,
+                                 verify=True)
+        print(f"  {variant:6s} {run.seconds * 1e3:9.3f} ms "
+              f"(CAS failures: {run.stats.cas_failures})")
+
+    # use the result: hop histogram for delivery-zone planning
+    run = run_persistent_bfs(city, depot, "RF/AN", simt.SPECTRE, 32)
+    hops = run.costs[run.costs >= 0]
+    print(
+        f"\ndepot reaches {hops.size} intersections; "
+        f"median {int(np.median(hops))} hops, max {int(hops.max())} hops"
+    )
+
+if __name__ == "__main__":
+    main()

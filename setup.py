@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so PEP
+660 editable installs (which build a wheel) are unavailable.  This shim
+lets ``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``pip install -e .`` on fully equipped machines via pyproject.toml) work
+everywhere.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

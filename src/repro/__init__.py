@@ -1,0 +1,29 @@
+"""repro — reproduction of Troendle, Ta & Jang, *A Specialized Concurrent
+Queue for Scheduling Irregular Workloads on GPUs* (ICPP 2019).
+
+Public API overview
+-------------------
+
+``repro.simt``
+    Discrete-event SIMT GPU simulator (the hardware substrate).
+``repro.core``
+    The paper's contribution: the retry-free / arbitrary-n concurrent
+    queue (RF/AN) plus the BASE and AN ablation variants and the
+    persistent-thread task scheduler that drives them.
+``repro.graphs``
+    CSR graphs, dataset generators/loaders matching the paper's six inputs.
+``repro.bfs``
+    Top-down BFS drivers: persistent-thread (queue-backed), Rodinia-style
+    level-synchronous, CHAI-style collaborative, and a CPU reference.
+``repro.workloads``
+    Additional irregular workloads demonstrating queue generality.
+``repro.harness``
+    Regenerates every table and figure of the paper's evaluation
+    (``python -m repro.harness --list``).
+"""
+
+__version__ = "1.0.0"
+
+from . import simt  # noqa: F401  (re-exported subpackage)
+
+__all__ = ["simt", "__version__"]

@@ -1,0 +1,34 @@
+"""BFS drivers: persistent-thread (queue-backed), Rodinia- and CHAI-style
+baselines, and the CPU reference oracle."""
+
+from .chai import run_chai_bfs
+from .common import (
+    BFSRun,
+    BUF_COSTS,
+    BUF_OFFSETS,
+    BUF_TARGETS,
+    INF_COST,
+    alloc_graph_buffers,
+    bfs_queue_capacity,
+    read_costs,
+)
+from .persistent import BFSWorker, run_persistent_bfs
+from .reference import bfs_levels, verify_costs
+from .rodinia import run_rodinia_bfs
+
+__all__ = [
+    "BFSRun",
+    "BFSWorker",
+    "BUF_COSTS",
+    "BUF_OFFSETS",
+    "BUF_TARGETS",
+    "INF_COST",
+    "alloc_graph_buffers",
+    "bfs_levels",
+    "bfs_queue_capacity",
+    "read_costs",
+    "run_chai_bfs",
+    "run_persistent_bfs",
+    "run_rodinia_bfs",
+    "verify_costs",
+]

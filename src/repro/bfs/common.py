@@ -1,0 +1,103 @@
+"""Shared pieces of all BFS drivers: device buffers, verification, results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.graphs import CSRGraph, bfs_levels
+from repro.simt import DeviceSpec, GlobalMemory, SimStats
+
+#: cost of an undiscovered vertex on the device (a finite "infinity" so
+#: atomic_min arithmetic stays in int64 range).
+INF_COST = np.int64(1) << 40
+
+# canonical buffer names shared by every BFS kernel
+BUF_OFFSETS = "bfs.offsets"
+BUF_TARGETS = "bfs.targets"
+BUF_COSTS = "bfs.costs"
+
+
+def alloc_graph_buffers(
+    memory: GlobalMemory, graph: CSRGraph, source: int
+) -> None:
+    """Copy a CSR graph into device memory and initialize BFS costs."""
+    if not 0 <= source < graph.n_vertices:
+        raise ValueError(
+            f"source {source} out of range [0, {graph.n_vertices})"
+        )
+    memory.alloc_from(BUF_OFFSETS, graph.offsets)
+    memory.alloc_from(BUF_TARGETS, graph.targets)
+    costs = memory.alloc(BUF_COSTS, graph.n_vertices, fill=int(INF_COST))
+    costs[source] = 0
+
+
+def read_costs(memory: GlobalMemory, n_vertices: int) -> np.ndarray:
+    """Device costs back to host, with INF mapped to -1 (unreached)."""
+    costs = memory[BUF_COSTS][:n_vertices].copy()
+    costs[costs >= INF_COST] = -1
+    return costs
+
+
+@dataclass
+class BFSRun:
+    """Outcome of one simulated BFS execution."""
+
+    #: implementation label ("BASE", "AN", "RF/AN", "Rodinia", "CHAI").
+    implementation: str
+    #: graph name.
+    dataset: str
+    #: device name.
+    device: str
+    #: workgroups (== wavefronts) launched.
+    n_workgroups: int
+    #: simulated kernel cycles (sum over launches for level-sync drivers).
+    cycles: int
+    #: simulated kernel seconds at the device clock.
+    seconds: float
+    #: final per-vertex costs (-1 = unreachable).
+    costs: np.ndarray
+    #: accumulated statistics.
+    stats: SimStats
+    #: extra driver-specific facts (levels run, retries, ...).
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def verify(self, graph: CSRGraph, source: int) -> None:
+        """Check the computed costs against the CPU reference BFS.
+
+        Raises ``AssertionError`` with a diagnostic on the first mismatch;
+        every driver test calls this, so a scheduling or queue bug cannot
+        hide behind a pretty cycle count.
+        """
+        ref = bfs_levels(graph, source)
+        got = self.costs
+        if got.shape != ref.shape:
+            raise AssertionError(
+                f"cost vector shape {got.shape} != reference {ref.shape}"
+            )
+        bad = np.flatnonzero(got != ref)
+        if bad.size:
+            v = int(bad[0])
+            raise AssertionError(
+                f"{self.implementation} BFS on {self.dataset}: vertex {v} "
+                f"cost {int(got[v])} != reference {int(ref[v])} "
+                f"({bad.size} mismatches total)"
+            )
+
+
+def bfs_queue_capacity(
+    graph: CSRGraph, device: DeviceSpec, n_workgroups: int, headroom: float = 2.5
+) -> int:
+    """Default task-queue capacity for a persistent BFS.
+
+    Every vertex is enqueued at least once; asynchronous label correction
+    can re-enqueue a vertex per strict cost improvement, and hungry
+    threads in the RF/AN design park on slots *past* the rear.  The
+    headroom factor covers both; queue-full aborts (and the optional
+    host-side regrow) handle adversarial cases, exactly as the paper
+    prescribes (§4.4).
+    """
+    threads = n_workgroups * device.wavefront_size
+    return int(graph.n_vertices * headroom) + 2 * threads + 64

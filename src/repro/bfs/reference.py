@@ -1,0 +1,26 @@
+"""CPU reference BFS — re-exported from the graph substrate.
+
+Kept as its own module so driver code and tests can depend on
+``repro.bfs.reference`` without knowing where the oracle lives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs import CSRGraph, bfs_levels
+from repro.graphs.traversal import UNREACHED, eccentricity, level_profile
+
+__all__ = ["bfs_levels", "verify_costs", "UNREACHED", "eccentricity", "level_profile"]
+
+
+def verify_costs(graph: CSRGraph, source: int, costs: np.ndarray) -> None:
+    """Assert ``costs`` equal the true BFS depths (-1 for unreachable)."""
+    ref = bfs_levels(graph, source)
+    bad = np.flatnonzero(np.asarray(costs, dtype=np.int64) != ref)
+    if bad.size:
+        v = int(bad[0])
+        raise AssertionError(
+            f"vertex {v}: cost {int(costs[v])} != reference {int(ref[v])} "
+            f"({bad.size} mismatches)"
+        )

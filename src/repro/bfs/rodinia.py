@@ -1,0 +1,192 @@
+"""Rodinia-style level-synchronous BFS baseline (§6.4.2).
+
+Faithful to the Rodinia benchmark's scheme, which the paper characterizes
+as: "a top-down algorithm with coarse grain buffers.  It exits after each
+level and allocates 1 thread per node.  Only nodes with no dependencies
+process at each level.  If the number of levels is significant, this
+approach can have significant overhead."
+
+Concretely, per BFS level the host launches two kernels:
+
+* **kernel 1** — one (virtual) thread per *vertex*; threads whose vertex
+  is in the frontier mask enumerate all its children, write improved
+  costs, and set the child's bit in an `updating` mask.  Threads whose
+  vertex is not in the frontier still pay the mask read — the coarse-
+  grain buffer overhead.
+* **kernel 2** — one thread per vertex again: fold `updating` into the
+  frontier/visited masks and raise a global `continue` flag if anything
+  changed.
+
+Vertices are processed in grid-stride loops so the launch fits device
+residency (hardware workgroup re-dispatch has the same cost structure).
+Each level pays ``2 * kernel_launch_cycles`` of host overhead, which is
+exactly what buries Rodinia on deep or small graphs (Table 6).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.graphs import CSRGraph
+from repro.simt import (
+    DeviceSpec,
+    Engine,
+    KernelContext,
+    MemRead,
+    MemWrite,
+    Op,
+    SimStats,
+)
+
+from .common import BUF_COSTS, BUF_OFFSETS, BUF_TARGETS, BFSRun, alloc_graph_buffers, read_costs
+
+BUF_MASK = "rodinia.mask"          # frontier mask, one word per vertex
+BUF_UPDATING = "rodinia.updating"  # next-frontier mask
+BUF_VISITED = "rodinia.visited"
+BUF_FLAG = "rodinia.continue"
+
+
+def _kernel1(ctx: KernelContext) -> Generator[Op, Op, None]:
+    """Frontier expansion: one virtual thread per vertex (grid-stride)."""
+    n = int(ctx.params["n_vertices"])
+    wf = ctx.device.wavefront_size
+    stride = ctx.n_wavefronts * wf
+    base = ctx.global_thread_base
+
+    for chunk in range(base, n, stride):
+        vids = chunk + ctx.lane
+        lanes = vids < n
+        vids = vids[lanes]
+        if vids.size == 0:
+            continue
+        mrd = MemRead(BUF_MASK, vids)
+        yield mrd
+        active = mrd.result == 1
+        if not active.any():
+            continue
+        v = vids[active]
+        yield MemWrite(BUF_MASK, v, 0)
+        ord_ = MemRead(BUF_OFFSETS, np.concatenate([v, v + 1]))
+        yield ord_
+        starts = ord_.result[: v.size]
+        ends = ord_.result[v.size :]
+        crd = MemRead(BUF_COSTS, v)
+        yield crd
+        cost = crd.result
+        cur = starts.copy()
+        # full-vertex enumeration in lock-step: iterations = max degree in
+        # the wavefront (Rodinia does not refactor into uniform sub-tasks,
+        # so high-degree lanes stall their whole wavefront).
+        while True:
+            act = cur < ends
+            if not act.any():
+                break
+            trd = MemRead(BUF_TARGETS, cur[act])
+            yield trd
+            children = trd.result
+            vrd = MemRead(BUF_VISITED, children)
+            yield vrd
+            fresh = vrd.result == 0
+            if fresh.any():
+                kids = children[fresh]
+                yield MemWrite(BUF_COSTS, kids, cost[act][fresh] + 1)
+                yield MemWrite(BUF_UPDATING, kids, 1)
+            cur[act] += 1
+
+
+def _kernel2(ctx: KernelContext) -> Generator[Op, Op, None]:
+    """Mask fold: promote `updating` to the next frontier."""
+    n = int(ctx.params["n_vertices"])
+    wf = ctx.device.wavefront_size
+    stride = ctx.n_wavefronts * wf
+    base = ctx.global_thread_base
+
+    for chunk in range(base, n, stride):
+        vids = chunk + ctx.lane
+        lanes = vids < n
+        vids = vids[lanes]
+        if vids.size == 0:
+            continue
+        urd = MemRead(BUF_UPDATING, vids)
+        yield urd
+        hot = urd.result == 1
+        if not hot.any():
+            continue
+        v = vids[hot]
+        yield MemWrite(BUF_MASK, v, 1)
+        yield MemWrite(BUF_VISITED, v, 1)
+        yield MemWrite(BUF_UPDATING, v, 0)
+        yield MemWrite(BUF_FLAG, 0, 1)
+
+
+def run_rodinia_bfs(
+    graph: CSRGraph,
+    source: int,
+    device: DeviceSpec,
+    n_workgroups: int | None = None,
+    *,
+    max_cycles: int = 20_000_000_000,
+    verify: bool = False,
+) -> BFSRun:
+    """Simulate Rodinia's level-synchronous BFS end to end.
+
+    ``n_workgroups`` defaults to full device residency (Rodinia launches
+    one thread per vertex; the grid-stride loop folds that onto resident
+    wavefronts with the same memory traffic).
+    """
+    if n_workgroups is None:
+        n_workgroups = device.max_resident_wavefronts
+    engine = Engine(device)
+    alloc_graph_buffers(engine.memory, graph, source)
+    n = graph.n_vertices
+    mask = engine.memory.alloc(BUF_MASK, n, fill=0)
+    engine.memory.alloc(BUF_UPDATING, n, fill=0)
+    visited = engine.memory.alloc(BUF_VISITED, n, fill=0)
+    flag = engine.memory.alloc(BUF_FLAG, 1, fill=0)
+    mask[source] = 1
+    visited[source] = 1
+
+    stats = SimStats()
+    total_cycles = 0
+    levels = 0
+    params = {"n_vertices": n}
+    while True:
+        flag[0] = 0
+        r1 = engine.launch(
+            _kernel1,
+            n_workgroups,
+            params=params,
+            max_cycles=max_cycles,
+            charge_launch_overhead=True,
+        )
+        r2 = engine.launch(
+            _kernel2,
+            n_workgroups,
+            params=params,
+            max_cycles=max_cycles,
+            charge_launch_overhead=True,
+        )
+        stats.merge(r1.stats)
+        stats.merge(r2.stats)
+        total_cycles += r1.cycles + r2.cycles
+        levels += 1
+        if int(flag[0]) == 0:
+            break
+
+    stats.sim_cycles = total_cycles
+    run = BFSRun(
+        implementation="Rodinia",
+        dataset=graph.name or "unnamed",
+        device=device.name,
+        n_workgroups=n_workgroups,
+        cycles=total_cycles,
+        seconds=device.seconds(total_cycles),
+        costs=read_costs(engine.memory, n),
+        stats=stats,
+        extra={"levels": levels, "kernel_launches": 2 * levels},
+    )
+    if verify:
+        run.verify(graph, source)
+    return run

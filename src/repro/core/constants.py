@@ -1,0 +1,26 @@
+"""Shared constants of the queue/scheduler layer."""
+
+from __future__ import annotations
+
+#: The *data-not-arrived* sentinel (the paper's ``dna`` / ``Missing``).
+#:
+#: Every queue slot holds this value until an enqueuer stores a real task
+#: token there; a dequeuer that still sees it knows its data has not
+#: arrived (Listing 2).  Task tokens are non-negative integers (vertex
+#: indices, task ids), so any negative value is safe; -1 keeps dumps
+#: readable.
+DNA = -1
+
+#: Index of ``Front`` within a queue's control buffer.
+FRONT = 0
+#: Index of ``Rear`` within a queue's control buffer.
+REAR = 1
+
+#: Index of the in-flight task counter within the scheduler control buffer.
+PENDING = 0
+#: Index of the done flag within the scheduler control buffer.
+DONE = 1
+
+#: The paper's empirically chosen work-cycle granularity: each work cycle
+#: processes at most this many uniform-complexity sub-tasks (footnote 3).
+DEFAULT_SUBTASKS_PER_CYCLE = 4

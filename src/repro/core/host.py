@@ -1,0 +1,262 @@
+"""Host-side sequential models of the queue algorithms.
+
+These are *step machines*: each atomic primitive of the algorithm is one
+``step()`` call, and a test driver (plain loops or Hypothesis) interleaves
+steps of many logical threads in any order.  Because every step touches
+shared state exactly once, any interleaving the driver produces is a
+legal concurrent history — which lets property tests check the algorithms'
+safety invariants (no token lost, none duplicated, queue-full detected)
+without the timing engine.
+
+This is the reproduction's correctness oracle for the *algorithms*; the
+SIMT engine is the oracle for their *performance*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .constants import DNA
+from .queue_api import QueueFull
+
+
+class HostRFANQueue:
+    """Sequential-state RF/AN queue: AFA counters + sentinel slots."""
+
+    def __init__(self, capacity: int, circular: bool = False):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.circular = circular
+        self.data: List[int] = [DNA] * capacity
+        self.front = 0
+        self.rear = 0
+
+    # each method below is one atomic step ------------------------------
+    def afa_front(self, n: int) -> int:
+        """Reserve ``n`` dequeue slots; returns the old Front (never fails)."""
+        old = self.front
+        self.front += n
+        return old
+
+    def afa_rear(self, n: int) -> int:
+        """Reserve ``n`` enqueue slots; returns the old Rear (never fails)."""
+        old = self.rear
+        self.rear += n
+        return old
+
+    def _phys(self, raw: int) -> Optional[int]:
+        if self.circular:
+            return raw % self.capacity
+        return raw if raw < self.capacity else None
+
+    def poll_slot(self, raw: int) -> Optional[int]:
+        """One data-arrival check: the token if present, else None.
+
+        Taking the token writes the sentinel back (one plain write; the
+        slot owner is the only reader, §4.2: "No atomics are needed
+        because this is the only thread accessing the slot").
+        """
+        phys = self._phys(raw)
+        if phys is None:
+            return None
+        v = self.data[phys]
+        if v == DNA:
+            return None
+        self.data[phys] = DNA
+        return v
+
+    def store_slot(self, raw: int, token: int) -> None:
+        """One enqueue-side token copy; aborts on queue-full."""
+        if token < 0:
+            raise ValueError("task tokens must be non-negative")
+        phys = self._phys(raw)
+        if phys is None:
+            raise QueueFull(f"raw index {raw} beyond capacity {self.capacity}")
+        if self.data[phys] != DNA:
+            raise QueueFull(f"slot {phys} not data-not-arrived")
+        self.data[phys] = token
+
+
+class RFANProducer:
+    """A logical producer thread: reserve once, then copy token by token."""
+
+    def __init__(self, queue: HostRFANQueue, tokens: List[int]):
+        self.queue = queue
+        self.tokens = list(tokens)
+        self.base: Optional[int] = None
+        self.copied = 0
+
+    @property
+    def done(self) -> bool:
+        return self.copied == len(self.tokens)
+
+    def step(self) -> bool:
+        """Advance one atomic step; returns True if something happened."""
+        if self.done:
+            return False
+        if self.base is None:
+            self.base = self.queue.afa_rear(len(self.tokens))
+            return True
+        self.queue.store_slot(self.base + self.copied, self.tokens[self.copied])
+        self.copied += 1
+        return True
+
+
+class RFANConsumer:
+    """A logical consumer thread: reserve a slot once, then poll it."""
+
+    def __init__(self, queue: HostRFANQueue):
+        self.queue = queue
+        self.slot: Optional[int] = None
+        self.got: Optional[int] = None
+        self.polls = 0
+
+    @property
+    def done(self) -> bool:
+        return self.got is not None
+
+    def step(self) -> bool:
+        if self.done:
+            return False
+        if self.slot is None:
+            self.slot = self.queue.afa_front(1)
+            return True
+        self.polls += 1
+        v = self.queue.poll_slot(self.slot)
+        if v is not None:
+            self.got = v
+        return True
+
+
+class HostCasQueue:
+    """Sequential-state model of the BASE/AN CAS queue with valid flags."""
+
+    def __init__(self, capacity: int, circular: bool = False):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.circular = circular
+        self.data: List[int] = [0] * capacity
+        self.valid: List[int] = [0] * capacity
+        self.front = 0
+        self.rear = 0
+
+    def _phys(self, raw: int) -> int:
+        return raw % self.capacity if self.circular else raw
+
+    # atomic steps -------------------------------------------------------
+    def read_ctrl(self) -> tuple[int, int]:
+        return self.front, self.rear
+
+    def cas_front(self, expected: int, new: int) -> bool:
+        if self.front == expected:
+            self.front = new
+            return True
+        return False
+
+    def cas_rear(self, expected: int, new: int) -> bool:
+        if self.rear == expected:
+            self.rear = new
+            return True
+        return False
+
+    def is_full(self, extra: int) -> bool:
+        if self.circular:
+            return self.rear + extra - self.front > self.capacity
+        return self.rear + extra > self.capacity
+
+    def read_valid(self, raw: int) -> int:
+        return self.valid[self._phys(raw)]
+
+    def write_data(self, raw: int, token: int) -> None:
+        self.data[self._phys(raw)] = token
+
+    def write_valid(self, raw: int, flag: int) -> None:
+        self.valid[self._phys(raw)] = flag
+
+    def read_data(self, raw: int) -> int:
+        return self.data[self._phys(raw)]
+
+
+class CasProducer:
+    """BASE-style producer: CAS-reserve a slot, write data, set valid."""
+
+    _RESERVE, _DATA, _VALID, _DONE = range(4)
+
+    def __init__(self, queue: HostCasQueue, token: int):
+        self.queue = queue
+        self.token = token
+        self.phase = self._RESERVE
+        self.slot: Optional[int] = None
+        self.cas_failures = 0
+
+    @property
+    def done(self) -> bool:
+        return self.phase == self._DONE
+
+    def step(self) -> bool:
+        if self.done:
+            return False
+        q = self.queue
+        if self.phase == self._RESERVE:
+            front, rear = q.read_ctrl()
+            if q.is_full(1):
+                raise QueueFull("queue full")
+            if q.cas_rear(rear, rear + 1):
+                self.slot = rear
+                self.phase = self._DATA
+            else:
+                self.cas_failures += 1
+            return True
+        if self.phase == self._DATA:
+            assert self.slot is not None
+            q.write_data(self.slot, self.token)
+            self.phase = self._VALID
+            return True
+        q.write_valid(self.slot, 1)  # type: ignore[arg-type]
+        self.phase = self._DONE
+        return True
+
+
+class CasConsumer:
+    """BASE-style consumer: CAS-reserve, spin on valid, read, clear."""
+
+    _RESERVE, _SPIN, _READ, _DONE = range(4)
+
+    def __init__(self, queue: HostCasQueue):
+        self.queue = queue
+        self.phase = self._RESERVE
+        self.slot: Optional[int] = None
+        self.got: Optional[int] = None
+        self.cas_failures = 0
+        self.empty_seen = 0
+
+    @property
+    def done(self) -> bool:
+        return self.phase == self._DONE
+
+    def step(self) -> bool:
+        if self.done:
+            return False
+        q = self.queue
+        if self.phase == self._RESERVE:
+            front, rear = q.read_ctrl()
+            if rear - front <= 0:
+                self.empty_seen += 1
+                return True  # queue-empty exception; stay hungry
+            if q.cas_front(front, front + 1):
+                self.slot = front
+                self.phase = self._SPIN
+            else:
+                self.cas_failures += 1
+            return True
+        if self.phase == self._SPIN:
+            assert self.slot is not None
+            if q.read_valid(self.slot):
+                self.phase = self._READ
+            return True
+        self.got = q.read_data(self.slot)  # type: ignore[arg-type]
+        q.write_valid(self.slot, 0)  # type: ignore[arg-type]
+        self.phase = self._DONE
+        return True

@@ -1,0 +1,252 @@
+"""BASE — a traditional lock-free, CAS-based concurrent queue (§5.3).
+
+This is the ablation baseline with *neither* of the paper's properties:
+
+* **No arbitrary-n** — every hungry lane runs its own dequeue, every
+  produced token its own enqueue.  All those requests hit the shared
+  ``Front``/``Rear`` words individually and serialize at the atomic unit:
+  a wavefront's dequeue is a burst of per-lane CASes instead of the one
+  proxy fetch-add of the proposed design.  (The lanes speculate disjoint
+  tickets from their wavefront rank — the charitable traditional
+  formulation; a same-expected CAS loop convoys catastrophically under
+  lock-step execution, far beyond the BASE slowdowns the paper reports.
+  See DESIGN.md §7.)
+* **No retry-free** — cross-wavefront interference between the shared
+  load and the CAS burst fails the speculation; failed lanes stay hungry
+  and retry next work cycle (Algorithm 1's outer loop), and a dequeue
+  against an empty queue raises a queue-empty exception.  Both retry
+  flavours grow with active threads — Figure 1.
+
+Slot hand-off uses per-slot *valid flags*, the standard fix for the
+reserve-then-write race in array-based CAS queues (cf. Valois 1994): an
+enqueuer reserves a slot by CAS on ``Rear``, writes the token, then sets
+the flag; a dequeuer that won a slot by CAS on ``Front`` polls the flag
+before reading.  This is exactly the kind of extra shared-memory traffic
+the proposed design eliminates.
+
+Queue-full aborts the kernel for all variants (paper footnote 2).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.simt import (
+    Abort,
+    AtomicKind,
+    AtomicRMW,
+    GlobalMemory,
+    KernelContext,
+    MemRead,
+    MemWrite,
+    Op,
+)
+from repro.simt.lanes import rank_within
+
+from .constants import FRONT, REAR
+from .queue_api import (
+    DeviceQueue,
+    K_CAS_ROUNDS,
+    K_DEQ_REQUESTS,
+    K_DEQ_TOKENS,
+    K_EMPTY_EXC,
+    K_ENQ_TOKENS,
+)
+from .state import WavefrontQueueState
+
+
+class BaseCasQueue(DeviceQueue):
+    """Traditional per-lane CAS queue (the paper's BASE variant)."""
+
+    variant = "BASE"
+    retry_free = False
+    arbitrary_n = False
+
+    def __init__(self, capacity: int, prefix: str = "wq", circular: bool = False):
+        super().__init__(capacity, prefix=prefix, circular=circular)
+        self.buf_valid = f"{prefix}.valid"
+
+    # ------------------------------------------------------------------
+    def allocate(self, memory: GlobalMemory) -> None:
+        super().allocate(memory)
+        memory.alloc(self.buf_valid, self.capacity, fill=0)
+        memory.mark_hot(self.buf_valid)  # polled like the slot array
+
+    def _host_mark_valid(self, memory: GlobalMemory, start: int, n: int) -> None:
+        valid = memory[self.buf_valid]
+        for raw in range(start, start + n):
+            valid[self._phys(raw)] = 1
+
+    def _is_full(self, front: int, rear: int, extra: int) -> bool:
+        if self.circular:
+            return rear + extra - front > self.capacity
+        return rear + extra > self.capacity
+
+    # ------------------------------------------------------------------
+    def acquire(
+        self, ctx: KernelContext, st: WavefrontQueueState
+    ) -> Generator[Op, Op, None]:
+        """One dequeue attempt per hungry lane per work cycle.
+
+        A lane that wins the Front CAS parks its claimed slot in
+        ``st.slot`` and completes the hand-off (valid-flag poll + data
+        read) on this or a later cycle; a lane whose CAS fails, or that
+        saw an empty queue, simply remains hungry — Algorithm 1's outer
+        loop is the retry loop.
+        """
+        stats = ctx.stats
+
+        # 1. per-lane CAS ticket claims, one attempt per work cycle.
+        #
+        #    Each hungry lane executes
+        #        old = load(front)
+        #        if (old + my_rank >= rear) -> queue-empty exception
+        #        CAS(&front, old + my_rank, old + my_rank + 1)
+        #    i.e. the standard *speculative ticket* formulation of a
+        #    per-thread CAS dequeue on SIMT hardware: a lane speculates
+        #    that the hungry lanes before it in the wavefront will claim
+        #    the preceding entries, so uncontended wavefronts feed all
+        #    their lanes in one chained burst.  A totally naive
+        #    same-expected CAS loop convoys catastrophically under
+        #    lock-step execution (every round feeds at most one lane) —
+        #    far beyond the BASE slowdowns the paper reports — so this is
+        #    the charitable traditional baseline; see DESIGN.md §7.
+        #    Interference from other wavefronts between the load and the
+        #    CAS burst still fails the speculation, and those failures
+        #    (Figure 1) grow with the number of active wavefronts.
+        n = st.n_hungry
+        if n:
+            attempting = st.hungry_mask()
+            stats.custom[K_DEQ_REQUESTS] += n
+            ctrl = self._read_ctrl()
+            yield ctrl
+            front, rear = int(ctrl.result[0]), int(ctrl.result[1])
+            avail = rear - front
+            ranks, _ = rank_within(attempting)
+            live = attempting & (ranks < avail)
+            starved = int(attempting.sum() - live.sum())
+            if starved:
+                # queue-empty exception: these lanes give up this work
+                # cycle and retry on the next one (§3.2 / §6.5).
+                stats.custom[K_EMPTY_EXC] += starved
+            if live.any():
+                lanes = np.flatnonzero(live)
+                exp = front + ranks[lanes]
+                op = AtomicRMW(
+                    self.buf_ctrl,
+                    np.full(lanes.size, FRONT, dtype=np.int64),
+                    AtomicKind.CAS,
+                    exp,
+                    exp + 1,
+                )
+                yield op
+                won = op.success
+                if won.any():
+                    win_lanes = lanes[won]
+                    st.watch(win_lanes, exp[won])
+                if not won.all():
+                    # failed speculation: retry next work cycle (counted
+                    # as retry traffic; engine counted the CAS failures)
+                    stats.custom[K_CAS_ROUNDS] += 1
+
+        # 2. hand-off: poll valid flags of every claimed slot once per
+        #    work cycle; producers may still be writing.
+        if st.n_watching:
+            claimed = st.slot >= 0
+            lanes = np.flatnonzero(claimed)
+            raw = st.slot[lanes]
+            phys = self._phys(raw)
+            vread = MemRead(self.buf_valid, phys)
+            yield vread
+            ready = vread.result == 1
+            if ready.any():
+                got_lanes = lanes[ready]
+                got_phys = phys[ready]
+                dread = MemRead(self.buf_data, got_phys)
+                yield dread
+                yield MemWrite(self.buf_valid, got_phys, 0)
+                st.unwatch(got_lanes)
+                st.grant(got_lanes, dread.result)
+                stats.custom[K_DEQ_TOKENS] += int(got_lanes.size)
+            else:
+                stats.custom[K_CAS_ROUNDS] += 1  # hand-off spin traffic
+
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        ctx: KernelContext,
+        st: WavefrontQueueState,
+        counts: np.ndarray,
+        tokens: np.ndarray,
+    ) -> Generator[Op, Op, None]:
+        """Per-token CAS enqueue (traditional, non-aggregated).
+
+        Newly discovered tokens must be in the queue before the work
+        cycle's completion accounting, so the enqueue loops until every
+        token is placed: per round, one shared read of (Front, Rear) and
+        one lock-step CAS burst from every lane still holding tokens —
+        at most one placement per round, exactly the serialization the
+        arbitrary-n property removes.
+        """
+        stats = ctx.stats
+        counts = np.asarray(counts, dtype=np.int64)
+        if not (counts > 0).any():
+            return
+        placed = np.zeros_like(counts)
+
+        # per-token speculative-ticket CAS enqueues (mirror of acquire):
+        # each round, every lane with an unplaced token reloads (Front,
+        # Rear) and CASes Rear at its rank-speculated ticket; winners copy
+        # their token and set the valid flag.  All tokens must land before
+        # the work cycle's completion accounting, so rounds repeat until
+        # everything is placed — each failed round is retry traffic the
+        # arbitrary-n property would have avoided.
+        first_round = True
+        while True:
+            pending = counts > placed
+            if not pending.any():
+                break
+            if not first_round:
+                stats.custom[K_CAS_ROUNDS] += 1
+            first_round = False
+            ctrl = self._read_ctrl()
+            yield ctrl
+            front, rear = int(ctrl.result[0]), int(ctrl.result[1])
+            ranks, n_round = rank_within(pending)
+            if self._is_full(front, rear, n_round):
+                yield Abort(
+                    f"queue full: rear={rear} front={front} "
+                    f"need={n_round} capacity={self.capacity}"
+                )
+            lanes = np.flatnonzero(pending)
+            exp = rear + ranks[lanes]
+            op = AtomicRMW(
+                self.buf_ctrl,
+                np.full(lanes.size, REAR, dtype=np.int64),
+                AtomicKind.CAS,
+                exp,
+                exp + 1,
+            )
+            yield op
+            won = op.success
+            if not won.any():
+                continue
+            win_lanes = lanes[won]
+            raw = exp[won]
+            phys = self._phys(raw)
+            if self.circular:
+                # wait for previous-generation consumers to release the
+                # physical slots before overwriting them.
+                while True:
+                    vread = MemRead(self.buf_valid, phys)
+                    yield vread
+                    if not (vread.result == 1).any():
+                        break
+                    stats.custom[K_CAS_ROUNDS] += 1
+            toks = tokens[win_lanes, placed[win_lanes]]
+            yield MemWrite(self.buf_data, phys, toks)
+            yield MemWrite(self.buf_valid, phys, 1)
+            placed[win_lanes] += 1
+            stats.custom[K_ENQ_TOKENS] += int(win_lanes.size)

@@ -1,0 +1,172 @@
+"""RF/AN — the paper's retry-free, arbitrary-n concurrent queue (§4).
+
+Dequeue (Listing 1 + Listing 2)
+    Hungry lanes agree on relative indices with a wavefront-local
+    aggregation (the lock-step ``atomic_inc`` on ``lQueueSlotsNeeded``);
+    the proxy lane then advances ``Front`` by the hungry count with a
+    single **atomic fetch-add** — which cannot fail — and every hungry
+    lane is parked on a unique slot.  From then on the lane checks its
+    slot with one plain (non-atomic) global read per work cycle until the
+    ``dna`` sentinel is replaced by a token.  The queue-empty exception
+    has been *refactored into a memory poll*: no retry of any queue
+    operation ever happens.
+
+Enqueue (Listing 3)
+    Lanes aggregate their newly-discovered token counts locally; the
+    proxy advances ``Rear`` once by the total; lanes then copy their
+    tokens into their reserved slots in lock-step, verifying each target
+    slot still holds the sentinel.  A non-sentinel target is a queue-full
+    exception, which **aborts the kernel** (capacity is a host planning
+    decision, not something the device can fix by spinning).
+
+Cost profile per wavefront work cycle: one local aggregation + *at most
+one* global atomic for dequeue and one for enqueue, independent of how
+many entries move — the arbitrary-n property.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.simt import (
+    Abort,
+    AtomicKind,
+    AtomicRMW,
+    KernelContext,
+    LocalOp,
+    MemRead,
+    MemWrite,
+    Op,
+)
+from repro.simt.engine import transactions_for
+from repro.simt.lanes import rank_within, segmented_rank
+
+from .constants import DNA, FRONT, REAR
+from .queue_api import (
+    DeviceQueue,
+    K_ARRIVAL_CHECKS,
+    K_DEQ_REQUESTS,
+    K_DEQ_TOKENS,
+    K_ENQ_TOKENS,
+    K_PROXY_ATOMICS,
+)
+from .state import WavefrontQueueState
+
+
+class RetryFreeQueue(DeviceQueue):
+    """The proposed retry-free / arbitrary-n queue."""
+
+    variant = "RF/AN"
+    retry_free = True
+    arbitrary_n = True
+
+    def acquire(
+        self, ctx: KernelContext, st: WavefrontQueueState
+    ) -> Generator[Op, Op, None]:
+        stats = ctx.stats
+        dev = ctx.device
+
+        # --- Listing 1: slot reservation for newly hungry lanes --------
+        n_hungry = st.n_hungry
+        if n_hungry:
+            hungry = st.hungry_mask()
+            stats.custom[K_DEQ_REQUESTS] += n_hungry
+            ranks, total = rank_within(hungry)
+            # lock-step local atomic_inc: zeroing by the proxy + per-lane
+            # increment, one LDS round (lines 2-9 of Listing 1).
+            yield LocalOp(dev.lds_op_cycles)
+            # proxy thread reserves `total` slots with one AFA (line 13).
+            op = AtomicRMW(self.buf_ctrl, FRONT, AtomicKind.ADD, total)
+            yield op
+            stats.custom[K_PROXY_ATOMICS] += 1
+            base = int(op.old[0])
+            lanes = np.flatnonzero(hungry)
+            st.watch(lanes, base + ranks[lanes])
+
+        # --- Listing 2: data-arrival poll for every watching lane ------
+        if st.n_watching == 0:
+            return
+        # the watch set only changes on reservation/grant, so the lane,
+        # address and transaction arrays are cached between polls — this
+        # poll runs every work cycle of every starved wavefront.
+        if st.cache is None:
+            watching = st.slot >= 0
+            raw = st.slot[watching]
+            inb = self._in_bounds(raw)
+            lanes = np.flatnonzero(watching)[inb]
+            phys = np.asarray(self._phys(raw[inb]), dtype=np.int64)
+            trans = transactions_for(phys) if phys.size else 0
+            st.cache = (lanes, phys, trans)
+        lanes, phys, trans = st.cache
+        if lanes.size == 0:
+            # all monitored slots are beyond queue bounds; no data will
+            # ever arrive there (kernel is winding down).
+            return
+        read = MemRead(self.buf_data, phys, trans=trans, prechecked=True)
+        yield read
+        stats.custom[K_ARRIVAL_CHECKS] += int(lanes.size)
+        arrived = read.result != DNA
+        if not arrived.any():
+            return
+        got_lanes = lanes[arrived]
+        tokens = read.result[arrived]
+        # pick up the token and put the sentinel back so the slot can be
+        # reused when the queue is configured circular (§4.2).
+        yield MemWrite(self.buf_data, phys[arrived], DNA)
+        st.unwatch(got_lanes)
+        st.grant(got_lanes, tokens)
+        stats.custom[K_DEQ_TOKENS] += int(got_lanes.size)
+
+    def publish(
+        self,
+        ctx: KernelContext,
+        st: WavefrontQueueState,
+        counts: np.ndarray,
+        tokens: np.ndarray,
+    ) -> Generator[Op, Op, None]:
+        stats = ctx.stats
+        dev = ctx.device
+        counts = np.asarray(counts, dtype=np.int64)
+        has_new = counts > 0
+        if not has_new.any():
+            return
+
+        # --- Listing 3 lines 2-11: local aggregation of counts ---------
+        ranks, total = segmented_rank(has_new, counts)
+        yield LocalOp(dev.lds_op_cycles)
+
+        # --- line 15: proxy reserves `total` entries with one AFA ------
+        op = AtomicRMW(self.buf_ctrl, REAR, AtomicKind.ADD, total)
+        yield op
+        stats.custom[K_PROXY_ATOMICS] += 1
+        base = int(op.old[0])
+
+        # --- lines 24-27: lock-step copy, one sub-iteration per token
+        # rank within the busiest lane.  Each iteration checks the target
+        # slot still holds the sentinel, then overwrites it.
+        max_count = int(counts.max())
+        lane_base = base + ranks
+        for t in range(max_count):
+            active = counts > t
+            raw = lane_base[active] + t
+            oob = ~self._in_bounds(raw)
+            if oob.any():
+                # enqueue must never store out of bounds (§4.3); a
+                # monotonic queue that ran past capacity is full.
+                yield Abort(
+                    f"queue full: raw index {int(raw[oob][0])} beyond "
+                    f"capacity {self.capacity}"
+                )
+            phys = self._phys(raw)
+            check = MemRead(self.buf_data, phys)
+            yield check
+            if np.any(check.result != DNA):
+                yield Abort(
+                    "queue full: target slot not data-not-arrived "
+                    "(Listing 3 line 25)"
+                )
+            vals = tokens[active, t]
+            yield MemWrite(self.buf_data, phys, vals)
+        stats.custom[K_ENQ_TOKENS] += int(total)

@@ -1,0 +1,87 @@
+"""NAIVE — the textbook per-lane CAS queue, kept as ablation evidence.
+
+This is the maximally literal port of a per-thread CAS dequeue to SIMT:
+every hungry lane loads ``Front`` (lock-step: they all see the same
+value) and CASes it to ``+1``, so *at most one lane per wavefront per
+attempt can win*; everyone else fails and retries on the next work cycle.
+First-principles simulation shows this formulation convoys: feeding a
+64-lane wavefront takes ~64 work cycles, and at scale the atomic unit
+saturates with failing CASes, producing slowdowns orders of magnitude
+beyond what the paper reports for its BASE.  That observation is why the
+shipping :class:`~repro.core.queue_base_cas.BaseCasQueue` uses the
+speculative-ticket formulation instead (DESIGN.md §7) — and this class
+exists so ``benchmarks/bench_ablation_naive_cas.py`` can regenerate the
+evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.core.constants import FRONT
+from repro.core.queue_api import (
+    K_CAS_ROUNDS,
+    K_DEQ_REQUESTS,
+    K_EMPTY_EXC,
+)
+from repro.core.queue_base_cas import BaseCasQueue
+from repro.core.state import WavefrontQueueState
+from repro.simt import AtomicKind, AtomicRMW, KernelContext, MemRead, MemWrite, Op
+
+
+class NaiveCasQueue(BaseCasQueue):
+    """Per-lane CAS with shared expected value: one winner per attempt."""
+
+    variant = "NAIVE"
+    retry_free = False
+    arbitrary_n = False
+
+    def acquire(
+        self, ctx: KernelContext, st: WavefrontQueueState
+    ) -> Generator[Op, Op, None]:
+        stats = ctx.stats
+
+        # one shared-expected CAS attempt per work cycle
+        n = st.n_hungry
+        if n:
+            attempting = st.hungry_mask()
+            stats.custom[K_DEQ_REQUESTS] += n
+            ctrl = self._read_ctrl()
+            yield ctrl
+            front, rear = int(ctrl.result[0]), int(ctrl.result[1])
+            if rear - front <= 0:
+                stats.custom[K_EMPTY_EXC] += n
+            else:
+                op = AtomicRMW(
+                    self.buf_ctrl,
+                    np.full(n, FRONT, dtype=np.int64),
+                    AtomicKind.CAS,
+                    front,
+                    front + 1,
+                )
+                yield op
+                winners = np.flatnonzero(op.success)
+                if winners.size:
+                    lane = np.flatnonzero(attempting)[winners[:1]]
+                    st.watch(lane, np.array([front], dtype=np.int64))
+                else:
+                    stats.custom[K_CAS_ROUNDS] += 1
+
+        # hand-off identical to BASE: poll valid, read data, clear flag
+        if st.n_watching:
+            claimed = st.slot >= 0
+            lanes = np.flatnonzero(claimed)
+            phys = self._phys(st.slot[lanes])
+            vread = MemRead(self.buf_valid, phys)
+            yield vread
+            ready = vread.result == 1
+            if ready.any():
+                got_lanes = lanes[ready]
+                got_phys = phys[ready]
+                dread = MemRead(self.buf_data, got_phys)
+                yield dread
+                yield MemWrite(self.buf_valid, got_phys, 0)
+                st.unwatch(got_lanes)
+                st.grant(got_lanes, dread.result)

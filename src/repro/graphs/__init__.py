@@ -1,0 +1,70 @@
+"""Graph substrate: CSR representation, generators, file formats, datasets."""
+
+from .csr import CSRGraph, DegreeStats
+from .datasets import (
+    ALL_DATASETS,
+    CHAI_DATASETS,
+    PAPER_DATASETS,
+    RODINIA_DATASETS,
+    DatasetSpec,
+    dataset,
+    load_dataset,
+    paper_dataset_names,
+)
+from .generators import (
+    complete_binary_tree,
+    path_graph,
+    roadmap_graph,
+    rodinia_graph,
+    social_graph,
+    star_graph,
+    synthetic_saturating,
+)
+from .io import (
+    load_dimacs_gr,
+    load_rodinia,
+    load_snap_edgelist,
+    save_dimacs_gr,
+    save_rodinia,
+    save_snap_edgelist,
+)
+from .traversal import (
+    UNREACHED,
+    bfs_levels,
+    eccentricity,
+    level_profile,
+    reachable_count,
+    saturation_levels,
+)
+
+__all__ = [
+    "ALL_DATASETS",
+    "CHAI_DATASETS",
+    "CSRGraph",
+    "DatasetSpec",
+    "DegreeStats",
+    "PAPER_DATASETS",
+    "RODINIA_DATASETS",
+    "UNREACHED",
+    "bfs_levels",
+    "complete_binary_tree",
+    "dataset",
+    "eccentricity",
+    "level_profile",
+    "load_dataset",
+    "load_dimacs_gr",
+    "load_rodinia",
+    "load_snap_edgelist",
+    "paper_dataset_names",
+    "path_graph",
+    "reachable_count",
+    "roadmap_graph",
+    "rodinia_graph",
+    "saturation_levels",
+    "save_dimacs_gr",
+    "save_rodinia",
+    "save_snap_edgelist",
+    "social_graph",
+    "star_graph",
+    "synthetic_saturating",
+]

@@ -1,0 +1,177 @@
+"""Compressed Sparse Row graph representation.
+
+The BFS drivers consume graphs in the same layout the paper's OpenCL
+kernels use: a ``Nodes`` array of (starting edge index, edge count) pairs
+and a flat ``Edges`` array of target vertices — i.e. CSR.  All arrays are
+int64 so they can be copied straight into simulated device buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Out-degree statistics in the format of the paper's Tables 1-2."""
+
+    n_vertices: int
+    n_edges: int
+    min: int
+    max: int
+    avg: float
+    std: float
+
+    def row(self) -> Tuple[int, int, int, int, float, float]:
+        return (
+            self.n_vertices,
+            self.n_edges,
+            self.min,
+            self.max,
+            round(self.avg, 1),
+            round(self.std, 2),
+        )
+
+
+class CSRGraph:
+    """An immutable directed graph in CSR form.
+
+    Parameters
+    ----------
+    offsets:
+        ``(n_vertices + 1,)`` int64; vertex ``v``'s out-edges are
+        ``targets[offsets[v]:offsets[v+1]]``.
+    targets:
+        ``(n_edges,)`` int64 edge targets.
+    name:
+        Optional label used in reports.
+    """
+
+    __slots__ = ("offsets", "targets", "name")
+
+    def __init__(self, offsets: np.ndarray, targets: np.ndarray, name: str = ""):
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        targets = np.ascontiguousarray(targets, dtype=np.int64)
+        if offsets.ndim != 1 or offsets.size < 1:
+            raise ValueError("offsets must be a 1-D array of size >= 1")
+        if offsets[0] != 0:
+            raise ValueError("offsets[0] must be 0")
+        if np.any(np.diff(offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        if offsets[-1] != targets.size:
+            raise ValueError(
+                f"offsets[-1] ({offsets[-1]}) != number of targets "
+                f"({targets.size})"
+            )
+        n = offsets.size - 1
+        if targets.size and (targets.min() < 0 or targets.max() >= n):
+            raise ValueError("edge target out of range")
+        self.offsets = offsets
+        self.targets = targets
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        return self.offsets.size - 1
+
+    @property
+    def n_edges(self) -> int:
+        return self.targets.size
+
+    def degree(self, v: int | None = None) -> np.ndarray | int:
+        """Out-degree of ``v``, or the whole degree vector when v is None."""
+        if v is None:
+            return np.diff(self.offsets)
+        return int(self.offsets[v + 1] - self.offsets[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Targets of ``v``'s out-edges (a view, do not mutate)."""
+        return self.targets[self.offsets[v] : self.offsets[v + 1]]
+
+    def iter_edges(self) -> Iterator[Tuple[int, int]]:
+        """Yield (source, target) pairs; test/debug helper, O(m) python."""
+        for v in range(self.n_vertices):
+            for t in self.neighbors(v):
+                yield v, int(t)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        n_vertices: int,
+        edges: Iterable[Tuple[int, int]] | np.ndarray,
+        name: str = "",
+        dedup: bool = False,
+    ) -> "CSRGraph":
+        """Build CSR from an edge list (vectorized counting sort).
+
+        ``dedup`` drops duplicate (u, v) pairs and self-loops, matching
+        how the SNAP/DIMACS loaders clean raw files.
+        """
+        arr = np.asarray(
+            edges if isinstance(edges, np.ndarray) else list(edges),
+            dtype=np.int64,
+        )
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError("edges must be an (m, 2) array of (src, dst)")
+        if arr.size:
+            if arr.min() < 0 or arr.max() >= n_vertices:
+                raise ValueError("edge endpoint out of range")
+        if dedup and arr.size:
+            arr = arr[arr[:, 0] != arr[:, 1]]
+            arr = np.unique(arr, axis=0)
+        src, dst = arr[:, 0], arr[:, 1]
+        order = np.argsort(src, kind="stable")
+        src, dst = src[order], dst[order]
+        counts = np.bincount(src, minlength=n_vertices)
+        offsets = np.zeros(n_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return cls(offsets, dst, name=name)
+
+    def to_edges(self) -> np.ndarray:
+        """The (m, 2) edge array (inverse of :meth:`from_edges`)."""
+        src = np.repeat(
+            np.arange(self.n_vertices, dtype=np.int64), np.diff(self.offsets)
+        )
+        return np.column_stack([src, self.targets])
+
+    def symmetrized(self) -> "CSRGraph":
+        """The undirected closure: every edge gets its reverse."""
+        e = self.to_edges()
+        both = np.vstack([e, e[:, ::-1]])
+        return CSRGraph.from_edges(
+            self.n_vertices, both, name=self.name, dedup=True
+        )
+
+    def reversed(self) -> "CSRGraph":
+        """The transpose graph."""
+        e = self.to_edges()
+        return CSRGraph.from_edges(self.n_vertices, e[:, ::-1], name=self.name)
+
+    # ------------------------------------------------------------------
+    def degree_stats(self) -> DegreeStats:
+        """Out-degree stats in the format of Tables 1 and 2."""
+        deg = np.diff(self.offsets)
+        if deg.size == 0:
+            return DegreeStats(0, 0, 0, 0, 0.0, 0.0)
+        return DegreeStats(
+            n_vertices=self.n_vertices,
+            n_edges=self.n_edges,
+            min=int(deg.min()),
+            max=int(deg.max()),
+            avg=float(deg.mean()),
+            std=float(deg.std()),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"CSRGraph({label} n_vertices={self.n_vertices}, "
+            f"n_edges={self.n_edges})"
+        )

@@ -1,0 +1,245 @@
+"""Registry of the paper's evaluation datasets (and the baselines').
+
+Each :class:`DatasetSpec` records the *paper-size* parameters and a
+``build(scale)`` recipe.  ``scale=1.0`` regenerates the full-size
+stand-in; the per-dataset ``default_scale`` shrinks it so the pure-Python
+simulation suite finishes in minutes (shapes are preserved — see
+DESIGN.md §2 and the assertions in ``tests/test_datasets.py``).
+
+Datasets
+--------
+Paper §5.2 (Tables 1-2, Figures 3-5, Tables 3-4):
+    ``Synthetic``, ``gplus_combined``, ``soc-LiveJournal1``,
+    ``USA-road-d.NY``, ``USA-road-d.LKS``, ``USA-road-d.USA``
+CHAI comparison (Table 5):
+    ``NYR_input``, ``USA-road-d.BAY``
+Rodinia comparison (Table 6):
+    ``graph4096``, ``graph65536``, ``graph1MW_6``
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .csr import CSRGraph
+from .generators import (
+    roadmap_graph,
+    rodinia_graph,
+    social_graph,
+    synthetic_saturating,
+)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One named dataset with a scalable generator recipe."""
+
+    name: str
+    category: str  # "synthetic" | "social" | "roadmap" | "rodinia"
+    description: str
+    #: paper-reported vertex count of the real dataset.
+    paper_vertices: int
+    #: paper-reported edge count of the real dataset.
+    paper_edges: int
+    #: scale the harness uses by default.
+    default_scale: float
+    #: generator: scale -> graph.
+    builder: Callable[[float], CSRGraph]
+    #: BFS source vertex.
+    source: int = 0
+
+    def build(self, scale: Optional[float] = None) -> CSRGraph:
+        """Generate the stand-in graph at ``scale`` (default: harness scale)."""
+        s = self.default_scale if scale is None else float(scale)
+        if s <= 0:
+            raise ValueError(f"scale must be positive, got {s}")
+        g = self.builder(s)
+        g.name = self.name
+        return g
+
+
+def _grid_side(paper_vertices: int, scale: float) -> int:
+    """Square-grid side length reproducing ``paper_vertices * scale``."""
+    return max(int(math.sqrt(paper_vertices * scale)), 8)
+
+
+def _make_synthetic(scale: float) -> CSRGraph:
+    n = max(int(10_485_760 * scale), 64)
+    # keep the paper's plateau width (65,536 = 4^8, saturating Fiji's
+    # 14,336 threads after 8 levels) whenever the scaled graph can hold
+    # it; tiny test scales shrink the plateau proportionally.
+    plateau = max(min(65_536, n // 8), 4)
+    return synthetic_saturating(n_vertices=n, fanout=4, plateau_width=plateau)
+
+
+def _make_gplus(scale: float) -> CSRGraph:
+    n = max(int(107_614 * scale), 64)
+    # degree scales with sqrt(scale) so the scaled graph keeps a very
+    # heavy fanout without becoming a near-clique.
+    avg = max(283.4 * math.sqrt(scale), 8.0)
+    return social_graph(
+        n, avg_degree=avg, exponent=1.9, max_degree=max(n // 2, 16), seed=7
+    )
+
+
+def _make_soclj(scale: float) -> CSRGraph:
+    n = max(int(4_847_571 * scale), 64)
+    return social_graph(
+        n, avg_degree=14.2, exponent=2.3, max_degree=max(n // 3, 16), seed=11
+    )
+
+
+def _make_road(paper_vertices: int, seed: int) -> Callable[[float], CSRGraph]:
+    def make(scale: float) -> CSRGraph:
+        side = _grid_side(paper_vertices, scale)
+        return roadmap_graph(side, side, seed=seed)
+
+    return make
+
+
+def _make_rodinia(paper_vertices: int, seed: int) -> Callable[[float], CSRGraph]:
+    def make(scale: float) -> CSRGraph:
+        n = max(int(paper_vertices * scale), 64)
+        return rodinia_graph(n, avg_degree=6, seed=seed)
+
+    return make
+
+
+#: the six datasets of the paper's main evaluation (§5.2).
+PAPER_DATASETS: Dict[str, DatasetSpec] = {
+    "Synthetic": DatasetSpec(
+        name="Synthetic",
+        category="synthetic",
+        description="fanout-4 saturating DAG, 10,485,760 vertices (§5.2)",
+        paper_vertices=10_485_760,
+        paper_edges=41_943_040,
+        default_scale=1 / 20,  # 524,288 vertices, full 65,536-wide plateau
+        builder=_make_synthetic,
+    ),
+    "gplus_combined": DatasetSpec(
+        name="gplus_combined",
+        category="social",
+        description="SNAP Google+ circles (Table 1)",
+        paper_vertices=107_614,
+        paper_edges=30_494_866,
+        default_scale=1 / 18,  # ~6K vertices
+        builder=_make_gplus,
+    ),
+    "soc-LiveJournal1": DatasetSpec(
+        name="soc-LiveJournal1",
+        category="social",
+        description="SNAP LiveJournal friendship graph (Table 1)",
+        paper_vertices=4_847_571,
+        paper_edges=68_993_773,
+        default_scale=1 / 300,  # ~16K vertices
+        builder=_make_soclj,
+    ),
+    "USA-road-d.NY": DatasetSpec(
+        name="USA-road-d.NY",
+        category="roadmap",
+        description="9th DIMACS challenge, New York City roads (Table 2)",
+        paper_vertices=264_346,
+        paper_edges=733_846,
+        default_scale=1 / 16,  # ~128x128 grid
+        builder=_make_road(264_346, seed=3),
+    ),
+    "USA-road-d.LKS": DatasetSpec(
+        name="USA-road-d.LKS",
+        category="roadmap",
+        description="9th DIMACS challenge, Great Lakes roads (Table 2)",
+        paper_vertices=2_758_119,
+        paper_edges=6_885_658,
+        default_scale=1 / 64,  # ~207x207 grid
+        builder=_make_road(2_758_119, seed=5),
+    ),
+    "USA-road-d.USA": DatasetSpec(
+        name="USA-road-d.USA",
+        category="roadmap",
+        description="9th DIMACS challenge, full USA roads (Table 2)",
+        paper_vertices=23_947_347,
+        paper_edges=58_333_344,
+        default_scale=1 / 256,  # ~305x305 grid
+        builder=_make_road(23_947_347, seed=9),
+    ),
+}
+
+#: CHAI BFS's two bundled road datasets (Table 5).
+CHAI_DATASETS: Dict[str, DatasetSpec] = {
+    "NYR_input": DatasetSpec(
+        name="NYR_input",
+        category="roadmap",
+        description="CHAI BFS bundled New York roads subset",
+        paper_vertices=264_346,
+        paper_edges=733_846,
+        default_scale=1 / 16,
+        builder=_make_road(264_346, seed=13),
+    ),
+    "USA-road-d.BAY": DatasetSpec(
+        name="USA-road-d.BAY",
+        category="roadmap",
+        description="CHAI BFS bundled San Francisco Bay roads (parboil)",
+        paper_vertices=321_270,
+        paper_edges=800_172,
+        default_scale=1 / 16,
+        builder=_make_road(321_270, seed=17),
+    ),
+}
+
+#: Rodinia BFS's three bundled synthetic datasets (Table 6).
+RODINIA_DATASETS: Dict[str, DatasetSpec] = {
+    "graph4096": DatasetSpec(
+        name="graph4096",
+        category="rodinia",
+        description="Rodinia BFS 4K-vertex synthetic input",
+        paper_vertices=4_096,
+        paper_edges=24_576,
+        default_scale=1.0,  # small enough to run at full size
+        builder=_make_rodinia(4_096, seed=21),
+    ),
+    "graph65536": DatasetSpec(
+        name="graph65536",
+        category="rodinia",
+        description="Rodinia BFS 64K-vertex synthetic input",
+        paper_vertices=65_536,
+        paper_edges=393_216,
+        default_scale=1 / 4,
+        builder=_make_rodinia(65_536, seed=23),
+    ),
+    "graph1MW_6": DatasetSpec(
+        name="graph1MW_6",
+        category="rodinia",
+        description="Rodinia BFS 1M-vertex synthetic input (avg degree 6)",
+        paper_vertices=1_000_000,
+        paper_edges=5_999_970,
+        default_scale=1 / 16,
+        builder=_make_rodinia(1_000_000, seed=27),
+    ),
+}
+
+ALL_DATASETS: Dict[str, DatasetSpec] = {
+    **PAPER_DATASETS,
+    **CHAI_DATASETS,
+    **RODINIA_DATASETS,
+}
+
+
+def dataset(name: str) -> DatasetSpec:
+    """Look up a dataset spec by its paper name."""
+    try:
+        return ALL_DATASETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; known: {sorted(ALL_DATASETS)}"
+        ) from None
+
+
+def load_dataset(name: str, scale: Optional[float] = None) -> CSRGraph:
+    """Generate a dataset stand-in by name (None -> its default scale)."""
+    return dataset(name).build(scale)
+
+
+def paper_dataset_names() -> List[str]:
+    """The six main-evaluation dataset names in table order."""
+    return list(PAPER_DATASETS)

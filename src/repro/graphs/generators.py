@@ -1,0 +1,245 @@
+"""Synthetic graph generators matching the paper's dataset categories.
+
+The execution environment has no network access, so the SNAP and DIMACS
+datasets of Tables 1-2 are replaced by generators that reproduce the
+properties the evaluation actually exercises (see DESIGN.md §2):
+
+* :func:`synthetic_saturating` — the paper's own synthetic dataset (§5.2):
+  geometric level growth with a fixed fanout until a plateau keeps every
+  persistent thread busy, removing lack of parallelism as a factor.
+* :func:`social_graph` — Chung-Lu power-law graphs: huge, highly skewed
+  fanout, shallow BFS depth (Figures 3b/3c).
+* :func:`roadmap_graph` — sparse grid roads: tiny uniform fanout
+  (avg 2.4-2.8, max <= 9 as in Table 2), very deep BFS (Figures 3d-3f).
+* :func:`rodinia_graph` — the Rodinia BFS suite's generator scheme:
+  uniform random degrees, uniform random targets, ~10 BFS levels (§6.4.2).
+
+All generators are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .csr import CSRGraph
+
+
+def synthetic_saturating(
+    n_vertices: int = 10_485_760,
+    fanout: int = 4,
+    plateau_width: int = 65_536,
+    name: str = "Synthetic",
+) -> CSRGraph:
+    """The paper's thread-saturating synthetic dataset.
+
+    Levels grow by ``fanout`` per level (1, 4, 16, ...) until
+    ``plateau_width``, then stay at that width until ``n_vertices`` are
+    consumed.  With the defaults the growth phase lasts 8 levels (4^8 =
+    65,536), matching §5.2: "After the first 8 levels, both the Spectre
+    and Fiji GPUs are fully saturated."
+
+    Every non-leaf vertex gets exactly ``fanout`` out-edges, spread over
+    the next level so that each next-level vertex has at least one
+    incoming edge (the graph is a connected DAG rooted at vertex 0).
+    """
+    if n_vertices <= 0:
+        raise ValueError("n_vertices must be positive")
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    if plateau_width < 1:
+        raise ValueError("plateau_width must be >= 1")
+
+    # carve vertices into levels
+    widths: List[int] = []
+    remaining = n_vertices
+    width = 1
+    while remaining > 0:
+        take = min(width, remaining)
+        widths.append(take)
+        remaining -= take
+        if width < plateau_width:
+            width = min(width * fanout, plateau_width)
+
+    level_start = np.zeros(len(widths) + 1, dtype=np.int64)
+    np.cumsum(widths, out=level_start[1:])
+
+    src_parts = []
+    dst_parts = []
+    for k in range(len(widths) - 1):
+        w, nw = widths[k], widths[k + 1]
+        base, nbase = level_start[k], level_start[k + 1]
+        i = np.repeat(np.arange(w, dtype=np.int64), fanout)
+        j = np.tile(np.arange(fanout, dtype=np.int64), w)
+        child = (i * fanout + j) % nw
+        src_parts.append(base + i)
+        dst_parts.append(nbase + child)
+    if src_parts:
+        edges = np.column_stack(
+            [np.concatenate(src_parts), np.concatenate(dst_parts)]
+        )
+    else:
+        edges = np.empty((0, 2), dtype=np.int64)
+    return CSRGraph.from_edges(n_vertices, edges, name=name)
+
+
+def social_graph(
+    n_vertices: int,
+    avg_degree: float,
+    exponent: float = 2.1,
+    max_degree: Optional[int] = None,
+    seed: int = 0,
+    name: str = "social",
+) -> CSRGraph:
+    """Chung-Lu style power-law graph (social-network stand-in).
+
+    Vertex weights follow ``w_i ∝ (i+1)^(-1/(exponent-1))``; out-degrees
+    are Poisson draws around the weights and edge targets are sampled
+    proportionally to weight, which concentrates both out- and in-degree
+    on a small set of hubs — the "large edge fanout, not very deep"
+    signature of §5.2's social-media category.
+    """
+    if n_vertices <= 0:
+        raise ValueError("n_vertices must be positive")
+    if avg_degree <= 0:
+        raise ValueError("avg_degree must be positive")
+    if exponent <= 1.0:
+        raise ValueError("exponent must exceed 1")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n_vertices + 1, dtype=np.float64)
+    weights = ranks ** (-1.0 / (exponent - 1.0))
+    weights *= (avg_degree * n_vertices) / weights.sum()
+    if max_degree is not None:
+        weights = np.minimum(weights, max_degree)
+
+    degrees = rng.poisson(weights).astype(np.int64)
+    if max_degree is not None:
+        degrees = np.minimum(degrees, max_degree)
+    total = int(degrees.sum())
+    if total == 0:
+        degrees[0] = 1
+        total = 1
+    p = weights / weights.sum()
+    targets = rng.choice(n_vertices, size=total, p=p).astype(np.int64)
+    src = np.repeat(np.arange(n_vertices, dtype=np.int64), degrees)
+    edges = np.column_stack([src, targets])
+    g = CSRGraph.from_edges(n_vertices, edges, name=name, dedup=True)
+    return g.symmetrized()
+
+
+def roadmap_graph(
+    width: int,
+    height: int,
+    vertical_fraction: float = 0.25,
+    diagonal_fraction: float = 0.05,
+    seed: int = 0,
+    name: str = "roadmap",
+) -> CSRGraph:
+    """Sparse grid road network (DIMACS roadmap stand-in).
+
+    Construction: all horizontal street segments exist; a random
+    ``vertical_fraction`` of vertical segments (at least one per adjacent
+    row pair, so the map is connected); a sprinkle of diagonal shortcuts.
+    All edges are bidirectional.  Degree statistics land in the Table 2
+    envelope (min 1, max <= 9, avg ~2.4-2.8) and BFS from a corner is
+    O(width + height) levels deep — the "deep, narrow frontier" that
+    starves persistent threads (Figures 3d-3f).
+    """
+    if width < 2 or height < 2:
+        raise ValueError("grid must be at least 2x2")
+    if not 0.0 <= vertical_fraction <= 1.0:
+        raise ValueError("vertical_fraction must be in [0, 1]")
+    if not 0.0 <= diagonal_fraction <= 1.0:
+        raise ValueError("diagonal_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+
+    def vid(r: np.ndarray | int, c: np.ndarray | int):
+        return np.asarray(r, dtype=np.int64) * width + c
+
+    parts: List[np.ndarray] = []
+
+    # horizontal segments: (r, c) -- (r, c+1), all of them
+    r = np.repeat(np.arange(height, dtype=np.int64), width - 1)
+    c = np.tile(np.arange(width - 1, dtype=np.int64), height)
+    parts.append(np.column_stack([vid(r, c), vid(r, c + 1)]))
+
+    # vertical segments: keep a random fraction, force >=1 per row pair
+    r = np.repeat(np.arange(height - 1, dtype=np.int64), width)
+    c = np.tile(np.arange(width, dtype=np.int64), height - 1)
+    keep = rng.random(r.size) < vertical_fraction
+    forced_cols = rng.integers(0, width, size=height - 1)
+    keep[np.arange(height - 1) * width + forced_cols] = True
+    parts.append(np.column_stack([vid(r[keep], c[keep]), vid(r[keep] + 1, c[keep])]))
+
+    # diagonal shortcuts: (r, c) -- (r+1, c+1)
+    r = np.repeat(np.arange(height - 1, dtype=np.int64), width - 1)
+    c = np.tile(np.arange(width - 1, dtype=np.int64), height - 1)
+    keep = rng.random(r.size) < diagonal_fraction
+    parts.append(
+        np.column_stack([vid(r[keep], c[keep]), vid(r[keep] + 1, c[keep] + 1)])
+    )
+
+    e = np.vstack(parts)
+    both = np.vstack([e, e[:, ::-1]])
+    return CSRGraph.from_edges(width * height, both, name=name, dedup=True)
+
+
+def rodinia_graph(
+    n_vertices: int,
+    avg_degree: int = 6,
+    seed: int = 0,
+    name: str = "rodinia",
+) -> CSRGraph:
+    """A graph in the style of Rodinia BFS's dataset generator.
+
+    Rodinia's inputs (graph4096 / graph65536 / graph1MW_6) use uniform
+    random degrees around a small mean with uniformly random targets,
+    yielding dense, shallow graphs ("none of the three datasets has more
+    than 11 levels", §6.4.2).  Degrees are uniform in
+    ``[2, 2*avg_degree - 2]`` so the mean is ``avg_degree``.
+    """
+    if n_vertices <= 0:
+        raise ValueError("n_vertices must be positive")
+    if avg_degree < 2:
+        raise ValueError("avg_degree must be >= 2")
+    rng = np.random.default_rng(seed)
+    lo, hi = 2, 2 * avg_degree - 2
+    degrees = rng.integers(lo, hi + 1, size=n_vertices).astype(np.int64)
+    total = int(degrees.sum())
+    targets = rng.integers(0, n_vertices, size=total).astype(np.int64)
+    src = np.repeat(np.arange(n_vertices, dtype=np.int64), degrees)
+    edges = np.column_stack([src, targets])
+    return CSRGraph.from_edges(n_vertices, edges, name=name, dedup=True)
+
+
+def path_graph(n_vertices: int, name: str = "path") -> CSRGraph:
+    """A directed path 0 -> 1 -> ... (worst-case parallelism; tests)."""
+    if n_vertices <= 0:
+        raise ValueError("n_vertices must be positive")
+    src = np.arange(n_vertices - 1, dtype=np.int64)
+    edges = np.column_stack([src, src + 1])
+    return CSRGraph.from_edges(n_vertices, edges, name=name)
+
+
+def star_graph(n_vertices: int, name: str = "star") -> CSRGraph:
+    """Vertex 0 points at everyone else (max single-level fanout; tests)."""
+    if n_vertices <= 0:
+        raise ValueError("n_vertices must be positive")
+    dst = np.arange(1, n_vertices, dtype=np.int64)
+    edges = np.column_stack([np.zeros(n_vertices - 1, dtype=np.int64), dst])
+    return CSRGraph.from_edges(n_vertices, edges, name=name)
+
+
+def complete_binary_tree(depth: int, name: str = "btree") -> CSRGraph:
+    """A complete binary tree of the given depth (tests, examples)."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    n = (1 << (depth + 1)) - 1
+    parents = np.arange((n - 1) // 2, dtype=np.int64)
+    left = 2 * parents + 1
+    right = 2 * parents + 2
+    edges = np.column_stack(
+        [np.concatenate([parents, parents]), np.concatenate([left, right])]
+    )
+    return CSRGraph.from_edges(n, edges, name=name)

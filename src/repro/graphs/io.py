@@ -1,0 +1,206 @@
+"""Graph file formats used by the paper's sources.
+
+Three loaders/writers so that real dataset files can be dropped in when
+available (the generators in :mod:`repro.graphs.generators` are the
+offline stand-ins):
+
+* **DIMACS** ``.gr`` — the 9th DIMACS implementation challenge roadmap
+  format (Table 2's USA-road-d.* files): ``c`` comment lines, one
+  ``p sp <n> <m>`` problem line, and ``a <src> <dst> <weight>`` arc lines
+  with 1-based vertex ids.
+* **SNAP** edge lists — Stanford SNAP's plain text format (Table 1's
+  gplus_combined / soc-LiveJournal1): ``#`` comment lines and
+  whitespace-separated ``src dst`` pairs, 0-based.
+* **Rodinia BFS** — the Rodinia benchmark's custom format (§6.4.2):
+  vertex count; per-vertex ``start degree`` pairs; source vertex; edge
+  count; per-edge ``target weight`` pairs.
+
+All loaders tolerate blank lines and normalize vertex ids to dense
+0-based ints.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Tuple, Union
+
+import numpy as np
+
+from .csr import CSRGraph
+
+PathLike = Union[str, Path, TextIO]
+
+
+def _open_read(f: PathLike):
+    if hasattr(f, "read"):
+        return f, False
+    return open(f, "r", encoding="utf-8"), True
+
+
+def _open_write(f: PathLike):
+    if hasattr(f, "write"):
+        return f, False
+    return open(f, "w", encoding="utf-8"), True
+
+
+# ----------------------------------------------------------------------
+# DIMACS .gr
+# ----------------------------------------------------------------------
+def load_dimacs_gr(f: PathLike, name: str = "") -> CSRGraph:
+    """Parse a DIMACS shortest-path ``.gr`` file into a CSR graph."""
+    fh, close = _open_read(f)
+    try:
+        n = None
+        edges = []
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) < 4 or parts[1] != "sp":
+                    raise ValueError(f"bad DIMACS problem line: {line!r}")
+                n = int(parts[2])
+            elif line.startswith("a"):
+                parts = line.split()
+                if len(parts) < 3:
+                    raise ValueError(f"bad DIMACS arc line: {line!r}")
+                edges.append((int(parts[1]) - 1, int(parts[2]) - 1))
+        if n is None:
+            raise ValueError("DIMACS file has no problem ('p sp') line")
+        arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        return CSRGraph.from_edges(n, arr, name=name, dedup=True)
+    finally:
+        if close:
+            fh.close()
+
+
+def save_dimacs_gr(graph: CSRGraph, f: PathLike, comment: str = "") -> None:
+    """Write a CSR graph as DIMACS ``.gr`` (unit arc weights)."""
+    fh, close = _open_write(f)
+    try:
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"c {line}\n")
+        fh.write(f"p sp {graph.n_vertices} {graph.n_edges}\n")
+        for u, v in graph.iter_edges():
+            fh.write(f"a {u + 1} {v + 1} 1\n")
+    finally:
+        if close:
+            fh.close()
+
+
+# ----------------------------------------------------------------------
+# SNAP edge list
+# ----------------------------------------------------------------------
+def load_snap_edgelist(f: PathLike, name: str = "") -> CSRGraph:
+    """Parse a SNAP text edge list; ids are compacted to 0..n-1."""
+    fh, close = _open_read(f)
+    try:
+        src = []
+        dst = []
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"bad SNAP edge line: {line!r}")
+            src.append(int(parts[0]))
+            dst.append(int(parts[1]))
+        s = np.asarray(src, dtype=np.int64)
+        d = np.asarray(dst, dtype=np.int64)
+        ids = np.unique(np.concatenate([s, d])) if s.size else np.empty(0, np.int64)
+        remap = {int(v): i for i, v in enumerate(ids)}
+        if s.size:
+            s = np.fromiter((remap[int(v)] for v in s), np.int64, s.size)
+            d = np.fromiter((remap[int(v)] for v in d), np.int64, d.size)
+        n = int(ids.size)
+        return CSRGraph.from_edges(
+            max(n, 1), np.column_stack([s, d]), name=name, dedup=True
+        )
+    finally:
+        if close:
+            fh.close()
+
+
+def save_snap_edgelist(graph: CSRGraph, f: PathLike, comment: str = "") -> None:
+    """Write a CSR graph as a SNAP-style edge list."""
+    fh, close = _open_write(f)
+    try:
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"# {line}\n")
+        fh.write(f"# Nodes: {graph.n_vertices} Edges: {graph.n_edges}\n")
+        for u, v in graph.iter_edges():
+            fh.write(f"{u}\t{v}\n")
+    finally:
+        if close:
+            fh.close()
+
+
+# ----------------------------------------------------------------------
+# Rodinia BFS format
+# ----------------------------------------------------------------------
+def load_rodinia(f: PathLike, name: str = "") -> Tuple[CSRGraph, int]:
+    """Parse Rodinia's BFS input format; returns (graph, source vertex)."""
+    fh, close = _open_read(f)
+    try:
+        tokens = iter(fh.read().split())
+
+        def nxt() -> int:
+            try:
+                return int(next(tokens))
+            except StopIteration:
+                raise ValueError("truncated Rodinia file") from None
+
+        n = nxt()
+        starts = np.empty(n, dtype=np.int64)
+        counts = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            starts[i] = nxt()
+            counts[i] = nxt()
+        source = nxt()
+        m = nxt()
+        targets = np.empty(m, dtype=np.int64)
+        for j in range(m):
+            targets[j] = nxt()
+            nxt()  # edge weight, unused by BFS
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        if offsets[-1] != m:
+            raise ValueError(
+                f"degree sum {int(offsets[-1])} != edge count {m}"
+            )
+        # Rodinia files list each vertex's edges at `starts[i]`; verify the
+        # layout is the standard packed CSR before reusing targets directly.
+        if not np.array_equal(starts, offsets[:-1]):
+            order = np.argsort(starts, kind="stable")
+            packed = np.concatenate(
+                [targets[starts[i] : starts[i] + counts[i]] for i in order]
+            ) if n else targets
+            targets = packed
+        return CSRGraph(offsets, targets, name=name), source
+    finally:
+        if close:
+            fh.close()
+
+
+def save_rodinia(graph: CSRGraph, f: PathLike, source: int = 0) -> None:
+    """Write a CSR graph in Rodinia's BFS input format (unit weights)."""
+    fh, close = _open_write(f)
+    try:
+        n = graph.n_vertices
+        fh.write(f"{n}\n")
+        for v in range(n):
+            start = int(graph.offsets[v])
+            cnt = int(graph.offsets[v + 1] - graph.offsets[v])
+            fh.write(f"{start} {cnt}\n")
+        fh.write(f"{source}\n")
+        fh.write(f"{graph.n_edges}\n")
+        for t in graph.targets:
+            fh.write(f"{int(t)} 1\n")
+    finally:
+        if close:
+            fh.close()

@@ -1,0 +1,46 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Use from Python::
+
+    from repro.harness import HarnessConfig, EXPERIMENTS
+    result = EXPERIMENTS["tab6"](HarnessConfig(quick=True))
+    print(result.text)
+
+or from the shell::
+
+    python -m repro.harness --list
+    python -m repro.harness tab3 --quick
+"""
+
+from .config import VARIANTS, HarnessConfig
+from .experiments import (
+    EXPERIMENTS,
+    run_fig1,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_tab1,
+    run_tab2,
+    run_tab3,
+    run_tab4,
+    run_tab5,
+    run_tab6,
+)
+from .results import ExperimentResult
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "HarnessConfig",
+    "VARIANTS",
+    "run_fig1",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_tab1",
+    "run_tab2",
+    "run_tab3",
+    "run_tab4",
+    "run_tab5",
+    "run_tab6",
+]

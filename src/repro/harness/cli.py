@@ -1,0 +1,100 @@
+"""Command-line entry point: ``python -m repro.harness <experiment>``.
+
+Examples
+--------
+List experiments::
+
+    python -m repro.harness --list
+
+Regenerate one artefact quickly::
+
+    python -m repro.harness tab6 --quick
+
+Regenerate everything at harness scale, saving text+JSON reports::
+
+    python -m repro.harness all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .config import HarnessConfig
+from .experiments import EXPERIMENTS, run_tab3, run_tab4
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description=(
+            "Regenerate the tables and figures of 'A Specialized "
+            "Concurrent Queue for Scheduling Irregular Workloads on GPUs' "
+            "(ICPP 2019) on the SIMT simulator."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (fig1, tab1..tab6, fig3..fig5) or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small datasets and sweeps (minutes instead of an hour+)",
+    )
+    parser.add_argument(
+        "--scale-factor", type=float, default=1.0,
+        help="multiply every dataset's harness scale (default 1.0)",
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip CPU-oracle verification of each BFS",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="also save <exp>.txt and <exp>.json under DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        for exp_id, fn in EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{exp_id:6s} {doc}")
+        return 0
+
+    cfg = HarnessConfig(
+        quick=args.quick,
+        scale_factor=args.scale_factor,
+        verify=not args.no_verify,
+    )
+
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; use --list", file=sys.stderr)
+        return 2
+
+    shared_tab3 = None
+    for exp_id in ids:
+        t0 = time.time()
+        if exp_id == "tab3":
+            result = run_tab3(cfg)
+            shared_tab3 = result
+        elif exp_id == "tab4":
+            # reuse tab3's runs when it already executed this invocation
+            result = run_tab4(cfg, tab3=shared_tab3)
+        else:
+            result = EXPERIMENTS[exp_id](cfg)
+        print(result.text)
+        print(f"\n[{exp_id} regenerated in {time.time() - t0:.1f}s]\n")
+        if args.out:
+            path = result.save(args.out)
+            print(f"[saved {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

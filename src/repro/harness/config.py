@@ -1,0 +1,62 @@
+"""Harness configuration: devices, workgroup counts, dataset scales.
+
+The harness reproduces each table/figure at the paper's launch geometry
+(Fiji: 224 workgroups, Spectre: 32) on generated stand-in datasets at the
+registry's default scales.  ``quick=True`` shrinks datasets and sweeps so
+the whole suite runs in minutes — it is what the pytest benchmarks use —
+while preserving every qualitative shape the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.graphs import CSRGraph, dataset
+from repro.simt import FIJI, SPECTRE, DeviceSpec, paper_workgroups
+
+#: queue variants in the paper's column order.
+VARIANTS = ("BASE", "AN", "RF/AN")
+
+
+@dataclass
+class HarnessConfig:
+    """Knobs shared by all experiments."""
+
+    #: shrink everything for CI / pytest-benchmark runs.
+    quick: bool = False
+    #: multiply every dataset's default scale (1.0 = registry default;
+    #: pass the reciprocal of the registry scale to approximate paper
+    #: size, given a lot of patience).
+    scale_factor: float = 1.0
+    #: verify every BFS result against the CPU oracle (cheap vs the sim).
+    verify: bool = True
+    #: cap simulated cycles per run (guards runaway configs).
+    max_cycles: int = 20_000_000_000
+
+    def device_configs(self) -> List[Tuple[DeviceSpec, int]]:
+        """(device, workgroups) pairs in paper order."""
+        if self.quick:
+            return [(FIJI, 56), (SPECTRE, 16)]
+        return [(FIJI, paper_workgroups(FIJI)), (SPECTRE, paper_workgroups(SPECTRE))]
+
+    def wg_sweep(self, device: DeviceSpec) -> List[int]:
+        """Workgroup counts for the scalability sweeps (Figures 1, 4, 5)."""
+        top = paper_workgroups(device)
+        if self.quick:
+            top = min(top, 56 if device.n_cus > 8 else 16)
+            pts = [1, 4, 16]
+        else:
+            pts = [1, 2, 4, 8, 16, 32, 64, 128, 224]
+        return [p for p in pts if p < top] + [top]
+
+    def build(self, name: str, extra_factor: float = 1.0) -> CSRGraph:
+        """Build a dataset at its harness scale."""
+        spec = dataset(name)
+        quick_factor = 0.125 if self.quick else 1.0
+        return spec.build(
+            spec.default_scale * self.scale_factor * extra_factor * quick_factor
+        )
+
+    def source(self, name: str) -> int:
+        return dataset(name).source

@@ -1,0 +1,451 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each ``run_*`` function simulates the corresponding experiment and
+returns an :class:`~repro.harness.results.ExperimentResult` whose text is
+the same rows/series the paper reports, with the paper's published
+numbers alongside for comparison.  Absolute values are simulated cycles,
+not the authors' silicon; the *shapes* (who wins, by roughly what factor,
+where crossovers fall) are the reproduction target — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bfs import run_chai_bfs, run_persistent_bfs, run_rodinia_bfs
+from repro.graphs import (
+    CHAI_DATASETS,
+    RODINIA_DATASETS,
+    dataset,
+    level_profile,
+    paper_dataset_names,
+    saturation_levels,
+)
+from repro.simt import FIJI, SPECTRE, paper_workgroups
+
+from .config import VARIANTS, HarnessConfig
+from .paper_data import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+)
+from .report import ascii_chart, render_series, render_table
+from .results import ExperimentResult
+
+
+# ----------------------------------------------------------------------
+# Tables 1 & 2: dataset statistics
+# ----------------------------------------------------------------------
+def run_tab1(cfg: HarnessConfig) -> ExperimentResult:
+    """Table 1: social dataset degree statistics (scaled stand-ins)."""
+    return _dataset_stats_table(
+        cfg, "tab1", "Table 1 — SNAP social media dataset statistics",
+        ["gplus_combined", "soc-LiveJournal1"], PAPER_TABLE1,
+    )
+
+
+def run_tab2(cfg: HarnessConfig) -> ExperimentResult:
+    """Table 2: roadmap dataset degree statistics (scaled stand-ins)."""
+    return _dataset_stats_table(
+        cfg, "tab2", "Table 2 — DIMACS roadmap dataset statistics",
+        ["USA-road-d.NY", "USA-road-d.LKS", "USA-road-d.USA"], PAPER_TABLE2,
+    )
+
+
+def _dataset_stats_table(cfg, exp_id, title, names, paper) -> ExperimentResult:
+    rows = []
+    data = {}
+    for name in names:
+        g = cfg.build(name)
+        s = g.degree_stats()
+        pv = paper[name]
+        rows.append(
+            [name, s.n_vertices, s.n_edges, s.min, s.max,
+             round(s.avg, 1), round(s.std, 2),
+             pv[0], pv[1], pv[4], pv[5]]
+        )
+        data[name] = {
+            "measured": s.row(),
+            "paper": pv,
+        }
+    text = render_table(
+        ["Dataset", "V", "E", "degMin", "degMax", "degAvg", "degStd",
+         "paperV", "paperE", "paperAvg", "paperStd"],
+        rows,
+        title=f"{title} (stand-ins at harness scale vs paper full size)",
+    )
+    return ExperimentResult(exp_id, title, text, data)
+
+
+# ----------------------------------------------------------------------
+# Figure 3: dynamic parallelism profiles
+# ----------------------------------------------------------------------
+def run_fig3(cfg: HarnessConfig) -> ExperimentResult:
+    """Figure 3: vertices available for thread assignment per BFS level."""
+    title = "Figure 3 — dynamic data parallelism per BFS level"
+    blocks: List[str] = []
+    data = {}
+    fiji_threads = paper_workgroups(FIJI) * FIJI.wavefront_size
+    spectre_threads = paper_workgroups(SPECTRE) * SPECTRE.wavefront_size
+    for name in paper_dataset_names():
+        g = cfg.build(name)
+        prof = level_profile(g, cfg.source(name))
+        sat_f = saturation_levels(prof, fiji_threads)
+        sat_s = saturation_levels(prof, spectre_threads)
+        data[name] = {
+            "levels": int(prof.size),
+            "max_width": int(prof.max()) if prof.size else 0,
+            "total": int(prof.sum()),
+            "profile": prof.tolist(),
+            "levels_saturating_fiji": len(sat_f),
+            "levels_saturating_spectre": len(sat_s),
+        }
+        chart = ascii_chart(
+            {"width": prof.tolist()},
+            x=list(range(prof.size)),
+            logy=True,
+            title=(
+                f"{name}: {prof.size} levels, max width {int(prof.max())}, "
+                f"levels saturating Fiji(14336)/Spectre(2048): "
+                f"{len(sat_f)}/{len(sat_s)}"
+            ),
+        )
+        blocks.append(chart)
+    return ExperimentResult("fig3", title, "\n\n".join(blocks), data)
+
+
+# ----------------------------------------------------------------------
+# Table 3 & 4: kernel times and improvements
+# ----------------------------------------------------------------------
+def run_tab3(cfg: HarnessConfig,
+             datasets: Optional[List[str]] = None) -> ExperimentResult:
+    """Table 3: execution time of each queue variant, dataset, and GPU."""
+    title = "Table 3 — kernel execution times (simulated seconds)"
+    names = datasets or paper_dataset_names()
+    rows = []
+    data: Dict[str, Dict] = {"cells": {}}
+    for dev, wg in cfg.device_configs():
+        for name in names:
+            g = cfg.build(name)
+            src = cfg.source(name)
+            times = {}
+            stats = {}
+            for variant in VARIANTS:
+                run = run_persistent_bfs(
+                    g, src, variant, dev, wg,
+                    verify=cfg.verify, max_cycles=cfg.max_cycles,
+                )
+                times[variant] = run.seconds
+                stats[variant] = {
+                    "cycles": run.cycles,
+                    "cas_failures": run.stats.cas_failures,
+                    "atomics": run.stats.total_atomic_requests,
+                    "empty_exceptions": int(
+                        run.stats.custom.get("queue.empty_exceptions", 0)
+                    ),
+                }
+            paper = PAPER_TABLE3.get((dev.name, name), {})
+            rows.append(
+                [dev.name, wg, name,
+                 times["BASE"], times["AN"], times["RF/AN"],
+                 paper.get("BASE", ""), paper.get("AN", ""),
+                 paper.get("RF/AN", "")]
+            )
+            data["cells"][f"{dev.name}|{name}"] = {
+                "seconds": times, "stats": stats, "paper": paper,
+            }
+    text = render_table(
+        ["GPU", "nWG", "Dataset", "BASE", "AN", "RF/AN",
+         "paperBASE", "paperAN", "paperRF/AN"],
+        rows, title=title,
+    )
+    return ExperimentResult("tab3", title, text, data)
+
+
+def run_tab4(cfg: HarnessConfig,
+             tab3: Optional[ExperimentResult] = None) -> ExperimentResult:
+    """Table 4: improvement of AN and RF/AN over BASE (percent)."""
+    title = "Table 4 — performance improvement over BASE (%)"
+    if tab3 is None:
+        tab3 = run_tab3(cfg)
+    rows = []
+    data = {"cells": {}}
+    for key, cell in tab3.data["cells"].items():
+        devname, name = key.split("|")
+        t = cell["seconds"]
+        an = 100.0 * t["BASE"] / t["AN"]
+        rfan = 100.0 * t["BASE"] / t["RF/AN"]
+        paper = PAPER_TABLE4.get((devname, name), {})
+        rows.append(
+            [devname, name, round(an, 2), round(rfan, 2),
+             paper.get("AN", ""), paper.get("RF/AN", "")]
+        )
+        data["cells"][key] = {
+            "AN": an, "RF/AN": rfan, "paper": paper,
+        }
+    text = render_table(
+        ["GPU", "Dataset", "AN%", "RF/AN%", "paperAN%", "paperRF/AN%"],
+        rows, title=title,
+    )
+    return ExperimentResult("tab4", title, text, data)
+
+
+# ----------------------------------------------------------------------
+# Figure 4: scalability sweeps
+# ----------------------------------------------------------------------
+def run_fig4(cfg: HarnessConfig,
+             datasets: Optional[List[str]] = None,
+             scale_factor: Optional[float] = None) -> ExperimentResult:
+    """Figure 4: execution time and speedup vs workgroup count.
+
+    Datasets run at ``scale_factor`` times their harness scale (the sweep
+    multiplies every cell by |WG points| x |variants|); speedups are
+    relative to each variant's own 1-WG time, as in the paper.
+    """
+    title = "Figure 4 — execution time and speedup vs workgroups"
+    if scale_factor is None:
+        scale_factor = 1.0 if cfg.quick else 0.25
+    names = datasets or paper_dataset_names()
+    blocks: List[str] = []
+    data: Dict[str, Dict] = {}
+    for dev, _ in cfg.device_configs():
+        wgs = cfg.wg_sweep(dev)
+        for name in names:
+            # the synthetic dataset's plateau must stay wider than the
+            # sweep's top thread count or the saturation experiment
+            # degenerates; it keeps its full harness scale.
+            factor = 1.0 if name == "Synthetic" else scale_factor
+            g = cfg.build(name, extra_factor=factor)
+            src = cfg.source(name)
+            times: Dict[str, List[float]] = {v: [] for v in VARIANTS}
+            for variant in VARIANTS:
+                for wg in wgs:
+                    run = run_persistent_bfs(
+                        g, src, variant, dev, wg,
+                        verify=cfg.verify, max_cycles=cfg.max_cycles,
+                    )
+                    times[variant].append(run.seconds)
+            speedups = {
+                v: [times[v][0] / t for t in times[v]] for v in VARIANTS
+            }
+            speedups["ideal"] = [float(w) for w in wgs]
+            key = f"{dev.name}|{name}"
+            data[key] = {
+                "workgroups": wgs,
+                "seconds": times,
+                "speedup": {k: v for k, v in speedups.items()},
+            }
+            blocks.append(
+                render_series(
+                    {f"time[{v}]": times[v] for v in VARIANTS},
+                    x=wgs,
+                    title=f"{dev.name} / {name} — execution time (s) vs nWG",
+                )
+            )
+            blocks.append(
+                ascii_chart(
+                    speedups, x=wgs, logy=True,
+                    title=f"{dev.name} / {name} — speedup vs 1 WG (log)",
+                )
+            )
+    return ExperimentResult("fig4", title, "\n\n".join(blocks), data)
+
+
+# ----------------------------------------------------------------------
+# Figure 1 & Figure 5: retry behaviour
+# ----------------------------------------------------------------------
+def run_fig1(cfg: HarnessConfig,
+             scale_factor: Optional[float] = None) -> ExperimentResult:
+    """Figure 1: CAS failures grow with active threads (BASE queue)."""
+    title = "Figure 1 — CAS retries vs thread count (BASE, synthetic)"
+    if scale_factor is None:
+        scale_factor = 1.0 if cfg.quick else 0.25
+    dev = FIJI
+    wgs = cfg.wg_sweep(dev)
+    g = cfg.build("Synthetic", extra_factor=scale_factor)
+    failures = []
+    attempts = []
+    for wg in wgs:
+        run = run_persistent_bfs(
+            g, 0, "BASE", dev, wg, verify=cfg.verify,
+            max_cycles=cfg.max_cycles,
+        )
+        failures.append(run.stats.cas_failures)
+        attempts.append(run.stats.cas_attempts)
+    text = "\n\n".join(
+        [
+            render_series(
+                {"cas_failures": failures, "cas_attempts": attempts},
+                x=wgs, title=title,
+            ),
+            ascii_chart(
+                {"failures": failures}, x=wgs, logy=True,
+                title="CAS failures (log) vs workgroups",
+            ),
+        ]
+    )
+    return ExperimentResult(
+        "fig1", title, text,
+        {"workgroups": wgs, "cas_failures": failures, "cas_attempts": attempts},
+    )
+
+
+def run_fig5(cfg: HarnessConfig,
+             scale_factor: Optional[float] = None) -> ExperimentResult:
+    """Figure 5: retry ratio (BASE atomics over RF/AN atomics) vs WGs.
+
+    Reported two ways: over *all* global atomics (including the per-edge
+    cost relaxations identical in both kernels) and over scheduler/queue
+    atomics only (fetch-adds + CAS, excluding relax ``atomic_min``) —
+    the latter isolates queue traffic, which is what the paper's ratio
+    tracks.
+    """
+    title = "Figure 5 — retry ratio (BASE over RF/AN) vs workgroups"
+    # quick mode already shrinks datasets 8x; shrinking further would
+    # starve the synthetic at the top of the sweep and invert the trend
+    # the figure is about.
+    if scale_factor is None:
+        scale_factor = 1.0 if cfg.quick else 0.25
+    names = ["Synthetic", "soc-LiveJournal1", "USA-road-d.NY"]
+    blocks = []
+    data: Dict[str, Dict] = {}
+    for dev, _ in cfg.device_configs():
+        wgs = cfg.wg_sweep(dev)
+        per_ds_ratio: Dict[str, List[float]] = {}
+        per_ds_qratio: Dict[str, List[float]] = {}
+        for name in names:
+            g = cfg.build(name, extra_factor=scale_factor)
+            src = cfg.source(name)
+            ratios, qratios = [], []
+            for wg in wgs:
+                counts = {}
+                for variant in ("BASE", "RF/AN"):
+                    run = run_persistent_bfs(
+                        g, src, variant, dev, wg,
+                        verify=cfg.verify, max_cycles=cfg.max_cycles,
+                    )
+                    total = run.stats.total_atomic_requests
+                    relax = run.stats.atomic_requests.get("min", 0)
+                    counts[variant] = (total, total - relax)
+                ratios.append(counts["BASE"][0] / max(counts["RF/AN"][0], 1))
+                qratios.append(counts["BASE"][1] / max(counts["RF/AN"][1], 1))
+            per_ds_ratio[name] = ratios
+            per_ds_qratio[name] = qratios
+            data[f"{dev.name}|{name}"] = {
+                "workgroups": wgs,
+                "atomic_ratio": ratios,
+                "queue_atomic_ratio": qratios,
+            }
+        blocks.append(
+            render_series(
+                {f"all[{n}]": per_ds_ratio[n] for n in names}
+                | {f"queue[{n}]": per_ds_qratio[n] for n in names},
+                x=wgs,
+                title=f"{dev.name} — atomic-operation ratio BASE/RF-AN",
+            )
+        )
+        blocks.append(
+            ascii_chart(
+                per_ds_qratio, x=wgs, logy=False,
+                title=f"{dev.name} — queue-atomic retry ratio",
+            )
+        )
+    return ExperimentResult("fig5", title, "\n\n".join(blocks), data)
+
+
+# ----------------------------------------------------------------------
+# Tables 5 & 6: baseline comparisons
+# ----------------------------------------------------------------------
+def run_tab5(cfg: HarnessConfig) -> ExperimentResult:
+    """Table 5: CHAI BFS vs RF/AN on CHAI's road datasets (integrated GPU).
+
+    The paper runs this on Spectre only — the discrete Fiji cannot execute
+    CHAI's heterogeneous kernel (no cross-cluster atomics).
+    """
+    title = "Table 5 — comparison with CHAI BFS (ms, Spectre)"
+    dev = SPECTRE
+    wg = 16 if cfg.quick else paper_workgroups(dev)
+    rows = []
+    data = {}
+    for name in CHAI_DATASETS:
+        g = cfg.build(name)
+        src = cfg.source(name)
+        chai = run_chai_bfs(g, src, dev, verify=cfg.verify,
+                            max_cycles=cfg.max_cycles)
+        rfan = run_persistent_bfs(
+            g, src, "RF/AN", dev, wg, verify=cfg.verify,
+            max_cycles=cfg.max_cycles,
+        )
+        speedup = chai.seconds / rfan.seconds
+        paper = PAPER_TABLE5[name]
+        rows.append(
+            [name, chai.seconds * 1e3, rfan.seconds * 1e3,
+             f"{speedup:.3f}x", paper[0], paper[1], f"{paper[2]:.3f}x"]
+        )
+        data[name] = {
+            "chai_ms": chai.seconds * 1e3,
+            "rfan_ms": rfan.seconds * 1e3,
+            "speedup": speedup,
+            "paper": paper,
+        }
+    text = render_table(
+        ["Dataset", "CHAI", "RF/AN", "Speedup",
+         "paperCHAI", "paperRF/AN", "paperSpeedup"],
+        rows, title=title,
+    )
+    return ExperimentResult("tab5", title, text, data)
+
+
+def run_tab6(cfg: HarnessConfig) -> ExperimentResult:
+    """Table 6: Rodinia BFS vs RF/AN on Rodinia's datasets, both GPUs."""
+    title = "Table 6 — comparison with Rodinia BFS (ms)"
+    rows = []
+    data = {}
+    for name in RODINIA_DATASETS:
+        g = cfg.build(name)
+        src = cfg.source(name)
+        for dev, wg in cfg.device_configs():
+            rodinia = run_rodinia_bfs(g, src, dev, verify=cfg.verify,
+                                      max_cycles=cfg.max_cycles)
+            rfan = run_persistent_bfs(
+                g, src, "RF/AN", dev, wg, verify=cfg.verify,
+                max_cycles=cfg.max_cycles,
+            )
+            speedup = rodinia.seconds / rfan.seconds
+            paper = PAPER_TABLE6[(name, dev.name)]
+            rows.append(
+                [name, dev.name, rodinia.seconds * 1e3, rfan.seconds * 1e3,
+                 f"{speedup:.2f}x", paper[0], paper[1], f"{paper[2]:.2f}x"]
+            )
+            data[f"{name}|{dev.name}"] = {
+                "rodinia_ms": rodinia.seconds * 1e3,
+                "rfan_ms": rfan.seconds * 1e3,
+                "speedup": speedup,
+                "paper": paper,
+            }
+    text = render_table(
+        ["Dataset", "Device", "Rodinia", "RF/AN", "Speedup",
+         "paperRodinia", "paperRF/AN", "paperSpeedup"],
+        rows, title=title,
+    )
+    return ExperimentResult("tab6", title, text, data)
+
+
+#: experiment id -> runner, in paper order.
+EXPERIMENTS = {
+    "fig1": run_fig1,
+    "tab1": run_tab1,
+    "tab2": run_tab2,
+    "fig3": run_fig3,
+    "tab3": run_tab3,
+    "tab4": run_tab4,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "tab5": run_tab5,
+    "tab6": run_tab6,
+}

@@ -1,0 +1,85 @@
+"""The paper's published numbers, transcribed for side-by-side reports.
+
+Sources: Tables 1-6 of Troendle, Ta & Jang (ICPP 2019).  All execution
+times are seconds unless noted.  EXPERIMENTS.md compares these against
+the simulator's measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Table 1 — SNAP social datasets: (vertices, edges, min, max, avg, std).
+PAPER_TABLE1: Dict[str, Tuple[int, int, int, int, float, float]] = {
+    "gplus_combined": (107_614, 30_494_866, 0, 49_041, 283.4, 1_245.18),
+    "soc-LiveJournal1": (4_847_571, 68_993_773, 0, 20_293, 14.2, 36.08),
+}
+
+#: Table 2 — DIMACS roadmaps: (vertices, edges, min, max, avg, std).
+#: (The paper prints LKS's vertex count as "2,758,12", a typo for the
+#: DIMACS-published 2,758,119.)
+PAPER_TABLE2: Dict[str, Tuple[int, int, int, int, float, float]] = {
+    "USA-road-d.NY": (264_346, 733_846, 1, 8, 2.8, 0.98),
+    "USA-road-d.LKS": (2_758_119, 6_885_658, 1, 8, 2.5, 0.95),
+    "USA-road-d.USA": (23_947_347, 58_333_344, 1, 9, 2.4, 0.95),
+}
+
+#: Table 3 — kernel execution times in seconds:
+#: (device, dataset) -> {variant: seconds}.  Fiji runs 224 WGs, Spectre 32.
+PAPER_TABLE3: Dict[Tuple[str, str], Dict[str, float]] = {
+    ("Fiji", "Synthetic"): {"BASE": 0.09760, "AN": 0.06777, "RF/AN": 0.00865},
+    ("Fiji", "gplus_combined"): {"BASE": 0.15066, "AN": 0.15066, "RF/AN": 0.14229},
+    ("Fiji", "soc-LiveJournal1"): {"BASE": 0.15778, "AN": 0.13217, "RF/AN": 0.07642},
+    ("Fiji", "USA-road-d.NY"): {"BASE": 0.01056, "AN": 0.01038, "RF/AN": 0.00767},
+    ("Fiji", "USA-road-d.LKS"): {"BASE": 0.07808, "AN": 0.07706, "RF/AN": 0.04172},
+    ("Fiji", "USA-road-d.USA"): {"BASE": 0.28393, "AN": 0.27274, "RF/AN": 0.08829},
+    ("Spectre", "Synthetic"): {"BASE": 0.12501, "AN": 0.09125, "RF/AN": 0.05957},
+    ("Spectre", "gplus_combined"): {"BASE": 0.16799, "AN": 0.16736, "RF/AN": 0.16343},
+    ("Spectre", "soc-LiveJournal1"): {"BASE": 0.32705, "AN": 0.32428, "RF/AN": 0.31613},
+    ("Spectre", "USA-road-d.NY"): {"BASE": 0.01055, "AN": 0.01064, "RF/AN": 0.00808},
+    ("Spectre", "USA-road-d.LKS"): {"BASE": 0.06764, "AN": 0.06789, "RF/AN": 0.04722},
+    ("Spectre", "USA-road-d.USA"): {"BASE": 0.42379, "AN": 0.41971, "RF/AN": 0.40307},
+}
+
+#: Table 4 — improvement over BASE in percent (100% = parity):
+#: (device, dataset) -> {variant: percent}.
+PAPER_TABLE4: Dict[Tuple[str, str], Dict[str, float]] = {
+    ("Fiji", "Synthetic"): {"AN": 144.03, "RF/AN": 1128.12},
+    ("Fiji", "gplus_combined"): {"AN": 100.00, "RF/AN": 105.88},
+    ("Fiji", "soc-LiveJournal1"): {"AN": 119.38, "RF/AN": 206.46},
+    ("Fiji", "USA-road-d.NY"): {"AN": 101.70, "RF/AN": 137.57},
+    ("Fiji", "USA-road-d.LKS"): {"AN": 101.33, "RF/AN": 187.14},
+    ("Fiji", "USA-road-d.USA"): {"AN": 104.10, "RF/AN": 321.60},
+    ("Spectre", "Synthetic"): {"AN": 137.00, "RF/AN": 209.86},
+    ("Spectre", "gplus_combined"): {"AN": 100.37, "RF/AN": 102.79},
+    ("Spectre", "soc-LiveJournal1"): {"AN": 100.85, "RF/AN": 103.45},
+    ("Spectre", "USA-road-d.NY"): {"AN": 99.18, "RF/AN": 130.58},
+    ("Spectre", "USA-road-d.LKS"): {"AN": 99.63, "RF/AN": 143.24},
+    ("Spectre", "USA-road-d.USA"): {"AN": 100.97, "RF/AN": 105.14},
+}
+
+#: Table 5 — CHAI comparison in *milliseconds* on the integrated GPU:
+#: dataset -> (CHAI ms, RF/AN ms, speedup).
+PAPER_TABLE5: Dict[str, Tuple[float, float, float]] = {
+    "NYR_input": (20.8015, 8.0811, 2.574),
+    "USA-road-d.BAY": (20.8998, 4.9691, 4.206),
+}
+
+#: Table 6 — Rodinia comparison in *milliseconds*:
+#: (dataset, device) -> (Rodinia ms, RF/AN ms, speedup).
+PAPER_TABLE6: Dict[Tuple[str, str], Tuple[float, float, float]] = {
+    ("graph4096", "Spectre"): (6.7436, 0.2227, 30.28),
+    ("graph4096", "Fiji"): (5.9282, 0.2048, 28.95),
+    ("graph65536", "Spectre"): (17.9806, 1.6257, 11.06),
+    ("graph65536", "Fiji"): (13.6875, 0.3778, 36.23),
+    ("graph1MW_6", "Spectre"): (111.758, 32.7679, 3.41),
+    ("graph1MW_6", "Fiji"): (4.4950, 3.5640, 1.26),
+}
+
+#: Figure 5 headline: BASE needs over 60x more atomic operations than the
+#: proposed queue at Fiji's maximum thread count on the synthetic dataset.
+PAPER_FIG5_MAX_RETRY_RATIO = 60.0
+
+#: §6.4 headline speedups: min and max over both baseline suites.
+PAPER_MIN_SPEEDUP = 1.26
+PAPER_MAX_SPEEDUP = 36.23

@@ -1,0 +1,110 @@
+"""Plain-text rendering of tables and series (no plotting dependencies).
+
+Every experiment prints the same *rows/series* the paper reports: tables
+as aligned text, figures as per-series value lists plus a coarse ASCII
+chart so trends are visible in a terminal or CI log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table."""
+    srows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in srows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[float]],
+    x: Sequence[object],
+    width: int = 64,
+    height: int = 12,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """A coarse multi-series ASCII line chart (one glyph per series)."""
+    glyphs = "*o+x#@%&"
+    vals: List[float] = [
+        float(v) for s in series.values() for v in s if v is not None
+    ]
+    if not vals:
+        return f"{title}\n(no data)"
+    if logy:
+        vals = [math.log10(max(v, 1e-12)) for v in vals]
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    n = max(len(xs) for xs in series.values())
+
+    def col(i: int) -> int:
+        return 0 if n <= 1 else round(i * (width - 1) / (n - 1))
+
+    def row(v: float) -> int:
+        vv = math.log10(max(v, 1e-12)) if logy else v
+        frac = (vv - lo) / (hi - lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    for k, (name, ys) in enumerate(series.items()):
+        g = glyphs[k % len(glyphs)]
+        for i, y in enumerate(ys):
+            if y is None:
+                continue
+            grid[row(float(y))][col(i)] = g
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{(10 ** hi if logy else hi):.3g}"
+    bot = f"{(10 ** lo if logy else lo):.3g}"
+    for r, grow in enumerate(grid):
+        label = top if r == 0 else (bot if r == height - 1 else "")
+        lines.append(f"{label:>10s} |{''.join(grow)}")
+    lines.append(" " * 11 + "+" + "-" * width)
+    xlabels = f"x: {_fmt(x[0])} .. {_fmt(x[-1])}" if len(x) else ""
+    legend = "   ".join(
+        f"{glyphs[k % len(glyphs)]}={name}" for k, name in enumerate(series)
+    )
+    lines.append(f"{'':>11s} {xlabels}    {legend}")
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Dict[str, Sequence[float]], x: Sequence[object], title: str = ""
+) -> str:
+    """Exact numbers for every series point (the data behind a figure)."""
+    headers = ["x"] + list(series)
+    rows = []
+    for i, xv in enumerate(x):
+        rows.append(
+            [xv] + [s[i] if i < len(s) else None for s in series.values()]
+        )
+    return render_table(headers, rows, title=title)

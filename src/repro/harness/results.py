@@ -1,0 +1,49 @@
+"""Structured experiment results: text report + JSON-serializable data."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure."""
+
+    #: paper artefact id, e.g. "tab3" or "fig4".
+    exp_id: str
+    #: human title.
+    title: str
+    #: the rendered text report (tables + ASCII series).
+    text: str
+    #: machine-readable payload (used by tab4, tests, EXPERIMENTS.md).
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def save(self, directory: str | Path) -> Path:
+        """Write <exp_id>.txt and <exp_id>.json under ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"{self.exp_id}.txt").write_text(self.text + "\n")
+        path = directory / f"{self.exp_id}.json"
+        path.write_text(json.dumps(self.data, indent=2, default=_coerce))
+        return path
+
+    def show(self) -> None:  # pragma: no cover - CLI convenience
+        print(self.text)
+
+
+def _coerce(obj: Any):
+    try:
+        import numpy as np
+
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+    except ImportError:  # pragma: no cover
+        pass
+    raise TypeError(f"not JSON serializable: {type(obj)}")

@@ -1,0 +1,89 @@
+"""Post-run utilization analysis of a simulated launch.
+
+Turns a :class:`~repro.simt.engine.LaunchResult` into the quantities a
+performance engineer asks of a profiler: issue-pipe utilization, atomic-
+unit pressure, memory traffic mix, and the retry-overhead share.  Used by
+the ablation benches and handy for interactive exploration of why one
+queue variant loses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .engine import LaunchResult
+
+
+@dataclass(frozen=True)
+class Utilization:
+    """Derived utilization metrics for one launch."""
+
+    #: fraction of CU issue-pipe cycles occupied, averaged over CUs.
+    issue_utilization: float
+    #: serialized atomic service cycles as a fraction of the run — values
+    #: near (or above) 1.0 mean a single contended word was the clock.
+    atomic_pressure: float
+    #: ALU cycles as a fraction of total CU capacity.
+    compute_fraction: float
+    #: memory transactions per issued op (traffic intensity).
+    transactions_per_op: float
+    #: CAS failures per issued op (retry overhead share).
+    cas_failure_rate: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "issue_utilization": self.issue_utilization,
+            "atomic_pressure": self.atomic_pressure,
+            "compute_fraction": self.compute_fraction,
+            "transactions_per_op": self.transactions_per_op,
+            "cas_failure_rate": self.cas_failure_rate,
+        }
+
+
+def analyze(result: LaunchResult) -> Utilization:
+    """Compute utilization metrics from a launch's statistics."""
+    stats = result.stats
+    dev = result.device
+    cycles = max(result.cycles, 1)
+    capacity = cycles * dev.n_cus
+    ops = max(stats.issued_ops, 1)
+    return Utilization(
+        issue_utilization=stats.cu_busy_cycles / capacity,
+        atomic_pressure=stats.atomic_service_cycles / cycles,
+        compute_fraction=stats.compute_cycles / capacity,
+        transactions_per_op=stats.mem_transactions / ops,
+        cas_failure_rate=stats.cas_failures / ops,
+    )
+
+
+def utilization_report(results: Dict[str, LaunchResult]) -> str:
+    """Side-by-side utilization table for several labelled launches."""
+    from repro.harness.report import render_table
+
+    rows = []
+    for label, res in results.items():
+        u = analyze(res)
+        rows.append(
+            [
+                label,
+                res.cycles,
+                f"{u.issue_utilization:.3f}",
+                f"{u.atomic_pressure:.3f}",
+                f"{u.compute_fraction:.3f}",
+                f"{u.transactions_per_op:.2f}",
+                f"{u.cas_failure_rate:.4f}",
+            ]
+        )
+    return render_table(
+        [
+            "run",
+            "cycles",
+            "issue util",
+            "atomic pressure",
+            "compute frac",
+            "trans/op",
+            "CAS fail/op",
+        ],
+        rows,
+    )

@@ -1,0 +1,313 @@
+"""Per-address atomic units with serialized service.
+
+Every global atomic request targets one address.  Requests to the same
+address are serviced one at a time, each taking ``device.atomic_service``
+cycles, in arrival order; requests to distinct addresses proceed in
+parallel.  This models the contended-hot-spot behaviour (Morrison & Afek
+2013) that §3.2 of the paper builds its argument on:
+
+* **AFA** (``AtomicKind.ADD`` et al.) always succeeds; contention shows up
+  purely as *latency*, which the GPU can hide by switching wavefronts.
+* **CAS** compares against the value *current at service time*.  When many
+  wavefronts race on the same word, only the first arrival sees its
+  expected value; the rest fail and — crucially — their retry loops issue
+  additional instructions whose occupancy cannot be hidden.
+
+Operation side effects are applied when the request batch arrives at the
+memory system, in global event order, so interleavings (and therefore CAS
+failures) emerge from simulated timing rather than being scripted.
+
+Implementation notes
+--------------------
+Cross-batch unit-occupancy tracking (``_free_at``) is kept for *hot*
+buffers only — small control words like queue Front/Rear and scheduler
+counters, where back-to-back batches genuinely queue behind each other.
+For large data buffers (BFS cost arrays) the same address is essentially
+never hit by two temporally adjacent batches, so those batches are
+serviced with intra-batch serialization only.  This keeps the hot-spot
+physics exact where it matters and the simulator fast where it doesn't.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .device import DeviceSpec
+from .memory import HOT_BUFFER_WORDS, GlobalMemory
+from .ops import AtomicKind, AtomicRMW
+from .stats import SimStats
+
+
+class AtomicSystem:
+    """Applies :class:`AtomicRMW` batches and computes their timing."""
+
+    def __init__(self, device: DeviceSpec, memory: GlobalMemory, stats: SimStats):
+        self._device = device
+        self._memory = memory
+        self._stats = stats
+        #: (buffer name, index) -> cycle at which that address's unit frees.
+        self._free_at: Dict[Tuple[str, int], int] = {}
+
+    # ------------------------------------------------------------------
+    def service(self, op: AtomicRMW, arrival: int) -> int:
+        """Apply every request in ``op`` and return the last completion cycle.
+
+        ``arrival`` is the cycle the batch reaches the memory system.
+        Requests are processed in lane order; per address, each request
+        starts at ``max(arrival, unit_free_at)`` and holds the unit for
+        ``atomic_service`` cycles.
+        """
+        buf = self._memory[op.buf]
+        idx = self._memory.check_bounds(op.buf, op.index)
+        n = idx.size
+        self._stats.count_atomic(op.kind, n)
+        svc = self._device.atomic_service
+        self._stats.atomic_service_cycles += n * svc
+        hot = buf.size <= HOT_BUFFER_WORDS
+
+        if n == 1:
+            return self._service_scalar(op, buf, int(idx[0]), arrival, svc, hot)
+
+        first = int(idx[0])
+        if idx[-1] == first and bool((idx == first).all()):
+            return self._service_same_address(
+                op, buf, first, n, arrival, svc, hot
+            )
+
+        srt = np.sort(idx)
+        if bool((np.diff(srt) != 0).all()):
+            return self._service_distinct(op, buf, idx, arrival, svc, hot)
+
+        return self._service_general(op, buf, idx, arrival, svc, hot)
+
+    # ------------------------------------------------------------------
+    def _unit_window(
+        self, name: str, a: int, arrival: int, busy: int, hot: bool
+    ) -> int:
+        """Reserve the address unit for ``busy`` cycles; return finish."""
+        if hot:
+            key = (name, a)
+            start = max(arrival, self._free_at.get(key, 0))
+            end = start + busy
+            self._free_at[key] = end
+            return end
+        return arrival + busy
+
+    def _service_scalar(
+        self,
+        op: AtomicRMW,
+        buf: np.ndarray,
+        a: int,
+        arrival: int,
+        svc: int,
+        hot: bool,
+    ) -> int:
+        end = self._unit_window(op.buf, a, arrival, svc, hot)
+        cur = int(buf[a])
+        kind = op.kind
+        if kind is AtomicKind.CAS:
+            expected = int(np.asarray(op.operand).reshape(-1)[0])
+            new = int(np.asarray(op.operand2).reshape(-1)[0])
+            ok = cur == expected
+            if ok:
+                buf[a] = new
+            else:
+                self._stats.cas_failures += 1
+            op.old = np.array([cur], dtype=np.int64)
+            op.success = np.array([ok])
+            return end
+        operand = int(np.asarray(op.operand).reshape(-1)[0])
+        if kind is AtomicKind.ADD:
+            buf[a] = cur + operand
+        elif kind is AtomicKind.MIN:
+            if operand < cur:
+                buf[a] = operand
+        elif kind is AtomicKind.MAX:
+            if operand > cur:
+                buf[a] = operand
+        elif kind is AtomicKind.EXCH:
+            buf[a] = operand
+        else:  # pragma: no cover - enum is closed
+            raise AssertionError(f"unhandled atomic kind {kind}")
+        op.old = np.array([cur], dtype=np.int64)
+        op.success = np.ones(1, dtype=bool)
+        return end
+
+    def _service_same_address(
+        self,
+        op: AtomicRMW,
+        buf: np.ndarray,
+        a: int,
+        n: int,
+        arrival: int,
+        svc: int,
+        hot: bool,
+    ) -> int:
+        """All requests hit one word: full serialization, closed forms."""
+        end = self._unit_window(op.buf, a, arrival, n * svc, hot)
+        cur = int(buf[a])
+        kind = op.kind
+        old = np.empty(n, dtype=np.int64)
+        if kind is AtomicKind.CAS:
+            expected = np.broadcast_to(
+                np.asarray(op.operand, dtype=np.int64), (n,)
+            )
+            new = np.broadcast_to(np.asarray(op.operand2, dtype=np.int64), (n,))
+            success = np.zeros(n, dtype=bool)
+            val = cur
+            # lane-order walk; n <= wavefront size so this stays cheap,
+            # and it is exact for arbitrary expected/new vectors.
+            for j in range(n):
+                old[j] = val
+                if val == expected[j]:
+                    val = int(new[j])
+                    success[j] = True
+            buf[a] = val
+            self._stats.cas_failures += int(n - success.sum())
+            op.old = old
+            op.success = success
+            return end
+        operand = np.broadcast_to(np.asarray(op.operand, dtype=np.int64), (n,))
+        if kind is AtomicKind.ADD:
+            run = np.cumsum(operand)
+            old[0] = cur
+            old[1:] = cur + run[:-1]
+            buf[a] = cur + int(run[-1])
+        elif kind is AtomicKind.MIN:
+            run = np.minimum.accumulate(operand)
+            old[0] = cur
+            old[1:] = np.minimum(cur, run[:-1])
+            buf[a] = min(cur, int(run[-1]))
+        elif kind is AtomicKind.MAX:
+            run = np.maximum.accumulate(operand)
+            old[0] = cur
+            old[1:] = np.maximum(cur, run[:-1])
+            buf[a] = max(cur, int(run[-1]))
+        elif kind is AtomicKind.EXCH:
+            old[0] = cur
+            old[1:] = operand[:-1]
+            buf[a] = int(operand[-1])
+        else:  # pragma: no cover - enum is closed
+            raise AssertionError(f"unhandled atomic kind {kind}")
+        op.old = old
+        op.success = np.ones(n, dtype=bool)
+        return end
+
+    def _service_distinct(
+        self,
+        op: AtomicRMW,
+        buf: np.ndarray,
+        idx: np.ndarray,
+        arrival: int,
+        svc: int,
+        hot: bool,
+    ) -> int:
+        """All addresses distinct: fully parallel units, vectorized apply."""
+        n = idx.size
+        if hot:
+            # tiny control buffers can still have cross-batch queueing.
+            end = arrival
+            for a in idx:
+                end = max(end, self._unit_window(op.buf, int(a), arrival, svc, True))
+        else:
+            end = arrival + svc
+        kind = op.kind
+        old = buf[idx].copy()
+        if kind is AtomicKind.CAS:
+            expected = np.broadcast_to(
+                np.asarray(op.operand, dtype=np.int64), (n,)
+            )
+            new = np.broadcast_to(np.asarray(op.operand2, dtype=np.int64), (n,))
+            success = old == expected
+            buf[idx[success]] = new[success]
+            self._stats.cas_failures += int(n - success.sum())
+            op.old = old
+            op.success = success
+            return end
+        operand = np.broadcast_to(np.asarray(op.operand, dtype=np.int64), (n,))
+        if kind is AtomicKind.ADD:
+            buf[idx] = old + operand
+        elif kind is AtomicKind.MIN:
+            buf[idx] = np.minimum(old, operand)
+        elif kind is AtomicKind.MAX:
+            buf[idx] = np.maximum(old, operand)
+        elif kind is AtomicKind.EXCH:
+            buf[idx] = operand
+        else:  # pragma: no cover - enum is closed
+            raise AssertionError(f"unhandled atomic kind {kind}")
+        op.old = old
+        op.success = np.ones(n, dtype=bool)
+        return end
+
+    def _service_general(
+        self,
+        op: AtomicRMW,
+        buf: np.ndarray,
+        idx: np.ndarray,
+        arrival: int,
+        svc: int,
+        hot: bool,
+    ) -> int:
+        """Mixed duplicates: exact lane-order walk (rare, n <= lanes)."""
+        n = idx.size
+        kind = op.kind
+        old = np.empty(n, dtype=np.int64)
+        # intra-batch per-address serialization (plus cross-batch if hot)
+        local_free: Dict[int, int] = {}
+        last_end = arrival
+
+        def window(a: int) -> None:
+            nonlocal last_end
+            if hot:
+                end = self._unit_window(op.buf, a, arrival, svc, True)
+            else:
+                start = max(arrival, local_free.get(a, 0))
+                end = start + svc
+                local_free[a] = end
+            last_end = max(last_end, end)
+
+        if kind is AtomicKind.CAS:
+            expected = np.broadcast_to(
+                np.asarray(op.operand, dtype=np.int64), (n,)
+            )
+            new = np.broadcast_to(np.asarray(op.operand2, dtype=np.int64), (n,))
+            success = np.zeros(n, dtype=bool)
+            for j in range(n):
+                a = int(idx[j])
+                window(a)
+                cur = buf[a]
+                old[j] = cur
+                if cur == expected[j]:
+                    buf[a] = new[j]
+                    success[j] = True
+            self._stats.cas_failures += int(n - success.sum())
+            op.old = old
+            op.success = success
+            return last_end
+        operand = np.broadcast_to(np.asarray(op.operand, dtype=np.int64), (n,))
+        for j in range(n):
+            a = int(idx[j])
+            window(a)
+            cur = buf[a]
+            old[j] = cur
+            if kind is AtomicKind.ADD:
+                buf[a] = cur + operand[j]
+            elif kind is AtomicKind.MIN:
+                if operand[j] < cur:
+                    buf[a] = operand[j]
+            elif kind is AtomicKind.MAX:
+                if operand[j] > cur:
+                    buf[a] = operand[j]
+            elif kind is AtomicKind.EXCH:
+                buf[a] = operand[j]
+            else:  # pragma: no cover - enum is closed
+                raise AssertionError(f"unhandled atomic kind {kind}")
+        op.old = old
+        op.success = np.ones(n, dtype=bool)
+        return last_end
+
+    def reset_timing(self) -> None:
+        """Forget unit occupancy (between independent kernel launches)."""
+        self._free_at.clear()

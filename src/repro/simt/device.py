@@ -1,0 +1,158 @@
+"""Device specifications for the SIMT simulator.
+
+A :class:`DeviceSpec` bundles the architectural parameters the cost model
+needs.  Two presets mirror the paper's test hardware (§5.4):
+
+* :data:`FIJI` — AMD Radeon R9 Fury ("Fiji"), a high-end discrete GPU with
+  56 compute units.  The paper launches 224 workgroups of 64 threads on it
+  (4 workgroups per CU, 14,336 persistent threads).
+* :data:`SPECTRE` — AMD Radeon R7 APU ("Spectre"), a low-end integrated GPU
+  with 8 compute units sharing memory with the CPU (32 workgroups, 2,048
+  persistent threads).
+
+The cycle costs are rough GCN-generation figures; the experiments only rely
+on their *relationships* (memory latency is large but hideable, atomic
+service at a contended address is serialized, instruction issue occupancy is
+not hideable), which is exactly the paper's argument in §3.2-§3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural parameters of a simulated GPU.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    n_cus:
+        Number of compute units (OpenCL CUs / CUDA SMs).
+    wavefront_size:
+        Lanes per wavefront (64 on AMD GCN; 32 on NVIDIA warps).
+    max_wavefronts_per_cu:
+        Resident wavefront slots per CU.  The paper launches 4 workgroups
+        of one wavefront each per CU "to facilitate zero-cost thread
+        switching"; we default to a slightly larger residency so workgroup
+        sweeps stay resident.
+    clock_hz:
+        Shader clock used to convert simulated cycles to seconds.
+    issue_cycles:
+        CU issue-pipe occupancy per wavefront instruction.  A 64-lane
+        wavefront executes over a 16-wide SIMD in 4 cycles; this occupancy
+        is the *non-hideable* cost every retry pays.
+    mem_latency:
+        Round-trip global-memory latency in cycles.  Hideable: the CU
+        switches to another resident wavefront while a load is in flight.
+    l2_latency:
+        Round-trip latency to the L2 cache, where GCN executes global
+        atomics and where small, constantly re-read control words (queue
+        Front/Rear, scheduler counters) stay resident.  Atomic ops and
+        accesses to hot control buffers are charged this latency; a CAS
+        retry loop therefore costs one L2 round trip per attempt, not a
+        full DRAM access.
+    mem_pipe_cycles:
+        Extra cycles per additional (non-coalesced) memory transaction
+        beyond the first.
+    atomic_service:
+        Serialized service time per atomic request at a given address.
+        Requests to the *same* address queue behind each other — the
+        contended hot spot of Morrison & Afek (2013) cited in §3.2.
+    lds_op_cycles:
+        Cost of a wavefront-local (LDS) aggregation op, e.g. the
+        ``atomic_inc(&lQueueSlotsNeeded)`` in Listing 1.  Lock-step local
+        atomics across a wavefront are implemented by hardware as a
+        prefix-sum; they never fail and never leave the CU.
+    kernel_launch_cycles:
+        Host-side kernel launch/teardown overhead expressed in device
+        cycles.  Irrelevant for persistent kernels (one launch) but the
+        dominant cost of Rodinia-style one-kernel-per-level BFS (§6.4.2).
+    """
+
+    name: str
+    n_cus: int
+    wavefront_size: int = 64
+    max_wavefronts_per_cu: int = 8
+    clock_hz: float = 1.0e9
+    issue_cycles: int = 4
+    mem_latency: int = 400
+    l2_latency: int = 160
+    mem_pipe_cycles: int = 4
+    atomic_service: int = 8
+    lds_op_cycles: int = 4
+    kernel_launch_cycles: int = 30_000
+
+    def __post_init__(self) -> None:
+        if self.n_cus <= 0:
+            raise ValueError(f"n_cus must be positive, got {self.n_cus}")
+        if self.wavefront_size <= 0:
+            raise ValueError(
+                f"wavefront_size must be positive, got {self.wavefront_size}"
+            )
+        if self.max_wavefronts_per_cu <= 0:
+            raise ValueError(
+                "max_wavefronts_per_cu must be positive, got "
+                f"{self.max_wavefronts_per_cu}"
+            )
+        for attr in (
+            "issue_cycles",
+            "mem_latency",
+            "l2_latency",
+            "mem_pipe_cycles",
+            "atomic_service",
+            "lds_op_cycles",
+            "kernel_launch_cycles",
+        ):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be non-negative")
+        if self.clock_hz <= 0:
+            raise ValueError(f"clock_hz must be positive, got {self.clock_hz}")
+
+    @property
+    def max_resident_wavefronts(self) -> int:
+        """Total wavefronts that can be resident device-wide."""
+        return self.n_cus * self.max_wavefronts_per_cu
+
+    @property
+    def max_threads(self) -> int:
+        """Total resident threads device-wide."""
+        return self.max_resident_wavefronts * self.wavefront_size
+
+    def seconds(self, cycles: int | float) -> float:
+        """Convert a cycle count to seconds at this device's clock."""
+        return float(cycles) / self.clock_hz
+
+    def with_(self, **overrides: object) -> "DeviceSpec":
+        """Return a copy with some parameters replaced (for ablations)."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+#: AMD Radeon R9 Fury ("Fiji"): 56 CUs, discrete memory. Paper §5.4.
+FIJI = DeviceSpec(name="Fiji", n_cus=56, clock_hz=1.05e9)
+
+#: AMD Radeon R7 APU ("Spectre"): 8 CUs, shared CPU-GPU memory. Paper §5.4.
+#: Shared DDR3 memory has higher latency than Fiji's HBM.
+SPECTRE = DeviceSpec(
+    name="Spectre", n_cus=8, clock_hz=0.72e9, mem_latency=520, l2_latency=200
+)
+
+#: A small device for fast unit tests: 2 CUs, short latencies.
+TESTGPU = DeviceSpec(
+    name="TestGPU",
+    n_cus=2,
+    wavefront_size=8,
+    max_wavefronts_per_cu=4,
+    clock_hz=1.0e9,
+    mem_latency=40,
+    l2_latency=16,
+    atomic_service=4,
+    kernel_launch_cycles=1_000,
+)
+
+
+def paper_workgroups(device: DeviceSpec) -> int:
+    """The paper's workgroup count for a device: 4 workgroups per CU (§5.4)."""
+    return 4 * device.n_cus

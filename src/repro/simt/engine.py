@@ -1,0 +1,375 @@
+"""Discrete-event SIMT execution engine.
+
+The engine runs *kernels* — Python generator functions — across simulated
+compute units with the scheduling physics that the paper's argument rests
+on:
+
+* **In-order issue, non-hideable occupancy.**  Each yielded op occupies its
+  CU's issue pipe; while the pipe is busy no other resident wavefront can
+  issue.  Retry-loop instructions therefore cost real throughput even when
+  their memory latency is hidden.
+* **Zero-cost wavefront switching.**  A wavefront stalled on memory sleeps;
+  the CU immediately issues from another ready resident wavefront.  This is
+  the mechanism by which AFA latency "can be effectively hidden" (§3.2).
+* **Serialized atomics per address.**  See :mod:`repro.simt.atomics`.
+
+A kernel generator receives a :class:`KernelContext` and yields
+:class:`~repro.simt.ops.Op` objects.  Results (loaded values, atomic old
+values, CAS success masks) are filled into the op before the generator is
+resumed, so kernels read like straight-line OpenCL with ``yield`` marking
+each wavefront instruction.
+
+Determinism: the event queue breaks time ties by insertion order, and no
+randomness exists anywhere in the engine, so every simulation is exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, Iterable, List, Optional
+
+import numpy as np
+
+from .atomics import AtomicSystem
+from .device import DeviceSpec
+from .errors import KernelAbort, LaunchConfigError, SimulationTimeout
+from .memory import HOT_BUFFER_WORDS, GlobalMemory
+from .ops import Abort, AtomicRMW, Compute, Fence, LocalOp, MemRead, MemWrite, Op
+from .stats import SimStats
+
+#: segment size (in 8-byte words) used by the coalescing model: lanes whose
+#: addresses fall in one aligned segment share one memory transaction.
+COALESCE_SEGMENT_WORDS = 16
+
+
+def transactions_for(index) -> int:
+    """Number of memory transactions a gather/scatter needs after coalescing.
+
+    Approximated as the segment *span* of the accessed addresses, capped
+    at one transaction per lane: exact for the two access shapes kernels
+    actually produce (contiguous runs coalesce to the span; widely
+    scattered lanes pay one transaction each) without an O(n log n)
+    distinct-count per memory op.
+    """
+    idx = np.asarray(index, dtype=np.int64)
+    if idx.ndim == 0:
+        return 1
+    n = idx.size
+    if n == 0:
+        return 0
+    if n == 1:
+        return 1
+    lo = int(idx.min()) // COALESCE_SEGMENT_WORDS
+    hi = int(idx.max()) // COALESCE_SEGMENT_WORDS
+    return min(hi - lo + 1, n)
+
+
+@dataclass
+class KernelContext:
+    """Per-wavefront view handed to a kernel generator.
+
+    Attributes
+    ----------
+    wf_id:
+        Global wavefront (== workgroup, as in the paper's launch geometry)
+        index in ``[0, n_wavefronts)``.
+    n_wavefronts:
+        Total wavefronts launched.
+    device:
+        The device spec (for wavefront size and cost constants).
+    params:
+        Launch parameters: buffer names, problem constants, tuning knobs.
+    lane:
+        ``[0..wavefront_size)`` lane index vector (convenience).
+    """
+
+    wf_id: int
+    n_wavefronts: int
+    device: DeviceSpec
+    params: Dict[str, object]
+    lane: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    #: the launch's statistics; queue/scheduler layers bump stats.custom.
+    stats: Optional[SimStats] = None
+
+    def __post_init__(self) -> None:
+        if self.lane.size == 0:
+            self.lane = np.arange(self.device.wavefront_size, dtype=np.int64)
+
+    @property
+    def global_thread_base(self) -> int:
+        """Global id of this wavefront's lane 0."""
+        return self.wf_id * self.device.wavefront_size
+
+
+Kernel = Callable[[KernelContext], Generator[Op, Op, None]]
+
+
+class _Wavefront:
+    """Engine-internal record for one resident wavefront."""
+
+    __slots__ = ("wid", "cu", "gen", "pending")
+
+    def __init__(self, wid: int, cu: "_CU", gen: Generator[Op, Op, None]):
+        self.wid = wid
+        self.cu = cu
+        self.gen = gen
+        self.pending: Optional[Op] = None
+
+
+class _CU:
+    """Engine-internal compute unit: an issue pipe plus a ready queue."""
+
+    __slots__ = ("cid", "busy_until", "ready")
+
+    def __init__(self, cid: int):
+        self.cid = cid
+        self.busy_until = 0
+        self.ready: List[_Wavefront] = []
+
+
+# event kinds
+_EV_WF_READY = 0
+_EV_CU_FREE = 1
+_EV_ATOMIC = 2
+_EV_APPLY_WRITE = 3
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of one kernel launch."""
+
+    #: simulated cycles from launch to last wavefront exit.
+    cycles: int
+    #: statistics gathered during the launch.
+    stats: SimStats
+    #: the device the kernel ran on.
+    device: DeviceSpec
+
+    @property
+    def seconds(self) -> float:
+        return self.device.seconds(self.cycles)
+
+
+class Engine:
+    """Owns a device, its global memory, and the event loop.
+
+    One engine may run several kernel launches back to back against the
+    same memory (like a real host command queue); statistics can be read
+    per launch or accumulated by the caller.
+    """
+
+    def __init__(self, device: DeviceSpec, memory: Optional[GlobalMemory] = None):
+        self.device = device
+        self.memory = memory if memory is not None else GlobalMemory()
+
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        kernel: Kernel,
+        n_wavefronts: int,
+        params: Optional[Dict[str, object]] = None,
+        max_cycles: int = 20_000_000_000,
+        charge_launch_overhead: bool = False,
+    ) -> LaunchResult:
+        """Run ``kernel`` on ``n_wavefronts`` wavefronts until all exit.
+
+        Wavefronts are distributed round-robin over CUs, as hardware
+        workgroup dispatch does for a uniform kernel.  Raises
+        :class:`LaunchConfigError` if the launch exceeds device residency —
+        a persistent-thread kernel that oversubscribes residency would
+        deadlock on real hardware too.
+
+        ``charge_launch_overhead`` adds ``device.kernel_launch_cycles`` to
+        the reported cycle count; per-level drivers (Rodinia-style BFS) set
+        it to model their dominant cost.
+        """
+        if n_wavefronts <= 0:
+            raise LaunchConfigError(
+                f"n_wavefronts must be positive, got {n_wavefronts}"
+            )
+        if n_wavefronts > self.device.max_resident_wavefronts:
+            raise LaunchConfigError(
+                f"{n_wavefronts} wavefronts exceed device residency "
+                f"({self.device.max_resident_wavefronts}); persistent "
+                "kernels must fit or they deadlock"
+            )
+        params = dict(params or {})
+        stats = SimStats()
+        atomics = AtomicSystem(self.device, self.memory, stats)
+
+        cus = [_CU(i) for i in range(self.device.n_cus)]
+        live = 0
+        heap: List[tuple] = []
+        seq = 0
+
+        def push(time: int, kind: int, payload) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (time, seq, kind, payload))
+            seq += 1
+
+        for wid in range(n_wavefronts):
+            cu = cus[wid % len(cus)]
+            ctx = KernelContext(
+                wf_id=wid,
+                n_wavefronts=n_wavefronts,
+                device=self.device,
+                params=params,
+                stats=stats,
+            )
+            gen = kernel(ctx)
+            wf = _Wavefront(wid, cu, gen)
+            live += 1
+            cu.ready.append(wf)
+
+        # atomics execute at the L2 (GCN), as do loads/stores of small hot
+        # control buffers; bulk data pays full memory latency.
+        lat_to = self.device.l2_latency // 2
+        lat_back = self.device.l2_latency - lat_to
+        issue = self.device.issue_cycles
+
+        def mem_op_latency(buf_name: str) -> int:
+            if self.memory.is_hot(buf_name):
+                return self.device.l2_latency
+            return self.device.mem_latency
+        now = 0
+        abort_exc: Optional[KernelAbort] = None
+
+        def complete_effects(wf: _Wavefront, when: int) -> None:
+            """Sample memory for a load at its architectural completion."""
+            op = wf.pending
+            if isinstance(op, MemRead):
+                if op.prechecked:
+                    idx = op.index
+                else:
+                    idx = self.memory.check_bounds(op.buf, op.index)
+                op.result = self.memory[op.buf][idx].copy()
+
+        def apply_write(op: MemWrite) -> None:
+            if op.prechecked:
+                idx = op.index
+            else:
+                idx = self.memory.check_bounds(op.buf, op.index)
+            vals = np.broadcast_to(
+                np.asarray(op.values, dtype=np.int64), idx.shape
+            )
+            self.memory[op.buf][idx] = vals
+
+        def issue_from(cu: _CU) -> None:
+            """If the CU is free and has a ready wavefront, issue one op."""
+            nonlocal live, abort_exc
+            if abort_exc is not None:
+                return
+            if now < cu.busy_until or not cu.ready:
+                return
+            wf = cu.ready.pop(0)
+            try:
+                op = wf.gen.send(wf.pending)
+            except StopIteration:
+                live -= 1
+                # the exiting instruction still occupied the pipe briefly;
+                # charge nothing extra and let the next wavefront issue.
+                issue_from(cu)
+                return
+            except KernelAbort as exc:
+                abort_exc = exc
+                return
+            wf.pending = op
+            stats.issued_ops += 1
+
+            if isinstance(op, Compute):
+                occ = max(op.cycles, 1)
+                stats.compute_cycles += op.cycles
+                stats.cu_busy_cycles += occ
+                cu.busy_until = now + occ
+                push(cu.busy_until, _EV_CU_FREE, cu)
+                push(now + occ, _EV_WF_READY, wf)
+            elif isinstance(op, LocalOp):
+                occ = max(op.cycles, 1)
+                stats.lds_ops += 1
+                stats.cu_busy_cycles += occ
+                cu.busy_until = now + occ
+                push(cu.busy_until, _EV_CU_FREE, cu)
+                push(now + occ, _EV_WF_READY, wf)
+            elif isinstance(op, MemRead):
+                trans = op.trans if op.trans is not None else transactions_for(op.index)
+                stats.mem_reads += 1
+                stats.mem_transactions += trans
+                stats.cu_busy_cycles += issue
+                cu.busy_until = now + issue
+                push(cu.busy_until, _EV_CU_FREE, cu)
+                extra = max(trans - 1, 0) * self.device.mem_pipe_cycles
+                push(now + issue + mem_op_latency(op.buf) + extra,
+                     _EV_WF_READY, wf)
+            elif isinstance(op, MemWrite):
+                # stores are write-buffered: the wavefront proceeds after
+                # issue; the effect lands at architectural completion time.
+                trans = op.trans if op.trans is not None else transactions_for(op.index)
+                stats.mem_writes += 1
+                stats.mem_transactions += trans
+                stats.cu_busy_cycles += issue
+                cu.busy_until = now + issue
+                push(cu.busy_until, _EV_CU_FREE, cu)
+                extra = max(trans - 1, 0) * self.device.mem_pipe_cycles
+                push(now + issue + mem_op_latency(op.buf) + extra,
+                     _EV_APPLY_WRITE, op)
+                push(now + issue, _EV_WF_READY, wf)
+            elif isinstance(op, AtomicRMW):
+                stats.cu_busy_cycles += issue
+                cu.busy_until = now + issue
+                push(cu.busy_until, _EV_CU_FREE, cu)
+                push(now + issue + lat_to, _EV_ATOMIC, wf)
+            elif isinstance(op, Fence):
+                stats.cu_busy_cycles += issue
+                cu.busy_until = now + issue
+                push(cu.busy_until, _EV_CU_FREE, cu)
+                push(now + issue, _EV_WF_READY, wf)
+            elif isinstance(op, Abort):
+                abort_exc = KernelAbort(op.reason)
+            else:
+                raise TypeError(f"kernel yielded a non-Op: {op!r}")
+
+        # prime: let every CU start issuing at t=0
+        for cu in cus:
+            issue_from(cu)
+
+        while heap and live > 0 and abort_exc is None:
+            now, _, kind, payload = heapq.heappop(heap)
+            if now > max_cycles:
+                raise SimulationTimeout(
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"({live} wavefronts still live)"
+                )
+            if kind == _EV_WF_READY:
+                wf = payload
+                complete_effects(wf, now)
+                wf.cu.ready.append(wf)
+                issue_from(wf.cu)
+            elif kind == _EV_CU_FREE:
+                issue_from(payload)
+            elif kind == _EV_ATOMIC:
+                wf = payload
+                op = wf.pending
+                assert isinstance(op, AtomicRMW)
+                last_end = atomics.service(op, now)
+                push(last_end + lat_back, _EV_WF_READY, wf)
+            elif kind == _EV_APPLY_WRITE:
+                apply_write(payload)
+
+        if abort_exc is not None:
+            raise abort_exc
+
+        total = now
+        # drain the write buffer: stores issued by the last wavefronts are
+        # architecturally committed at kernel end (a real GPU flushes them
+        # before signalling completion).
+        while heap:
+            t, _, kind, payload = heapq.heappop(heap)
+            if kind == _EV_APPLY_WRITE:
+                apply_write(payload)
+                total = max(total, t)
+        if charge_launch_overhead:
+            total += self.device.kernel_launch_cycles
+        stats.sim_cycles = total
+        return LaunchResult(cycles=total, stats=stats, device=self.device)

@@ -1,0 +1,46 @@
+"""Exception types raised by the SIMT simulator.
+
+The simulator mirrors the failure modes a real GPU runtime exposes to the
+host: kernel aborts (e.g. the paper's queue-full abort), launch-configuration
+errors, and watchdog timeouts.  Keeping them in one module lets callers write
+``except simt.SimError`` to catch any simulator-originated failure.
+"""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulator errors."""
+
+
+class KernelAbort(SimError):
+    """A kernel requested an abort (the GPU analogue of ``abort()``).
+
+    The paper's enqueue path aborts the kernel on a queue-full exception
+    (Listing 3, line 25).  Kernels raise a subclass of this inside their
+    coroutine; the engine unwinds every resident wavefront and re-raises to
+    the host.
+    """
+
+
+class LaunchConfigError(SimError):
+    """The requested launch does not fit the device.
+
+    Persistent-thread kernels must be *resident*: every workgroup must be
+    able to stay on a compute unit for the whole kernel, otherwise waiting
+    workgroups would deadlock behind persistent ones that never exit.  This
+    is a real constraint of the persistent-thread model (Gupta et al. 2012),
+    not a simulator artefact.
+    """
+
+
+class SimulationTimeout(SimError):
+    """The watchdog cycle limit was exceeded.
+
+    Guards against livelock in experimental kernels (e.g. a termination
+    protocol bug would otherwise spin forever).
+    """
+
+
+class MemoryFault(SimError):
+    """Out-of-bounds or unknown-buffer access by a kernel."""

@@ -1,0 +1,129 @@
+"""Simulated global device memory.
+
+Memory is a set of named, statically allocated int64 buffers — mirroring
+the paper's constraint (§3.1) that *all* application data, including the
+scheduler queue, must be allocated before kernel launch.  There is no
+dynamic allocation path on purpose.
+
+Buffers are NumPy arrays; the engine performs gathers/scatters/atomics on
+them at architecturally correct times.  Host code may read and initialize
+buffers directly between kernel launches (that is what a real host does
+with ``clEnqueueWriteBuffer``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from .errors import MemoryFault
+
+#: buffers at most this many words are treated as *hot*: they hold queue
+#: control words and scheduler counters that every wavefront touches every
+#: work cycle, so they live in the L2 cache.  Hot buffers get
+#: ``device.l2_latency`` on loads/stores and exact cross-batch atomic-unit
+#: occupancy tracking.
+HOT_BUFFER_WORDS = 64
+
+
+class GlobalMemory:
+    """Named int64 buffer store with bounds checking.
+
+    Buffers can be marked *hot* (L2-resident): small control words are
+    hot automatically (size <= :data:`HOT_BUFFER_WORDS`); larger buffers
+    whose **active window** is constantly re-referenced by every
+    wavefront — the task queue's slot array and valid flags — are marked
+    explicitly by their owners via :meth:`mark_hot`.  Hot buffers get
+    ``device.l2_latency`` on loads/stores instead of full memory latency.
+
+    Example
+    -------
+    >>> mem = GlobalMemory()
+    >>> _ = mem.alloc("queue", 8, fill=-1)
+    >>> mem["queue"][0]
+    np.int64(-1)
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+        self._hot: set[str] = set()
+
+    def alloc(self, name: str, size: int, fill: int = 0) -> np.ndarray:
+        """Allocate a buffer of ``size`` int64 words filled with ``fill``.
+
+        Raises :class:`MemoryFault` on duplicate names — accidental
+        re-allocation is almost always a harness bug.
+        """
+        if name in self._buffers:
+            raise MemoryFault(f"buffer {name!r} already allocated")
+        if size < 0:
+            raise MemoryFault(f"buffer {name!r}: negative size {size}")
+        buf = np.full(int(size), fill, dtype=np.int64)
+        self._buffers[name] = buf
+        return buf
+
+    def alloc_from(self, name: str, data: np.ndarray) -> np.ndarray:
+        """Allocate a buffer initialized from host data (copied, as int64)."""
+        if name in self._buffers:
+            raise MemoryFault(f"buffer {name!r} already allocated")
+        buf = np.ascontiguousarray(data, dtype=np.int64).copy()
+        self._buffers[name] = buf
+        return buf
+
+    def free(self, name: str) -> None:
+        """Release a buffer (host-side teardown between launches)."""
+        if name not in self._buffers:
+            raise MemoryFault(f"buffer {name!r} not allocated")
+        del self._buffers[name]
+        self._hot.discard(name)
+
+    def mark_hot(self, name: str) -> None:
+        """Declare a buffer L2-resident regardless of its size."""
+        if name not in self._buffers:
+            raise MemoryFault(f"buffer {name!r} not allocated")
+        self._hot.add(name)
+
+    def is_hot(self, name: str) -> bool:
+        """Whether accesses to this buffer hit the L2."""
+        buf = self[name]
+        return buf.size <= HOT_BUFFER_WORDS or name in self._hot
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise MemoryFault(f"unknown buffer {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._buffers
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._buffers)
+
+    @property
+    def total_words(self) -> int:
+        """Total allocated words — the footprint a real host would need."""
+        return sum(b.size for b in self._buffers.values())
+
+    def check_bounds(self, name: str, index) -> np.ndarray:
+        """Validate lane indices against a buffer; return them as an array.
+
+        Raises :class:`MemoryFault` with a precise message on any
+        out-of-bounds lane, because a silent wrap would mask kernel bugs
+        the tests are designed to catch.
+        """
+        buf = self[name]
+        idx = np.asarray(index, dtype=np.int64)
+        if idx.ndim == 0:
+            idx = idx.reshape(1)
+        if idx.size == 0:
+            return idx
+        if int(idx.min()) < 0 or int(idx.max()) >= buf.size:
+            bad = (idx < 0) | (idx >= buf.size)
+            first = int(idx[bad][0])
+            raise MemoryFault(
+                f"buffer {name!r}: index {first} out of bounds "
+                f"(size {buf.size})"
+            )
+        return idx

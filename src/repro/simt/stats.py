@@ -1,0 +1,117 @@
+"""Execution statistics collected by the simulator.
+
+Two layers write here:
+
+* the engine itself (issue slots, memory traffic, atomic requests, CAS
+  failures, simulated cycles);
+* higher layers (queues, schedulers, drivers) via :attr:`SimStats.custom`,
+  e.g. queue-empty exceptions, work cycles, tasks executed.
+
+Figure 1 (CAS retries vs. threads) and Figure 5 (retry ratio) are computed
+directly from these counters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .ops import AtomicKind
+
+
+@dataclass
+class SimStats:
+    """Mutable counters for one simulation run."""
+
+    #: wavefront instructions issued (every yielded op).
+    issued_ops: int = 0
+    #: cycles of CU occupancy charged to Compute ops.
+    compute_cycles: int = 0
+    #: MemRead ops issued.
+    mem_reads: int = 0
+    #: MemWrite ops issued.
+    mem_writes: int = 0
+    #: memory transactions after coalescing.
+    mem_transactions: int = 0
+    #: LDS/wavefront-local ops issued.
+    lds_ops: int = 0
+    #: cycles any CU issue pipe was occupied (summed over CUs).
+    cu_busy_cycles: int = 0
+    #: cycles of serialized atomic-unit service (summed over addresses).
+    atomic_service_cycles: int = 0
+    #: global atomic *requests* (one per lane element), by kind.
+    atomic_requests: Dict[str, int] = field(default_factory=dict)
+    #: CAS requests that failed (expected != current at service time).
+    cas_failures: int = 0
+    #: simulated cycle at which the run finished.
+    sim_cycles: int = 0
+    #: free-form counters for queue/scheduler/driver layers.
+    custom: Counter = field(default_factory=Counter)
+
+    def count_atomic(self, kind: AtomicKind, n: int) -> None:
+        """Record ``n`` atomic requests of ``kind``."""
+        key = kind.value
+        self.atomic_requests[key] = self.atomic_requests.get(key, 0) + n
+
+    @property
+    def total_atomic_requests(self) -> int:
+        """All global atomic requests issued by the kernel.
+
+        This is the numerator/denominator of the paper's *retry ratio*
+        (§6.3): total atomic operations used by a kernel over the number
+        required by the proposed design.
+        """
+        return sum(self.atomic_requests.values())
+
+    @property
+    def cas_attempts(self) -> int:
+        """Total CAS requests (successes + failures)."""
+        return self.atomic_requests.get(AtomicKind.CAS.value, 0)
+
+    @property
+    def cas_successes(self) -> int:
+        return self.cas_attempts - self.cas_failures
+
+    def seconds(self, clock_hz: float) -> float:
+        """Simulated wall time at a given clock."""
+        return self.sim_cycles / clock_hz
+
+    def merge(self, other: "SimStats") -> None:
+        """Accumulate another run's counters into this one.
+
+        Used by multi-launch drivers (Rodinia-style BFS launches one kernel
+        per level and reports the sum).  ``sim_cycles`` *adds* because the
+        launches are sequential in time.
+        """
+        self.issued_ops += other.issued_ops
+        self.compute_cycles += other.compute_cycles
+        self.mem_reads += other.mem_reads
+        self.mem_writes += other.mem_writes
+        self.mem_transactions += other.mem_transactions
+        self.lds_ops += other.lds_ops
+        self.cu_busy_cycles += other.cu_busy_cycles
+        self.atomic_service_cycles += other.atomic_service_cycles
+        for key, val in other.atomic_requests.items():
+            self.atomic_requests[key] = self.atomic_requests.get(key, 0) + val
+        self.cas_failures += other.cas_failures
+        self.sim_cycles += other.sim_cycles
+        self.custom.update(other.custom)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict view for reports and JSON dumps."""
+        return {
+            "issued_ops": self.issued_ops,
+            "compute_cycles": self.compute_cycles,
+            "mem_reads": self.mem_reads,
+            "mem_writes": self.mem_writes,
+            "mem_transactions": self.mem_transactions,
+            "lds_ops": self.lds_ops,
+            "cu_busy_cycles": self.cu_busy_cycles,
+            "atomic_service_cycles": self.atomic_service_cycles,
+            "atomic_requests": dict(self.atomic_requests),
+            "total_atomic_requests": self.total_atomic_requests,
+            "cas_failures": self.cas_failures,
+            "sim_cycles": self.sim_cycles,
+            "custom": dict(self.custom),
+        }

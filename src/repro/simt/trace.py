@@ -1,0 +1,123 @@
+"""Optional execution tracing for simulated launches.
+
+A :class:`Tracer` wraps a kernel and records one event per yielded op —
+wavefront id, op kind, a compact detail string, and (after the launch)
+nothing else; timing lives in the engine, so the trace records *issue
+order*, which is what one actually reads when debugging a scheduler
+("which wavefront grabbed the token?", "who hit queue-full first?").
+
+Usage::
+
+    tracer = Tracer(max_events=10_000)
+    engine.launch(tracer.wrap(kernel), n_wavefronts)
+    print(tracer.render(limit=50))
+    deq = tracer.filter(kind="AtomicRMW", detail_contains="wq.ctrl")
+
+Tracing is strictly opt-in: the engine's hot path is untouched, and the
+wrapper adds one tuple append per op to the traced launch only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional
+
+import numpy as np
+
+from .engine import Kernel, KernelContext
+from .ops import AtomicRMW, Compute, LocalOp, MemRead, MemWrite, Op
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One issued wavefront instruction."""
+
+    #: monotonically increasing issue index across the launch.
+    seq: int
+    #: issuing wavefront.
+    wf_id: int
+    #: op class name ("MemRead", "AtomicRMW", ...).
+    kind: str
+    #: compact human-readable payload summary.
+    detail: str
+
+
+def _describe(op: Op) -> str:
+    if isinstance(op, (MemRead, MemWrite)):
+        return f"{op.buf}[n={np.size(op.index)}]"
+    if isinstance(op, AtomicRMW):
+        return f"{op.buf}:{op.kind.value}[n={np.size(op.index)}]"
+    if isinstance(op, (Compute, LocalOp)):
+        return f"{op.cycles}cy"
+    return ""
+
+
+class Tracer:
+    """Records the op stream of a traced launch."""
+
+    def __init__(self, max_events: int = 1_000_000):
+        if max_events <= 0:
+            raise ValueError("max_events must be positive")
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.truncated = False
+
+    def wrap(self, kernel: Kernel) -> Kernel:
+        """Return a kernel that records every op the wrapped one yields."""
+
+        def traced(ctx: KernelContext) -> Generator[Op, Op, None]:
+            gen = kernel(ctx)
+            result = None
+            while True:
+                try:
+                    op = gen.send(result)
+                except StopIteration:
+                    return
+                if len(self.events) < self.max_events:
+                    self.events.append(
+                        TraceEvent(
+                            seq=len(self.events),
+                            wf_id=ctx.wf_id,
+                            kind=type(op).__name__,
+                            detail=_describe(op),
+                        )
+                    )
+                else:
+                    self.truncated = True
+                result = yield op
+
+        return traced
+
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        wf_id: Optional[int] = None,
+        kind: Optional[str] = None,
+        detail_contains: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        """Events matching every given criterion."""
+        out = self.events
+        if wf_id is not None:
+            out = [e for e in out if e.wf_id == wf_id]
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if detail_contains is not None:
+            out = [e for e in out if detail_contains in e.detail]
+        return list(out)
+
+    def counts_by_kind(self) -> dict:
+        """Issued-op histogram (cross-check against SimStats)."""
+        out: dict = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def render(self, limit: int = 100, wf_id: Optional[int] = None) -> str:
+        """The first ``limit`` (matching) events as an aligned listing."""
+        events = self.filter(wf_id=wf_id)[:limit]
+        lines = [f"{'seq':>6s} {'wf':>4s} {'op':12s} detail"]
+        for e in events:
+            lines.append(f"{e.seq:6d} {e.wf_id:4d} {e.kind:12s} {e.detail}")
+        if self.truncated:
+            lines.append(f"... truncated at {self.max_events} events")
+        return "\n".join(lines)

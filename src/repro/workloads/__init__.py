@@ -1,0 +1,55 @@
+"""Additional irregular workloads demonstrating queue generality.
+
+The paper presents the concurrent queue as a general persistent-thread
+task scheduler ("it can be used for other purposes on GPUs with little
+change", §1); these workloads exercise exactly that claim:
+
+* :mod:`repro.workloads.nqueens` — the N-Queens constraint-satisfaction
+  search from the related work (Tzeng et al.), with known solution
+  counts as an oracle;
+* :mod:`repro.workloads.taskdag` — dependency-driven task-DAG execution,
+  the abstract setting §2.1 describes, verified by a topological-order
+  oracle;
+* :mod:`repro.workloads.sssp` — weighted single-source shortest paths,
+  the re-enqueue-heavy generalization of the BFS driver, verified
+  against SciPy's Dijkstra;
+* :mod:`repro.workloads.components` — label-propagation connected
+  components (all vertices seeded, monotone relabelling), verified
+  against a union-find oracle.
+"""
+
+from .components import (
+    ComponentsResult,
+    ComponentsWorker,
+    reference_components,
+    run_components,
+)
+from .nqueens import KNOWN_SOLUTIONS, NQueensResult, NQueensWorker, run_nqueens
+from .sssp import (
+    SSSPResult,
+    SSSPWorker,
+    random_weights,
+    reference_sssp,
+    run_sssp,
+)
+from .taskdag import TaskDagResult, TaskDagWorker, random_dag, run_taskdag
+
+__all__ = [
+    "ComponentsResult",
+    "ComponentsWorker",
+    "KNOWN_SOLUTIONS",
+    "NQueensResult",
+    "NQueensWorker",
+    "SSSPResult",
+    "reference_components",
+    "run_components",
+    "SSSPWorker",
+    "TaskDagResult",
+    "TaskDagWorker",
+    "random_dag",
+    "random_weights",
+    "reference_sssp",
+    "run_nqueens",
+    "run_sssp",
+    "run_taskdag",
+]

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import simt
+
+
+@pytest.fixture
+def testgpu() -> simt.DeviceSpec:
+    """The small fast device every unit test runs on."""
+    return simt.TESTGPU
+
+
+@pytest.fixture
+def engine(testgpu) -> simt.Engine:
+    """A fresh engine with empty memory."""
+    return simt.Engine(testgpu)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

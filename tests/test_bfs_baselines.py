@@ -1,0 +1,112 @@
+"""Integration tests for the Rodinia-style and CHAI-style BFS baselines."""
+
+import numpy as np
+import pytest
+
+from repro import simt
+from repro.bfs import run_chai_bfs, run_persistent_bfs, run_rodinia_bfs
+from repro.graphs import (
+    CSRGraph,
+    complete_binary_tree,
+    path_graph,
+    roadmap_graph,
+    rodinia_graph,
+    social_graph,
+    star_graph,
+)
+
+
+class TestRodinia:
+    def test_correct_on_graph_zoo(self, testgpu):
+        for g in (
+            path_graph(30),
+            star_graph(60),
+            complete_binary_tree(5),
+            rodinia_graph(400, seed=1),
+            roadmap_graph(10, 10, seed=2),
+        ):
+            run_rodinia_bfs(g, 0, testgpu, verify=True)
+
+    def test_level_count_reported(self, testgpu):
+        g = path_graph(12)
+        run = run_rodinia_bfs(g, 0, testgpu, verify=True)
+        # one launch pair per level (+ final empty check)
+        assert run.extra["levels"] >= 12
+        assert run.extra["kernel_launches"] == 2 * run.extra["levels"]
+
+    def test_launch_overhead_charged_per_level(self, testgpu):
+        """Deep graphs pay per-level launch overhead — Rodinia's weakness
+        on roadmaps (§6.4.2)."""
+        g = path_graph(50)
+        run = run_rodinia_bfs(g, 0, testgpu)
+        min_overhead = run.extra["kernel_launches"] * testgpu.kernel_launch_cycles
+        assert run.cycles >= min_overhead
+
+    def test_disconnected(self, testgpu):
+        g = CSRGraph.from_edges(5, [(0, 1), (3, 4)])
+        run = run_rodinia_bfs(g, 0, testgpu, verify=True)
+        assert run.costs.tolist() == [0, 1, -1, -1, -1]
+
+    def test_deterministic(self, testgpu):
+        g = rodinia_graph(300, seed=9)
+        a = run_rodinia_bfs(g, 0, testgpu)
+        b = run_rodinia_bfs(g, 0, testgpu)
+        assert a.cycles == b.cycles
+
+
+class TestChai:
+    def test_correct_on_graph_zoo(self, testgpu):
+        for g in (
+            path_graph(30),
+            star_graph(60),
+            complete_binary_tree(5),
+            rodinia_graph(400, seed=3),
+            roadmap_graph(10, 10, seed=4),
+            social_graph(200, avg_degree=5, seed=5),
+        ):
+            run_chai_bfs(g, 0, testgpu, verify=True)
+
+    def test_uses_cas_for_output_frontier(self, testgpu):
+        g = star_graph(200)  # one giant frontier -> tail contention
+        run = run_chai_bfs(g, 0, testgpu)
+        assert run.stats.cas_attempts > 0
+
+    def test_level_synchronous(self, testgpu):
+        g = path_graph(15)
+        run = run_chai_bfs(g, 0, testgpu)
+        assert run.extra["levels"] >= 15
+
+    def test_deterministic(self, testgpu):
+        g = social_graph(150, avg_degree=4, seed=6)
+        a = run_chai_bfs(g, 0, testgpu)
+        b = run_chai_bfs(g, 0, testgpu)
+        assert a.cycles == b.cycles
+
+
+class TestComparativeShape:
+    """The qualitative outcomes of §6.4 must hold on the simulator."""
+
+    def test_rfan_beats_rodinia_on_deep_graph(self, testgpu):
+        """Table 6 / §6.4.2: per-level relaunch buries Rodinia on deep
+        inputs; the persistent queue-driven BFS avoids it."""
+        g = roadmap_graph(16, 16, seed=7)
+        rodinia = run_rodinia_bfs(g, 0, testgpu, verify=True)
+        rfan = run_persistent_bfs(g, 0, "RF/AN", testgpu, 8, verify=True)
+        assert rfan.cycles < rodinia.cycles
+
+    def test_rfan_beats_chai(self, testgpu):
+        """Table 5: RF/AN outperforms the CAS-frontier collaborative BFS
+        on road-map-like graphs."""
+        g = roadmap_graph(14, 14, seed=8)
+        chai = run_chai_bfs(g, 0, testgpu, verify=True)
+        rfan = run_persistent_bfs(g, 0, "RF/AN", testgpu, 8, verify=True)
+        assert rfan.cycles < chai.cycles
+
+    def test_rodinia_overhead_grows_with_depth_not_size(self, testgpu):
+        """Same vertex count, different depth: deeper graph costs Rodinia
+        disproportionately more."""
+        shallow = star_graph(256)
+        deep = path_graph(256)
+        r_shallow = run_rodinia_bfs(shallow, 0, testgpu)
+        r_deep = run_rodinia_bfs(deep, 0, testgpu)
+        assert r_deep.cycles > 5 * r_shallow.cycles

@@ -1,0 +1,91 @@
+"""Unit tests for the BFS drivers' shared pieces."""
+
+import numpy as np
+import pytest
+
+from repro import simt
+from repro.bfs import (
+    BFSRun,
+    INF_COST,
+    alloc_graph_buffers,
+    bfs_queue_capacity,
+    read_costs,
+)
+from repro.bfs.common import BUF_COSTS, BUF_OFFSETS, BUF_TARGETS
+from repro.graphs import path_graph
+from repro.simt import GlobalMemory, SimStats
+
+
+class TestAllocGraphBuffers:
+    def test_buffers_allocated_and_source_zeroed(self):
+        mem = GlobalMemory()
+        g = path_graph(5)
+        alloc_graph_buffers(mem, g, 2)
+        assert np.array_equal(mem[BUF_OFFSETS], g.offsets)
+        assert np.array_equal(mem[BUF_TARGETS], g.targets)
+        costs = mem[BUF_COSTS]
+        assert costs[2] == 0
+        assert (costs[[0, 1, 3, 4]] == INF_COST).all()
+
+    def test_bad_source_rejected(self):
+        mem = GlobalMemory()
+        g = path_graph(5)
+        with pytest.raises(ValueError):
+            alloc_graph_buffers(mem, g, 5)
+        with pytest.raises(ValueError):
+            alloc_graph_buffers(mem, g, -1)
+
+
+class TestReadCosts:
+    def test_inf_maps_to_minus_one(self):
+        mem = GlobalMemory()
+        g = path_graph(3)
+        alloc_graph_buffers(mem, g, 0)
+        mem[BUF_COSTS][1] = 7
+        out = read_costs(mem, 3)
+        assert out.tolist() == [0, 7, -1]
+
+
+class TestCapacityFormula:
+    def test_scales_with_graph_and_threads(self, testgpu):
+        g_small, g_big = path_graph(10), path_graph(10_000)
+        assert bfs_queue_capacity(g_big, testgpu, 4) > bfs_queue_capacity(
+            g_small, testgpu, 4
+        )
+        assert bfs_queue_capacity(g_small, testgpu, 8) > bfs_queue_capacity(
+            g_small, testgpu, 1
+        )
+
+    def test_headroom(self, testgpu):
+        g = path_graph(100)
+        loose = bfs_queue_capacity(g, testgpu, 2, headroom=4.0)
+        tight = bfs_queue_capacity(g, testgpu, 2, headroom=1.0)
+        assert loose > tight >= g.n_vertices
+
+
+class TestBFSRunVerify:
+    def _run(self, costs):
+        return BFSRun(
+            implementation="X",
+            dataset="path",
+            device="t",
+            n_workgroups=1,
+            cycles=10,
+            seconds=1e-8,
+            costs=np.asarray(costs, dtype=np.int64),
+            stats=SimStats(),
+        )
+
+    def test_accepts_correct(self):
+        g = path_graph(4)
+        self._run([0, 1, 2, 3]).verify(g, 0)
+
+    def test_rejects_wrong_value(self):
+        g = path_graph(4)
+        with pytest.raises(AssertionError, match="vertex 2"):
+            self._run([0, 1, 9, 3]).verify(g, 0)
+
+    def test_rejects_wrong_shape(self):
+        g = path_graph(4)
+        with pytest.raises(AssertionError, match="shape"):
+            self._run([0, 1]).verify(g, 0)

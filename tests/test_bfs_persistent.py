@@ -1,0 +1,134 @@
+"""Integration tests: persistent-thread BFS on the simulated GPU.
+
+Every run is verified against the CPU reference oracle, for every queue
+variant, on graphs covering each structural corner (chains, stars, trees,
+grids, power-law, disconnected, zero-degree sources).
+"""
+
+import numpy as np
+import pytest
+
+from repro import simt
+from repro.bfs import bfs_queue_capacity, run_persistent_bfs
+from repro.core import QUEUE_VARIANTS, QueueFull
+from repro.graphs import (
+    CSRGraph,
+    complete_binary_tree,
+    path_graph,
+    roadmap_graph,
+    rodinia_graph,
+    social_graph,
+    star_graph,
+    synthetic_saturating,
+)
+
+ALL_VARIANTS = sorted(QUEUE_VARIANTS)
+
+
+def graph_zoo():
+    return [
+        path_graph(40),
+        star_graph(100),
+        complete_binary_tree(6),
+        synthetic_saturating(600, plateau_width=64),
+        roadmap_graph(12, 12, seed=1),
+        social_graph(300, avg_degree=6, seed=2),
+        rodinia_graph(256, seed=3),
+    ]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_all_graph_shapes_verified(self, variant, testgpu):
+        for g in graph_zoo():
+            run = run_persistent_bfs(g, 0, variant, testgpu, 6, verify=True)
+            assert run.implementation == variant
+
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_disconnected_graph(self, variant, testgpu):
+        g = CSRGraph.from_edges(6, [(0, 1), (1, 2), (4, 5)], name="disc")
+        run = run_persistent_bfs(g, 0, variant, testgpu, 4, verify=True)
+        assert run.costs.tolist() == [0, 1, 2, -1, -1, -1]
+
+    def test_isolated_source(self, testgpu):
+        g = CSRGraph.from_edges(3, [(1, 2)], name="iso")
+        run = run_persistent_bfs(g, 0, "RF/AN", testgpu, 2, verify=True)
+        assert run.costs.tolist() == [0, -1, -1]
+
+    def test_nonzero_source(self, testgpu):
+        g = path_graph(10)
+        run = run_persistent_bfs(g, 4, "RF/AN", testgpu, 2)
+        ref = np.array([-1] * 4 + list(range(6)))
+        assert run.costs.tolist() == ref.tolist()
+
+    def test_single_wavefront(self, testgpu):
+        g = complete_binary_tree(5)
+        run = run_persistent_bfs(g, 0, "RF/AN", testgpu, 1, verify=True)
+        assert run.n_workgroups == 1
+
+    @pytest.mark.parametrize("subtasks", [1, 2, 4, 8])
+    def test_subtask_granularity_does_not_change_result(self, subtasks, testgpu):
+        g = social_graph(200, avg_degree=8, seed=5)
+        run = run_persistent_bfs(
+            g, 0, "RF/AN", testgpu, 4, subtasks_per_cycle=subtasks, verify=True
+        )
+        assert run.extra["subtasks_per_cycle"] == subtasks
+
+    def test_deterministic(self, testgpu):
+        g = roadmap_graph(10, 10, seed=7)
+        runs = [
+            run_persistent_bfs(g, 0, "AN", testgpu, 4) for _ in range(2)
+        ]
+        assert runs[0].cycles == runs[1].cycles
+        assert np.array_equal(runs[0].costs, runs[1].costs)
+
+
+class TestCapacity:
+    def test_grow_on_full_recovers(self, testgpu):
+        """An undersized queue aborts; the host doubles and retries (§4.4)."""
+        g = star_graph(300)
+        run = run_persistent_bfs(
+            g, 0, "RF/AN", testgpu, 4, capacity=16, grow_on_full=True,
+            verify=True,
+        )
+        assert run.extra["queue_capacity"] > 16
+
+    def test_no_grow_raises_queue_full(self, testgpu):
+        g = star_graph(300)
+        with pytest.raises(QueueFull):
+            run_persistent_bfs(
+                g, 0, "RF/AN", testgpu, 4, capacity=16, grow_on_full=False
+            )
+
+    def test_default_capacity_formula(self, testgpu):
+        g = path_graph(100)
+        cap = bfs_queue_capacity(g, testgpu, 4)
+        assert cap > g.n_vertices
+        assert cap > 2 * 4 * testgpu.wavefront_size
+
+
+class TestStatsShape:
+    def test_rfan_run_is_retry_free(self, testgpu):
+        g = synthetic_saturating(2000, plateau_width=128)
+        run = run_persistent_bfs(g, 0, "RF/AN", testgpu, 8, verify=True)
+        assert run.stats.cas_attempts == 0
+        assert run.stats.custom.get("queue.empty_exceptions", 0) == 0
+
+    def test_base_runs_show_retries_under_load(self, testgpu):
+        g = synthetic_saturating(2000, plateau_width=128)
+        run = run_persistent_bfs(g, 0, "BASE", testgpu, 8, verify=True)
+        assert run.stats.cas_attempts > 0
+
+    def test_verify_catches_corruption(self, testgpu):
+        g = path_graph(10)
+        run = run_persistent_bfs(g, 0, "RF/AN", testgpu, 2)
+        run.costs[3] = 99
+        with pytest.raises(AssertionError, match="vertex 3"):
+            run.verify(g, 0)
+
+    def test_seconds_consistent_with_cycles(self, testgpu):
+        g = path_graph(20)
+        run = run_persistent_bfs(g, 0, "RF/AN", testgpu, 2)
+        assert run.seconds == pytest.approx(
+            run.cycles / testgpu.clock_hz
+        )

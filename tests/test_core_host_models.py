@@ -1,0 +1,176 @@
+"""Property tests of the queue algorithms via host-side step machines.
+
+Hypothesis drives arbitrary interleavings of producer/consumer steps;
+every interleaving is a legal concurrent history of the algorithm because
+each step touches shared state exactly once.  Safety invariants checked:
+
+* no token lost, none duplicated;
+* RF/AN consumers parked past the rear receive data once producers
+  catch up (the refactored queue-empty exception);
+* queue-full detected (never silent corruption).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CasConsumer,
+    CasProducer,
+    HostCasQueue,
+    HostRFANQueue,
+    QueueFull,
+    RFANConsumer,
+    RFANProducer,
+)
+
+
+def interleave(machines, schedule):
+    """Drive step machines in the order given by `schedule` (indices)."""
+    for i in schedule:
+        m = machines[i % len(machines)]
+        if not m.done:
+            m.step()
+    # drain: run everything to completion deterministically
+    for _ in range(10_000):
+        progressed = False
+        for m in machines:
+            if not m.done and m.step():
+                progressed = True
+        if all(m.done for m in machines):
+            return
+        if not progressed:
+            break
+    raise AssertionError("machines failed to converge")
+
+
+class TestRFANHost:
+    @given(
+        tokens=st.lists(
+            st.lists(st.integers(0, 1000), min_size=1, max_size=5),
+            min_size=1,
+            max_size=6,
+        ),
+        schedule=st.lists(st.integers(0, 63), max_size=200),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_no_loss_no_duplication(self, tokens, schedule):
+        total = sum(len(batch) for batch in tokens)
+        q = HostRFANQueue(capacity=total + 16)
+        producers = [RFANProducer(q, batch) for batch in tokens]
+        consumers = [RFANConsumer(q) for _ in range(total)]
+        interleave(producers + consumers, schedule)
+        got = sorted(c.got for c in consumers)
+        want = sorted(t for batch in tokens for t in batch)
+        assert got == want
+
+    @given(extra=st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_overshoot_consumers_fed_later(self, extra):
+        """Consumers reserving slots before any data exists block politely
+        and are fed by a later producer — never an exception."""
+        q = HostRFANQueue(capacity=64)
+        consumers = [RFANConsumer(q) for _ in range(extra)]
+        for c in consumers:
+            c.step()  # all reserve slots on the empty queue
+        assert q.front == extra and q.rear == 0
+        for c in consumers:
+            c.step()
+            assert not c.done  # polls return nothing yet
+        producer = RFANProducer(q, list(range(100, 100 + extra)))
+        while not producer.done:
+            producer.step()
+        for c in consumers:
+            while not c.done:
+                c.step()
+        assert sorted(c.got for c in consumers) == list(range(100, 100 + extra))
+
+    def test_queue_full_detected_monotonic(self):
+        q = HostRFANQueue(capacity=2)
+        p = RFANProducer(q, [1, 2, 3])
+        with pytest.raises(QueueFull):
+            while not p.done:
+                p.step()
+
+    def test_circular_reuse(self):
+        q = HostRFANQueue(capacity=2, circular=True)
+        for round_ in range(5):
+            p = RFANProducer(q, [round_])
+            c = RFANConsumer(q)
+            while not (p.done and c.done):
+                p.step()
+                c.step()
+            assert c.got == round_
+
+    def test_circular_full_detected(self):
+        q = HostRFANQueue(capacity=2, circular=True)
+        p = RFANProducer(q, [1, 2, 3])  # 3 tokens into 2 slots, no consumer
+        with pytest.raises(QueueFull):
+            while not p.done:
+                p.step()
+
+    def test_negative_token_rejected(self):
+        q = HostRFANQueue(capacity=4)
+        p = RFANProducer(q, [-1])
+        p.step()
+        with pytest.raises(ValueError):
+            p.step()
+
+
+class TestCasHost:
+    @given(
+        n_tokens=st.integers(1, 12),
+        schedule=st.lists(st.integers(0, 63), max_size=300),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_no_loss_no_duplication(self, n_tokens, schedule):
+        q = HostCasQueue(capacity=n_tokens + 8)
+        producers = [CasProducer(q, 100 + i) for i in range(n_tokens)]
+        consumers = [CasConsumer(q) for _ in range(n_tokens)]
+        interleave(producers + consumers, schedule)
+        got = sorted(c.got for c in consumers)
+        assert got == [100 + i for i in range(n_tokens)]
+
+    @given(schedule=st.lists(st.integers(0, 63), max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_cas_failures_counted_not_fatal(self, schedule):
+        q = HostCasQueue(capacity=32)
+        producers = [CasProducer(q, i) for i in range(6)]
+        consumers = [CasConsumer(q) for _ in range(6)]
+        interleave(producers + consumers, schedule)
+        # whatever the interleaving, the data arrives intact
+        assert sorted(c.got for c in consumers) == list(range(6))
+
+    def test_empty_queue_is_exception_not_block(self):
+        q = HostCasQueue(capacity=8)
+        c = CasConsumer(q)
+        for _ in range(5):
+            c.step()
+        assert not c.done
+        assert c.empty_seen == 5  # each attempt raised queue-empty
+
+    def test_full_detected(self):
+        q = HostCasQueue(capacity=1)
+        p1 = CasProducer(q, 1)
+        while not p1.done:
+            p1.step()
+        p2 = CasProducer(q, 2)
+        with pytest.raises(QueueFull):
+            while not p2.done:
+                p2.step()
+
+
+class TestContrast:
+    def test_rfan_reservation_vs_cas_exception(self):
+        """The defining behavioural difference: on an empty queue, RF/AN
+        hands out a slot to monitor; BASE raises an exception."""
+        rfan = HostRFANQueue(capacity=8)
+        rc = RFANConsumer(rfan)
+        rc.step()
+        assert rc.slot is not None  # parked, waiting for data
+
+        cas = HostCasQueue(capacity=8)
+        cc = CasConsumer(cas)
+        cc.step()
+        assert cc.slot is None
+        assert cc.empty_seen == 1  # exception, stays hungry

@@ -1,0 +1,81 @@
+"""Unit tests for the shared DeviceQueue host-side machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import DNA, FRONT, REAR, QueueFull, make_queue
+from repro.simt import GlobalMemory
+
+
+class TestConstruction:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            make_queue("RF/AN", 0)
+        with pytest.raises(ValueError):
+            make_queue("BASE", -5)
+
+    def test_prefixed_buffers_coexist(self):
+        mem = GlobalMemory()
+        a = make_queue("RF/AN", 8, prefix="qa")
+        b = make_queue("RF/AN", 8, prefix="qb")
+        a.allocate(mem)
+        b.allocate(mem)  # no name clash
+        assert "qa.data" in mem and "qb.data" in mem
+
+    def test_repr(self):
+        q = make_queue("AN", 16, prefix="x")
+        assert "16" in repr(q) and "x" in repr(q)
+
+
+class TestPhysMapping:
+    def test_monotonic_identity(self):
+        q = make_queue("RF/AN", 8)
+        assert q._phys(5) == 5
+        assert q._in_bounds(np.array([7, 8])).tolist() == [True, False]
+
+    def test_circular_wraps(self):
+        q = make_queue("RF/AN", 8, circular=True)
+        assert q._phys(13) == 5
+        assert q._in_bounds(np.array([100])).tolist() == [True]
+
+
+class TestSeedAndDrain:
+    def test_drain_host_returns_pending_tokens(self):
+        mem = GlobalMemory()
+        q = make_queue("RF/AN", 16)
+        q.allocate(mem)
+        q.seed(mem, [4, 5, 6])
+        assert q.drain_host(mem).tolist() == [4, 5, 6]
+
+    def test_sentinel_fill(self):
+        mem = GlobalMemory()
+        q = make_queue("RF/AN", 8)
+        q.allocate(mem)
+        assert (mem[q.buf_data] == DNA).all()
+
+    def test_seed_twice_appends(self):
+        mem = GlobalMemory()
+        q = make_queue("RF/AN", 16)
+        q.allocate(mem)
+        q.seed(mem, [1])
+        q.seed(mem, [2, 3])
+        assert mem[q.buf_ctrl][REAR] == 3
+        assert q.drain_host(mem).tolist() == [1, 2, 3]
+
+    def test_base_seed_sets_valid_flags(self):
+        mem = GlobalMemory()
+        q = make_queue("BASE", 16)
+        q.allocate(mem)
+        q.seed(mem, [9, 8])
+        assert mem[q.buf_valid][:3].tolist() == [1, 1, 0]
+
+    def test_circular_seed_wraps_physically(self):
+        mem = GlobalMemory()
+        q = make_queue("RF/AN", 4, circular=True)
+        q.allocate(mem)
+        # advance rear artificially to force wrapping
+        mem[q.buf_ctrl][REAR] = 3
+        mem[q.buf_ctrl][FRONT] = 3
+        q.seed(mem, [7, 9])
+        assert mem[q.buf_data][3] == 7
+        assert mem[q.buf_data][0] == 9

@@ -1,0 +1,47 @@
+"""Unit tests for the per-wavefront scheduler state."""
+
+import numpy as np
+import pytest
+
+from repro.core import DNA, WavefrontQueueState
+
+
+class TestWavefrontQueueState:
+    def test_initial(self):
+        st = WavefrontQueueState(8)
+        assert st.needs_work.all()
+        assert not st.has_token.any()
+        assert (st.slot == -1).all()
+        assert (st.token == DNA).all()
+        assert st.wavefront_size == 8
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            WavefrontQueueState(0)
+
+    def test_grant_and_complete(self):
+        st = WavefrontQueueState(8)
+        lanes = np.array([1, 4])
+        st.grant(lanes, np.array([10, 20]))
+        assert st.has_token[1] and st.has_token[4]
+        assert not st.needs_work[1]
+        assert st.token[4] == 20
+        st.check_invariants()
+
+        st.complete(np.array([1]))
+        assert not st.has_token[1]
+        assert st.needs_work[1]
+        assert st.has_token[4]
+        st.check_invariants()
+
+    def test_hungry_mask_excludes_watchers(self):
+        st = WavefrontQueueState(4)
+        st.slot[2] = 7  # lane 2 is parked on a slot
+        hungry = st.hungry_mask()
+        assert hungry.tolist() == [True, True, False, True]
+
+    def test_invariant_violation_detected(self):
+        st = WavefrontQueueState(4)
+        st.has_token[0] = True  # needs_work still set -> inconsistent
+        with pytest.raises(AssertionError):
+            st.check_invariants()

@@ -1,0 +1,103 @@
+"""Executable-documentation tests.
+
+The worked example in docs/extending.md and the example scripts must
+keep working; these tests run the doc's code verbatim (tree sum) and
+smoke-check every example script's structure.
+"""
+
+import ast
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import simt
+from repro.core import SchedulerControl, WorkCycleResult, make_queue, persistent_kernel
+from repro.simt import AtomicKind, AtomicRMW, Compute
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+class TreeSumWorker:
+    """The docs/extending.md worker, verbatim."""
+
+    def __init__(self, n):
+        self.n = n
+
+    def make_state(self, ctx):
+        return None
+
+    def work_cycle(self, ctx, ws, st):
+        wf = ctx.device.wavefront_size
+        active = st.has_token
+        yield Compute(2)
+        counts = np.zeros(wf, dtype=np.int64)
+        kids = np.zeros((wf, 2), dtype=np.int64)
+        if active.any():
+            v = st.token[active]
+            acc = AtomicRMW(
+                "sum", np.zeros(v.size, dtype=np.int64), AtomicKind.ADD, v
+            )
+            yield acc
+            for j, lane in enumerate(np.flatnonzero(active)):
+                for c in (2 * int(v[j]) + 1, 2 * int(v[j]) + 2):
+                    if c < self.n:
+                        kids[lane, counts[lane]] = c
+                        counts[lane] += 1
+        return WorkCycleResult(
+            completed=active.copy(), new_counts=counts, new_tokens=kids
+        )
+
+
+class TestExtendingDoc:
+    @pytest.mark.parametrize("variant", ["BASE", "AN", "RF/AN"])
+    def test_tree_sum_worker(self, variant, testgpu):
+        n = 1023
+        engine = simt.Engine(testgpu)
+        engine.memory.alloc("sum", 1)
+        queue = make_queue(variant, capacity=4 * n)
+        sched = SchedulerControl()
+        queue.allocate(engine.memory)
+        sched.allocate(engine.memory)
+        queue.seed(engine.memory, [0])
+        sched.seed(engine.memory, 1)
+        engine.launch(persistent_kernel(queue, TreeSumWorker(n), sched), 8)
+        assert engine.memory["sum"][0] == n * (n - 1) // 2
+
+
+class TestExampleScripts:
+    EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+
+    def test_at_least_five_examples(self):
+        assert len(self.EXAMPLES) >= 5
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLES, ids=lambda p: p.name
+    )
+    def test_example_is_wellformed(self, path):
+        """Each example parses, has a module docstring with a Run line,
+        a main(), and a __main__ guard."""
+        tree = ast.parse(path.read_text())
+        doc = ast.get_docstring(tree) or ""
+        assert "Run:" in doc, path.name
+        names = {
+            node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in names, path.name
+        guards = [
+            node
+            for node in tree.body
+            if isinstance(node, ast.If)
+            and isinstance(node.test, ast.Compare)
+        ]
+        assert guards, f"{path.name} lacks a __main__ guard"
+
+    def test_quickstart_runs_end_to_end(self, capsys):
+        import runpy
+        import sys
+
+        path = REPO / "examples" / "quickstart.py"
+        sys.argv = [str(path)]
+        runpy.run_path(str(path), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "RF/AN vs BASE speedup" in out

@@ -1,0 +1,139 @@
+"""Failure-injection tests: the system must fail loudly, never silently.
+
+Each test corrupts device state or configuration mid-experiment and
+checks that the corresponding guard fires with a diagnosable error —
+the behaviours a user will hit first when extending the library.
+"""
+
+import numpy as np
+import pytest
+
+from repro import simt
+from repro.bfs import run_persistent_bfs
+from repro.bfs.common import BUF_COSTS, alloc_graph_buffers
+from repro.core import (
+    DNA,
+    QueueFull,
+    SchedulerControl,
+    WavefrontQueueState,
+    make_queue,
+    persistent_kernel,
+)
+from repro.graphs import path_graph, star_graph
+from repro.simt import (
+    Compute,
+    Engine,
+    KernelAbort,
+    MemRead,
+    MemoryFault,
+    SimulationTimeout,
+)
+
+from test_core_scheduler import CountdownWorker
+
+
+class TestMemoryFaults:
+    def test_out_of_bounds_read_faults(self, testgpu):
+        eng = Engine(testgpu)
+        eng.memory.alloc("b", 4)
+
+        def kernel(ctx):
+            yield MemRead("b", 99)
+
+        with pytest.raises(MemoryFault, match="out of bounds"):
+            eng.launch(kernel, 1)
+
+    def test_unknown_buffer_faults(self, testgpu):
+        eng = Engine(testgpu)
+
+        def kernel(ctx):
+            yield MemRead("ghost", 0)
+
+        with pytest.raises(MemoryFault, match="ghost"):
+            eng.launch(kernel, 1)
+
+
+class TestQueueCorruption:
+    def test_clobbered_sentinel_triggers_queue_full(self, testgpu):
+        """A non-sentinel value where the enqueuer expects `dna` is the
+        paper's queue-full detection (Listing 3, line 25)."""
+        eng = Engine(testgpu)
+        q = make_queue("RF/AN", capacity=64)
+        q.allocate(eng.memory)
+        # corrupt a slot the first publish will target
+        eng.memory[q.buf_data][0] = 12345
+
+        def kernel(ctx):
+            st = WavefrontQueueState(ctx.device.wavefront_size)
+            counts = np.zeros(ctx.device.wavefront_size, dtype=np.int64)
+            counts[0] = 1
+            toks = np.zeros((ctx.device.wavefront_size, 1), dtype=np.int64)
+            yield from q.publish(ctx, st, counts, toks)
+
+        with pytest.raises(KernelAbort, match="data-not-arrived"):
+            eng.launch(kernel, 1)
+
+    def test_pending_undercount_cannot_look_successful(self, testgpu):
+        """Seeding fewer in-flight tasks than tokens must fail loudly:
+        either a racing decrement drives the counter negative (the
+        scheduler raises), or the done flag fires early and the run
+        visibly completes fewer tasks than the workload contains —
+        never a clean-looking full run."""
+        eng = Engine(testgpu)
+        q = make_queue("RF/AN", capacity=128)
+        sched = SchedulerControl()
+        q.allocate(eng.memory)
+        sched.allocate(eng.memory)
+        q.seed(eng.memory, [3, 3, 3])
+        sched.seed(eng.memory, 1)  # lie: 3 tokens, 1 counted
+        kern = persistent_kernel(q, CountdownWorker(), sched)
+        expected_tasks = (3 + 1) * 3
+        try:
+            res = eng.launch(kern, 2, params={"max_work_cycles": 10_000})
+        except RuntimeError as exc:
+            assert "negative" in str(exc)
+        else:
+            done = res.stats.custom.get("scheduler.tasks_completed", 0)
+            assert done < expected_tasks
+
+    def test_stuck_termination_hits_watchdog(self, testgpu):
+        """Overcounting leaves pending > 0 forever; the engine watchdog
+        (rather than a silent hang) reports it."""
+        eng = Engine(testgpu)
+        q = make_queue("RF/AN", capacity=128)
+        sched = SchedulerControl()
+        q.allocate(eng.memory)
+        sched.allocate(eng.memory)
+        q.seed(eng.memory, [1])
+        sched.seed(eng.memory, 2)  # one phantom task
+        kern = persistent_kernel(q, CountdownWorker(), sched)
+        with pytest.raises(SimulationTimeout):
+            eng.launch(kern, 2, max_cycles=500_000)
+
+
+class TestCapacityPressure:
+    @pytest.mark.parametrize("variant", ["BASE", "AN", "RF/AN"])
+    def test_every_variant_aborts_clean_on_overflow(self, variant, testgpu):
+        g = star_graph(500)
+        with pytest.raises(QueueFull):
+            run_persistent_bfs(
+                g, 0, variant, testgpu, 4, capacity=8, grow_on_full=False
+            )
+
+    def test_costs_intact_after_grow_retry(self, testgpu):
+        """The §4.4 regrow path must restart cleanly: final costs are
+        correct even though earlier attempts aborted mid-flight."""
+        g = star_graph(300)
+        run = run_persistent_bfs(
+            g, 0, "RF/AN", testgpu, 4, capacity=16, grow_on_full=True
+        )
+        run.verify(g, 0)
+
+
+class TestHostCorruptionVisibility:
+    def test_cost_corruption_caught_by_verify(self, testgpu):
+        g = path_graph(16)
+        run = run_persistent_bfs(g, 0, "AN", testgpu, 2)
+        run.costs[7] = 0
+        with pytest.raises(AssertionError, match="vertex 7"):
+            run.verify(g, 0)

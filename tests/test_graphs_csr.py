@@ -1,0 +1,110 @@
+"""Unit and property tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import CSRGraph
+
+
+def edges_strategy(max_n=20, max_m=60):
+    return st.integers(2, max_n).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                max_size=max_m,
+            ),
+        )
+    )
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (0, 2), (2, 3)])
+        assert g.n_vertices == 4
+        assert g.n_edges == 3
+        assert sorted(g.neighbors(0).tolist()) == [1, 2]
+        assert g.neighbors(1).tolist() == []
+        assert g.neighbors(2).tolist() == [3]
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(3, [])
+        assert g.n_vertices == 3
+        assert g.n_edges == 0
+
+    def test_dedup_drops_self_loops_and_dupes(self):
+        g = CSRGraph.from_edges(
+            3, [(0, 1), (0, 1), (1, 1), (1, 2)], dedup=True
+        )
+        assert g.n_edges == 2
+
+    def test_invalid_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0]))  # offsets[0] != 0
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2, 1]), np.array([0]))  # decreasing
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([5]))  # target out of range
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2]), np.array([0]))  # offsets[-1] mismatch
+
+    def test_edge_endpoint_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [(0, 5)])
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [(-1, 0)])
+
+    @given(edges_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_property_roundtrip_from_to_edges(self, args):
+        n, edges = args
+        g = CSRGraph.from_edges(n, edges)
+        back = g.to_edges()
+        assert sorted(map(tuple, back.tolist())) == sorted(
+            (int(a), int(b)) for a, b in edges
+        )
+
+
+class TestDerivedGraphs:
+    def test_symmetrized(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)]).symmetrized()
+        assert sorted(g.neighbors(1).tolist()) == [0, 2]
+        assert g.neighbors(2).tolist() == [1]
+
+    def test_reversed(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (0, 2)]).reversed()
+        assert g.neighbors(1).tolist() == [0]
+        assert g.neighbors(2).tolist() == [0]
+        assert g.neighbors(0).tolist() == []
+
+    @given(edges_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_property_reverse_involution(self, args):
+        n, edges = args
+        g = CSRGraph.from_edges(n, edges)
+        gg = g.reversed().reversed()
+        assert sorted(map(tuple, g.to_edges().tolist())) == sorted(
+            map(tuple, gg.to_edges().tolist())
+        )
+
+
+class TestStats:
+    def test_degree_stats(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2)])
+        s = g.degree_stats()
+        assert s.n_vertices == 4
+        assert s.n_edges == 4
+        assert s.min == 0
+        assert s.max == 3
+        assert s.avg == pytest.approx(1.0)
+
+    def test_degree_vector_and_scalar(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (0, 2)])
+        assert g.degree(0) == 2
+        assert g.degree().tolist() == [2, 0, 0]
+
+    def test_iter_edges(self):
+        g = CSRGraph.from_edges(3, [(2, 0), (0, 1)])
+        assert sorted(g.iter_edges()) == [(0, 1), (2, 0)]

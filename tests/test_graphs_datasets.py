@@ -1,0 +1,112 @@
+"""Tests for the dataset registry: every stand-in must reproduce the
+category signature the paper's evaluation depends on."""
+
+import pytest
+
+from repro.graphs import (
+    ALL_DATASETS,
+    CHAI_DATASETS,
+    PAPER_DATASETS,
+    RODINIA_DATASETS,
+    dataset,
+    eccentricity,
+    level_profile,
+    load_dataset,
+    paper_dataset_names,
+    reachable_count,
+)
+
+# a tiny scale used to keep these tests fast; category shape must survive
+TINY = {
+    "Synthetic": 1 / 2000,
+    "gplus_combined": 1 / 40,
+    "soc-LiveJournal1": 1 / 800,
+    "USA-road-d.NY": 1 / 64,
+    "USA-road-d.LKS": 1 / 512,
+    "USA-road-d.USA": 1 / 4096,
+    "NYR_input": 1 / 64,
+    "USA-road-d.BAY": 1 / 64,
+    "graph4096": 1.0,
+    "graph65536": 1 / 8,
+    "graph1MW_6": 1 / 64,
+}
+
+
+class TestRegistry:
+    def test_paper_dataset_names_order(self):
+        assert paper_dataset_names() == [
+            "Synthetic",
+            "gplus_combined",
+            "soc-LiveJournal1",
+            "USA-road-d.NY",
+            "USA-road-d.LKS",
+            "USA-road-d.USA",
+        ]
+
+    def test_all_registries_disjoint_union(self):
+        assert set(ALL_DATASETS) == (
+            set(PAPER_DATASETS) | set(CHAI_DATASETS) | set(RODINIA_DATASETS)
+        )
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            dataset("no-such-graph")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            dataset("Synthetic").build(0)
+
+    @pytest.mark.parametrize("name", sorted(ALL_DATASETS))
+    def test_builds_and_named(self, name):
+        g = load_dataset(name, scale=TINY[name])
+        assert g.name == name
+        assert g.n_vertices > 0
+        assert g.n_edges > 0
+
+
+class TestCategoryShapes:
+    def test_synthetic_saturates(self):
+        spec = dataset("Synthetic")
+        g = spec.build(TINY["Synthetic"])
+        prof = level_profile(g, spec.source)
+        assert prof[0] == 1 and prof[1] == 4  # fanout-4 growth
+        assert reachable_count(g, spec.source) == g.n_vertices
+
+    @pytest.mark.parametrize("name", ["gplus_combined", "soc-LiveJournal1"])
+    def test_social_shallow_heavy_tail(self, name):
+        spec = dataset(name)
+        g = spec.build(TINY[name])
+        s = g.degree_stats()
+        assert s.std > s.avg  # Table 1's signature
+        assert eccentricity(g, spec.source) <= 8
+
+    @pytest.mark.parametrize(
+        "name",
+        ["USA-road-d.NY", "USA-road-d.LKS", "USA-road-d.USA",
+         "NYR_input", "USA-road-d.BAY"],
+    )
+    def test_roadmaps_deep_sparse(self, name):
+        spec = dataset(name)
+        g = spec.build(TINY[name])
+        s = g.degree_stats()
+        assert s.max <= 9  # Table 2 envelope
+        assert 2.0 <= s.avg <= 3.2
+        side = int(g.n_vertices ** 0.5)
+        assert eccentricity(g, spec.source) >= side  # deep
+
+    @pytest.mark.parametrize(
+        "name", ["graph4096", "graph65536", "graph1MW_6"]
+    )
+    def test_rodinia_shallow(self, name):
+        spec = dataset(name)
+        g = spec.build(TINY[name])
+        assert eccentricity(g, spec.source) <= 11  # §6.4.2
+
+    def test_roadmap_size_ladder_preserved(self):
+        """NY < LKS < USA at any common scale (the paper's size ladder)."""
+        sizes = [
+            dataset(n).build(1 / 1024).n_vertices
+            for n in ("USA-road-d.NY", "USA-road-d.LKS", "USA-road-d.USA")
+        ]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[2]

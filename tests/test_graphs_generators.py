@@ -1,0 +1,163 @@
+"""Tests that the dataset generators reproduce the properties the paper's
+evaluation depends on (category shapes of §5.2, Tables 1-2, Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    bfs_levels,
+    complete_binary_tree,
+    eccentricity,
+    level_profile,
+    path_graph,
+    reachable_count,
+    roadmap_graph,
+    rodinia_graph,
+    social_graph,
+    star_graph,
+    synthetic_saturating,
+)
+
+
+class TestSyntheticSaturating:
+    def test_level_structure_matches_paper(self):
+        """Growth by 4x per level for 8 levels, then a constant plateau —
+        §5.2's description of Figure 3a."""
+        g = synthetic_saturating(200_000, fanout=4, plateau_width=4096)
+        prof = level_profile(g, 0)
+        assert prof[0] == 1
+        for k in range(1, 7):
+            assert prof[k] == 4 ** k
+        plateau = prof[7:-1]
+        assert (plateau == 4096).all()
+
+    def test_fully_connected_from_root(self):
+        g = synthetic_saturating(5000, plateau_width=256)
+        assert reachable_count(g, 0) == 5000
+
+    def test_every_internal_vertex_has_fanout_edges(self):
+        g = synthetic_saturating(1000, fanout=4, plateau_width=64)
+        deg = g.degree()
+        prof = level_profile(g, 0)
+        n_leaves = int(prof[-1])
+        internal = deg[: g.n_vertices - n_leaves]
+        assert (internal == 4).all()
+        assert (deg[g.n_vertices - n_leaves :] == 0).all()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            synthetic_saturating(0)
+        with pytest.raises(ValueError):
+            synthetic_saturating(10, fanout=0)
+        with pytest.raises(ValueError):
+            synthetic_saturating(10, plateau_width=0)
+
+    def test_deterministic(self):
+        a = synthetic_saturating(1000, plateau_width=64)
+        b = synthetic_saturating(1000, plateau_width=64)
+        assert np.array_equal(a.targets, b.targets)
+
+
+class TestSocialGraph:
+    def test_shape_heavy_fanout_shallow_depth(self):
+        """Social graphs: large skewed fanout, not very deep (§5.2)."""
+        g = social_graph(4000, avg_degree=30, seed=1)
+        s = g.degree_stats()
+        assert s.max > 8 * s.avg  # heavy tail
+        assert s.std > s.avg  # large std, as in Table 1
+        src = int(np.argmax(g.degree()))
+        assert eccentricity(g, src) <= 6  # shallow
+
+    def test_avg_degree_roughly_controlled(self):
+        g = social_graph(5000, avg_degree=20, seed=2)
+        # symmetrization doubles edges; dedup removes a few
+        assert 20 <= g.degree_stats().avg <= 48
+
+    def test_deterministic_given_seed(self):
+        a = social_graph(500, avg_degree=8, seed=7)
+        b = social_graph(500, avg_degree=8, seed=7)
+        assert np.array_equal(a.targets, b.targets)
+        c = social_graph(500, avg_degree=8, seed=8)
+        assert not np.array_equal(a.targets, c.targets) or a.n_edges != c.n_edges
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            social_graph(0, 5)
+        with pytest.raises(ValueError):
+            social_graph(10, 0)
+        with pytest.raises(ValueError):
+            social_graph(10, 5, exponent=1.0)
+
+
+class TestRoadmapGraph:
+    def test_degree_stats_in_table2_envelope(self):
+        """Table 2: roadmaps have min>=1, max<=9, avg in [2.4, 2.8]."""
+        g = roadmap_graph(80, 80, seed=3)
+        s = g.degree_stats()
+        assert s.min >= 1
+        assert s.max <= 9
+        assert 2.2 <= s.avg <= 3.0
+
+    def test_connected_and_deep(self):
+        g = roadmap_graph(40, 40, seed=4)
+        assert reachable_count(g, 0) == 1600
+        # BFS from a corner is O(width + height) deep
+        assert eccentricity(g, 0) >= 40
+
+    def test_undirected(self):
+        g = roadmap_graph(10, 10, seed=5)
+        edges = set(map(tuple, g.to_edges().tolist()))
+        assert all((b, a) in edges for a, b in edges)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            roadmap_graph(1, 10)
+        with pytest.raises(ValueError):
+            roadmap_graph(10, 10, vertical_fraction=1.5)
+        with pytest.raises(ValueError):
+            roadmap_graph(10, 10, diagonal_fraction=-0.1)
+
+
+class TestRodiniaGraph:
+    def test_shallow_as_rodinia_inputs(self):
+        """§6.4.2: none of Rodinia's datasets exceeds 11 BFS levels."""
+        g = rodinia_graph(4096, avg_degree=6, seed=6)
+        assert eccentricity(g, 0) <= 11
+
+    def test_avg_degree(self):
+        g = rodinia_graph(20_000, avg_degree=6, seed=7)
+        assert 5.0 <= g.degree_stats().avg <= 7.0
+
+    def test_mostly_reachable(self):
+        g = rodinia_graph(4096, seed=8)
+        assert reachable_count(g, 0) >= 4000
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            rodinia_graph(0)
+        with pytest.raises(ValueError):
+            rodinia_graph(10, avg_degree=1)
+
+
+class TestToyGraphs:
+    def test_path(self):
+        g = path_graph(4)
+        assert g.n_edges == 3
+        assert bfs_levels(g, 0).tolist() == [0, 1, 2, 3]
+
+    def test_star(self):
+        g = star_graph(5)
+        assert g.degree(0) == 4
+
+    def test_btree(self):
+        g = complete_binary_tree(2)
+        assert g.n_vertices == 7
+        assert g.n_edges == 6
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            path_graph(0)
+        with pytest.raises(ValueError):
+            star_graph(0)
+        with pytest.raises(ValueError):
+            complete_binary_tree(-1)

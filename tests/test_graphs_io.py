@@ -1,0 +1,104 @@
+"""Round-trip tests for the three graph file formats."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    CSRGraph,
+    load_dimacs_gr,
+    load_rodinia,
+    load_snap_edgelist,
+    rodinia_graph,
+    save_dimacs_gr,
+    save_rodinia,
+    save_snap_edgelist,
+)
+
+
+def sample_graph():
+    return CSRGraph.from_edges(
+        5, [(0, 1), (0, 2), (1, 3), (3, 4), (4, 0)], name="sample"
+    )
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        g = sample_graph()
+        buf = io.StringIO()
+        save_dimacs_gr(g, buf, comment="test graph")
+        buf.seek(0)
+        g2 = load_dimacs_gr(buf)
+        assert g2.n_vertices == g.n_vertices
+        assert sorted(g2.iter_edges()) == sorted(g.iter_edges())
+
+    def test_parse_real_format(self):
+        text = """c 9th DIMACS Implementation Challenge
+c sample
+p sp 3 2
+a 1 2 804
+a 2 3 102
+"""
+        g = load_dimacs_gr(io.StringIO(text))
+        assert g.n_vertices == 3
+        assert sorted(g.iter_edges()) == [(0, 1), (1, 2)]
+
+    def test_missing_problem_line(self):
+        with pytest.raises(ValueError, match="problem"):
+            load_dimacs_gr(io.StringIO("a 1 2 3\n"))
+
+    def test_bad_arc_line(self):
+        with pytest.raises(ValueError, match="arc"):
+            load_dimacs_gr(io.StringIO("p sp 2 1\na 1\n"))
+
+    def test_blank_lines_tolerated(self):
+        g = load_dimacs_gr(io.StringIO("p sp 2 1\n\na 1 2 1\n\n"))
+        assert g.n_edges == 1
+
+
+class TestSnap:
+    def test_roundtrip(self):
+        g = sample_graph()
+        buf = io.StringIO()
+        save_snap_edgelist(g, buf, comment="sample")
+        buf.seek(0)
+        g2 = load_snap_edgelist(buf)
+        assert sorted(g2.iter_edges()) == sorted(g.iter_edges())
+
+    def test_id_compaction(self):
+        """SNAP files use arbitrary ids; loader compacts to 0..n-1."""
+        text = "# comment\n100\t200\n200\t300\n"
+        g = load_snap_edgelist(io.StringIO(text))
+        assert g.n_vertices == 3
+        assert sorted(g.iter_edges()) == [(0, 1), (1, 2)]
+
+    def test_bad_line(self):
+        with pytest.raises(ValueError):
+            load_snap_edgelist(io.StringIO("42\n"))
+
+    def test_empty_file(self):
+        g = load_snap_edgelist(io.StringIO("# nothing\n"))
+        assert g.n_edges == 0
+
+
+class TestRodinia:
+    def test_roundtrip(self):
+        g = rodinia_graph(64, seed=1)
+        buf = io.StringIO()
+        save_rodinia(g, buf, source=3)
+        buf.seek(0)
+        g2, src = load_rodinia(buf)
+        assert src == 3
+        assert g2.n_vertices == g.n_vertices
+        assert np.array_equal(g2.offsets, g.offsets)
+        assert np.array_equal(g2.targets, g.targets)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            load_rodinia(io.StringIO("5\n0 2\n"))
+
+    def test_degree_sum_mismatch_rejected(self):
+        # 1 vertex claiming 2 edges but edge count says 1
+        with pytest.raises(ValueError):
+            load_rodinia(io.StringIO("1\n0 2\n0\n1\n0 1\n"))

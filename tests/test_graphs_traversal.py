@@ -1,0 +1,98 @@
+"""Tests for the CPU reference BFS (the reproduction's oracle) — checked
+against networkx, so the oracle itself has an independent oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    CSRGraph,
+    bfs_levels,
+    complete_binary_tree,
+    eccentricity,
+    level_profile,
+    path_graph,
+    reachable_count,
+    saturation_levels,
+    star_graph,
+)
+
+
+class TestBfsLevels:
+    def test_path(self):
+        g = path_graph(5)
+        assert bfs_levels(g, 0).tolist() == [0, 1, 2, 3, 4]
+        assert bfs_levels(g, 2).tolist() == [-1, -1, 0, 1, 2]
+
+    def test_star(self):
+        g = star_graph(6)
+        assert bfs_levels(g, 0).tolist() == [0, 1, 1, 1, 1, 1]
+
+    def test_binary_tree(self):
+        g = complete_binary_tree(3)
+        lv = bfs_levels(g, 0)
+        assert lv[0] == 0
+        assert (lv[1:3] == 1).all()
+        assert (lv[3:7] == 2).all()
+        assert (lv[7:] == 3).all()
+
+    def test_unreachable(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        assert bfs_levels(g, 0).tolist() == [0, 1, -1]
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            bfs_levels(path_graph(3), 5)
+
+    def test_zero_degree_frontier(self):
+        # frontier consisting only of sinks must terminate cleanly
+        g = CSRGraph.from_edges(4, [(0, 1), (0, 2)])
+        assert bfs_levels(g, 0).tolist() == [0, 1, 1, -1]
+
+    @given(
+        st.integers(2, 25).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(
+                    st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                    max_size=80,
+                ),
+            )
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_matches_networkx(self, args):
+        n, edges = args
+        g = CSRGraph.from_edges(n, edges)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(n))
+        nxg.add_edges_from(edges)
+        ref = nx.single_source_shortest_path_length(nxg, 0)
+        got = bfs_levels(g, 0)
+        for v in range(n):
+            assert int(got[v]) == ref.get(v, -1)
+
+
+class TestProfiles:
+    def test_level_profile_tree(self):
+        g = complete_binary_tree(3)
+        assert level_profile(g, 0).tolist() == [1, 2, 4, 8]
+
+    def test_level_profile_unreachable_excluded(self):
+        g = CSRGraph.from_edges(4, [(0, 1)])
+        assert level_profile(g, 0).tolist() == [1, 1]
+
+    def test_reachable_count(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)])
+        assert reachable_count(g, 0) == 2
+
+    def test_eccentricity(self):
+        assert eccentricity(path_graph(7), 0) == 6
+        assert eccentricity(star_graph(9), 0) == 1
+
+    def test_saturation_levels(self):
+        prof = np.array([1, 4, 16, 64, 64, 8])
+        assert saturation_levels(prof, 16) == [2, 3, 4]
+        assert saturation_levels(prof, 100) == []

@@ -1,0 +1,93 @@
+"""Tests for the harness configuration, paper-data constants, and CLI."""
+
+import pytest
+
+from repro.graphs import paper_dataset_names
+from repro.harness import EXPERIMENTS, HarnessConfig
+from repro.harness.cli import main
+from repro.harness.paper_data import (
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+)
+from repro.simt import FIJI, SPECTRE
+
+
+class TestHarnessConfig:
+    def test_paper_device_geometry(self):
+        cfg = HarnessConfig()
+        configs = dict((d.name, wg) for d, wg in cfg.device_configs())
+        assert configs == {"Fiji": 224, "Spectre": 32}
+
+    def test_quick_device_geometry_shrinks(self):
+        cfg = HarnessConfig(quick=True)
+        for dev, wg in cfg.device_configs():
+            assert wg <= 56
+
+    def test_wg_sweep_bounded_by_paper_top(self):
+        cfg = HarnessConfig()
+        fiji = cfg.wg_sweep(FIJI)
+        spectre = cfg.wg_sweep(SPECTRE)
+        assert fiji[0] == 1 and fiji[-1] == 224
+        assert spectre[-1] == 32
+        assert all(a < b for a, b in zip(fiji, fiji[1:]))
+
+    def test_build_scales(self):
+        small = HarnessConfig(quick=True).build("Synthetic")
+        big = HarnessConfig().build("Synthetic")
+        assert small.n_vertices < big.n_vertices
+
+    def test_extra_factor(self):
+        cfg = HarnessConfig()
+        a = cfg.build("USA-road-d.NY", extra_factor=0.25)
+        b = cfg.build("USA-road-d.NY")
+        assert a.n_vertices < b.n_vertices
+
+
+class TestPaperData:
+    def test_table3_complete(self):
+        names = set(paper_dataset_names())
+        for dev in ("Fiji", "Spectre"):
+            covered = {d for (g, d) in PAPER_TABLE3 if g == dev}
+            assert covered == names
+
+    def test_table4_consistent_with_table3(self):
+        """Table 4 is Table 3's BASE/variant ratio; the transcriptions
+        must agree within rounding."""
+        for key, cell in PAPER_TABLE4.items():
+            t3 = PAPER_TABLE3[key]
+            for variant in ("AN", "RF/AN"):
+                derived = 100.0 * t3["BASE"] / t3[variant]
+                assert derived == pytest.approx(cell[variant], rel=0.01), key
+
+    def test_table5_speedups_consistent(self):
+        for name, (chai, rfan, speedup) in PAPER_TABLE5.items():
+            assert chai / rfan == pytest.approx(speedup, rel=0.01), name
+
+    def test_table6_speedups_consistent(self):
+        for key, (rod, rfan, speedup) in PAPER_TABLE6.items():
+            assert rod / rfan == pytest.approx(speedup, rel=0.01), key
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for exp in EXPERIMENTS:
+            assert exp in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "tab3" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["tabZZ"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_runs_and_saves(self, capsys, tmp_path):
+        rc = main(["tab1", "--quick", "--out", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "tab1.txt").exists()
+        assert (tmp_path / "tab1.json").exists()
+        assert "Table 1" in capsys.readouterr().out

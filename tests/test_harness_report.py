@@ -1,0 +1,90 @@
+"""Unit tests for the harness's text rendering and result persistence."""
+
+import json
+
+import pytest
+
+from repro.harness.report import ascii_chart, render_series, render_table
+from repro.harness.results import ExperimentResult
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(
+            ["name", "v"],
+            [["alpha", 1], ["b", 22222]],
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "v" in lines[1]
+        assert "alpha" in lines[3]
+        assert "22222" in lines[4]
+        # all data rows share one width
+        assert len(lines[3]) == len(lines[4])
+
+    def test_float_formatting(self):
+        out = render_table(["x"], [[0.000123456], [1234.5], [0.5], [0]])
+        assert "1.235e-04" in out
+        assert "1.234e+03" in out  # large magnitudes go scientific
+        assert "0.5" in out
+
+    def test_empty_rows(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestAsciiChart:
+    def test_renders_series_glyphs(self):
+        out = ascii_chart(
+            {"up": [1, 2, 3], "down": [3, 2, 1]}, x=[1, 2, 3], title="C"
+        )
+        assert out.startswith("C")
+        assert "*" in out and "o" in out
+        assert "*=up" in out and "o=down" in out
+
+    def test_log_scale(self):
+        out = ascii_chart({"s": [1, 10, 100]}, x=[0, 1, 2], logy=True)
+        assert "100" in out
+
+    def test_empty(self):
+        out = ascii_chart({"s": []}, x=[], title="E")
+        assert "no data" in out
+
+    def test_constant_series(self):
+        out = ascii_chart({"s": [5, 5, 5]}, x=[0, 1, 2])
+        assert "*" in out
+
+    def test_none_points_skipped(self):
+        out = ascii_chart({"s": [1, None, 3]}, x=[0, 1, 2])
+        assert "*" in out
+
+
+class TestRenderSeries:
+    def test_rows_per_x(self):
+        out = render_series({"a": [10, 20], "b": [1, 2]}, x=["p", "q"])
+        assert "p" in out and "q" in out
+        assert "20" in out and "2" in out
+
+    def test_ragged_series_padded(self):
+        out = render_series({"a": [10], "b": [1, 2]}, x=[0, 1])
+        assert "None" in out
+
+
+class TestExperimentResult:
+    def test_save_roundtrip(self, tmp_path):
+        import numpy as np
+
+        res = ExperimentResult(
+            "tabX", "demo", "body",
+            {"n": np.int64(3), "xs": np.arange(2), "f": np.float64(0.5)},
+        )
+        path = res.save(tmp_path)
+        assert (tmp_path / "tabX.txt").read_text() == "body\n"
+        data = json.loads(path.read_text())
+        assert data == {"n": 3, "xs": [0, 1], "f": 0.5}
+
+    def test_unserializable_rejected(self, tmp_path):
+        res = ExperimentResult("bad", "t", "x", {"obj": object()})
+        with pytest.raises(TypeError):
+            res.save(tmp_path)

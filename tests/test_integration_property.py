@@ -1,0 +1,80 @@
+"""Property-based integration tests: random workloads, every variant.
+
+Hypothesis generates random graphs and scheduler configurations; every
+simulated run must agree exactly with its oracle.  These are the tests
+that catch interleaving bugs no hand-written case would find (they are
+bounded tightly so the whole module stays under a minute).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import simt
+from repro.bfs import run_persistent_bfs
+from repro.core import QUEUE_VARIANTS, SchedulerControl, make_queue, persistent_kernel
+from repro.graphs import CSRGraph
+
+from test_core_scheduler import CountdownWorker
+
+VARIANTS = sorted(QUEUE_VARIANTS)
+
+
+def graphs_strategy(max_n=40, max_m=120):
+    return st.integers(2, max_n).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                max_size=max_m,
+            ),
+        )
+    )
+
+
+class TestRandomBFS:
+    @given(
+        args=graphs_strategy(),
+        variant=st.sampled_from(VARIANTS),
+        n_wf=st.integers(1, 8),
+        subtasks=st.integers(1, 6),
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_bfs_always_matches_oracle(self, args, variant, n_wf, subtasks):
+        n, edges = args
+        g = CSRGraph.from_edges(n, edges, name="hyp")
+        run_persistent_bfs(
+            g, 0, variant, simt.TESTGPU, n_wf,
+            subtasks_per_cycle=subtasks, verify=True,
+        )
+
+
+class TestRandomCountdown:
+    @given(
+        seeds=st.lists(st.integers(0, 20), min_size=1, max_size=12),
+        variant=st.sampled_from(VARIANTS),
+        n_wf=st.integers(1, 8),
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_exact_task_accounting(self, seeds, variant, n_wf):
+        eng = simt.Engine(simt.TESTGPU)
+        q = make_queue(variant, capacity=4096)
+        sched = SchedulerControl()
+        q.allocate(eng.memory)
+        sched.allocate(eng.memory)
+        q.seed(eng.memory, seeds)
+        sched.seed(eng.memory, len(seeds))
+        kern = persistent_kernel(q, CountdownWorker(), sched)
+        res = eng.launch(kern, n_wf, params={"max_work_cycles": 100_000})
+        expected = sum(v + 1 for v in seeds)
+        assert res.stats.custom["scheduler.tasks_completed"] == expected
+        assert sched.pending(eng.memory) == 0

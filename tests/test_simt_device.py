@@ -1,0 +1,60 @@
+"""Unit tests for device specifications."""
+
+import pytest
+
+from repro import simt
+from repro.simt.device import paper_workgroups
+
+
+class TestDeviceSpec:
+    def test_fiji_matches_paper(self):
+        # §5.4: Fiji has 56 CUs; 224 workgroups of 64 threads = 14,336.
+        assert simt.FIJI.n_cus == 56
+        assert simt.FIJI.wavefront_size == 64
+        assert paper_workgroups(simt.FIJI) == 224
+        assert paper_workgroups(simt.FIJI) * 64 == 14_336
+
+    def test_spectre_matches_paper(self):
+        # §5.4: Spectre has 8 CUs; 32 workgroups = 2,048 threads.
+        assert simt.SPECTRE.n_cus == 8
+        assert paper_workgroups(simt.SPECTRE) == 32
+        assert paper_workgroups(simt.SPECTRE) * 64 == 2_048
+
+    def test_residency_accommodates_paper_launch(self):
+        # 4 workgroups per CU must be resident for zero-cost switching.
+        for dev in (simt.FIJI, simt.SPECTRE):
+            assert paper_workgroups(dev) <= dev.max_resident_wavefronts
+
+    def test_seconds_conversion(self):
+        dev = simt.DeviceSpec(name="x", n_cus=1, clock_hz=2.0e9)
+        assert dev.seconds(2_000_000_000) == pytest.approx(1.0)
+
+    def test_with_override(self):
+        dev = simt.FIJI.with_(n_cus=4)
+        assert dev.n_cus == 4
+        assert dev.name == simt.FIJI.name
+        assert simt.FIJI.n_cus == 56  # original untouched
+
+    def test_max_threads(self):
+        dev = simt.TESTGPU
+        assert dev.max_threads == dev.n_cus * dev.max_wavefronts_per_cu * dev.wavefront_size
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_cus": 0},
+            {"n_cus": -1},
+            {"wavefront_size": 0},
+            {"max_wavefronts_per_cu": 0},
+            {"clock_hz": 0.0},
+            {"issue_cycles": -1},
+            {"mem_latency": -5},
+            {"l2_latency": -1},
+            {"atomic_service": -2},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        base = dict(name="bad", n_cus=1)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            simt.DeviceSpec(**base)

@@ -1,0 +1,83 @@
+"""Unit and property tests for the lane-mask helpers behind arbitrary-n."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simt import ballot, first_active, lane_ids, rank_within, segmented_rank
+
+
+class TestRankWithin:
+    def test_all_set(self):
+        ranks, total = rank_within(np.ones(8, dtype=bool))
+        assert total == 8
+        assert ranks.tolist() == list(range(8))
+
+    def test_none_set(self):
+        ranks, total = rank_within(np.zeros(8, dtype=bool))
+        assert total == 0
+        assert (ranks == 0).all()
+
+    def test_sparse(self):
+        mask = np.array([0, 1, 0, 1, 1, 0, 0, 1], dtype=bool)
+        ranks, total = rank_within(mask)
+        assert total == 4
+        assert ranks[mask].tolist() == [0, 1, 2, 3]
+
+    def test_empty_mask(self):
+        ranks, total = rank_within(np.zeros(0, dtype=bool))
+        assert total == 0
+        assert ranks.size == 0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=64))
+    def test_property_ranks_are_dense_prefix(self, bits):
+        """Set lanes receive exactly 0..total-1, in lane order."""
+        mask = np.array(bits, dtype=bool)
+        ranks, total = rank_within(mask)
+        assert total == int(mask.sum())
+        assert ranks[mask].tolist() == list(range(total))
+
+
+class TestSegmentedRank:
+    def test_counts_prefix(self):
+        mask = np.array([1, 0, 1, 1], dtype=bool)
+        counts = np.array([3, 9, 2, 1])
+        ranks, total = segmented_rank(mask, counts)
+        assert total == 6  # 3 + 2 + 1; masked-out lane ignored
+        assert ranks[mask].tolist() == [0, 3, 5]
+
+    def test_empty(self):
+        ranks, total = segmented_rank(np.zeros(0, dtype=bool), np.zeros(0))
+        assert total == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=7)),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    def test_property_segments_tile_exactly(self, pairs):
+        """Per-lane segments [base+rank, base+rank+count) tile [0, total)."""
+        mask = np.array([p[0] for p in pairs], dtype=bool)
+        counts = np.array([p[1] for p in pairs], dtype=np.int64)
+        ranks, total = segmented_rank(mask, counts)
+        covered = []
+        for i in range(len(pairs)):
+            if mask[i]:
+                covered.extend(range(int(ranks[i]), int(ranks[i] + counts[i])))
+        assert sorted(covered) == list(range(total))
+
+
+class TestMisc:
+    def test_lane_ids(self):
+        assert lane_ids(4).tolist() == [0, 1, 2, 3]
+
+    def test_first_active(self):
+        assert first_active(np.array([0, 0, 1, 1], dtype=bool)) == 2
+        assert first_active(np.zeros(4, dtype=bool)) == -1
+
+    def test_ballot(self):
+        assert ballot(np.array([1, 0, 1], dtype=bool)) == 0b101
+        assert ballot(np.zeros(3, dtype=bool)) == 0

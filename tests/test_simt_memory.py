@@ -1,0 +1,111 @@
+"""Unit tests for simulated global memory."""
+
+import numpy as np
+import pytest
+
+from repro.simt import GlobalMemory, MemoryFault
+
+
+class TestAlloc:
+    def test_alloc_fill(self):
+        mem = GlobalMemory()
+        buf = mem.alloc("a", 16, fill=-1)
+        assert buf.shape == (16,)
+        assert (buf == -1).all()
+        assert buf.dtype == np.int64
+
+    def test_alloc_duplicate_rejected(self):
+        mem = GlobalMemory()
+        mem.alloc("a", 4)
+        with pytest.raises(MemoryFault):
+            mem.alloc("a", 4)
+
+    def test_alloc_negative_size_rejected(self):
+        mem = GlobalMemory()
+        with pytest.raises(MemoryFault):
+            mem.alloc("a", -1)
+
+    def test_alloc_from_copies(self):
+        mem = GlobalMemory()
+        src = np.arange(5, dtype=np.int32)
+        buf = mem.alloc_from("a", src)
+        src[0] = 99
+        assert buf[0] == 0
+        assert buf.dtype == np.int64
+
+    def test_free(self):
+        mem = GlobalMemory()
+        mem.alloc("a", 4)
+        mem.free("a")
+        assert "a" not in mem
+        mem.alloc("a", 8)  # name reusable after free
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(MemoryFault):
+            GlobalMemory().free("nope")
+
+    def test_unknown_buffer_lookup(self):
+        with pytest.raises(MemoryFault):
+            GlobalMemory()["ghost"]
+
+    def test_total_words(self):
+        mem = GlobalMemory()
+        mem.alloc("a", 10)
+        mem.alloc("b", 22)
+        assert mem.total_words == 32
+
+    def test_iteration(self):
+        mem = GlobalMemory()
+        mem.alloc("a", 1)
+        mem.alloc("b", 1)
+        assert sorted(mem) == ["a", "b"]
+
+
+class TestHotMarking:
+    def test_small_buffers_hot_automatically(self):
+        mem = GlobalMemory()
+        mem.alloc("ctrl", 2)
+        assert mem.is_hot("ctrl")
+
+    def test_large_buffers_cold_by_default(self):
+        mem = GlobalMemory()
+        mem.alloc("big", 100_000)
+        assert not mem.is_hot("big")
+
+    def test_mark_hot_explicit(self):
+        mem = GlobalMemory()
+        mem.alloc("queue", 100_000)
+        mem.mark_hot("queue")
+        assert mem.is_hot("queue")
+
+    def test_mark_hot_unknown_rejected(self):
+        with pytest.raises(MemoryFault):
+            GlobalMemory().mark_hot("ghost")
+
+    def test_free_clears_hot_flag(self):
+        mem = GlobalMemory()
+        mem.alloc("q", 1000)
+        mem.mark_hot("q")
+        mem.free("q")
+        mem.alloc("q", 1000)
+        assert not mem.is_hot("q")
+
+
+class TestBounds:
+    def test_in_bounds_scalar_and_vector(self):
+        mem = GlobalMemory()
+        mem.alloc("a", 8)
+        assert mem.check_bounds("a", 3).tolist() == [3]
+        assert mem.check_bounds("a", np.array([0, 7])).tolist() == [0, 7]
+
+    def test_empty_index_ok(self):
+        mem = GlobalMemory()
+        mem.alloc("a", 8)
+        assert mem.check_bounds("a", np.empty(0, dtype=np.int64)).size == 0
+
+    @pytest.mark.parametrize("idx", [-1, 8, [0, 8], [-2, 3]])
+    def test_out_of_bounds_faults(self, idx):
+        mem = GlobalMemory()
+        mem.alloc("a", 8)
+        with pytest.raises(MemoryFault):
+            mem.check_bounds("a", np.asarray(idx))

@@ -1,0 +1,82 @@
+"""Unit tests for the op vocabulary itself."""
+
+import numpy as np
+import pytest
+
+from repro.simt import (
+    Abort,
+    AtomicKind,
+    AtomicRMW,
+    Compute,
+    Fence,
+    LocalOp,
+    MemRead,
+    MemWrite,
+)
+
+
+class TestValidation:
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1)
+
+    def test_negative_localop_rejected(self):
+        with pytest.raises(ValueError):
+            LocalOp(-5)
+
+    def test_zero_cycles_allowed(self):
+        assert Compute(0).cycles == 0
+
+
+class TestSlots:
+    """Op classes are created millions of times; they must stay slotted
+    (no per-instance __dict__)."""
+
+    @pytest.mark.parametrize(
+        "op",
+        [
+            Compute(1),
+            LocalOp(1),
+            MemRead("b", 0),
+            MemWrite("b", 0, 1),
+            AtomicRMW("b", 0, AtomicKind.ADD, 1),
+            Fence(),
+            Abort("x"),
+        ],
+    )
+    def test_no_instance_dict(self, op):
+        with pytest.raises(AttributeError):
+            op.arbitrary_new_attribute = 1  # type: ignore[attr-defined]
+
+
+class TestReprs:
+    def test_reprs_are_informative(self):
+        assert "Compute(3)" == repr(Compute(3))
+        assert "buf" in repr(MemRead("buf", np.arange(4)))
+        assert "add" in repr(AtomicRMW("b", 0, AtomicKind.ADD, 1))
+        assert "full" in repr(Abort("queue full"))
+
+
+class TestAtomicKinds:
+    def test_all_kinds_distinct_values(self):
+        values = [k.value for k in AtomicKind]
+        assert len(values) == len(set(values))
+
+    def test_expected_kinds_present(self):
+        names = {k.name for k in AtomicKind}
+        assert {"ADD", "MIN", "MAX", "EXCH", "CAS"} == names
+
+
+class TestResultFields:
+    def test_memread_result_initially_none(self):
+        assert MemRead("b", 0).result is None
+
+    def test_atomic_results_initially_none(self):
+        op = AtomicRMW("b", 0, AtomicKind.CAS, 0, 1)
+        assert op.old is None and op.success is None
+
+    def test_precheck_defaults(self):
+        rd = MemRead("b", 0)
+        assert rd.prechecked is False and rd.trans is None
+        wr = MemWrite("b", 0, 1, trans=2, prechecked=True)
+        assert wr.trans == 2 and wr.prechecked

@@ -1,0 +1,80 @@
+"""Tests for the opt-in execution tracer."""
+
+import numpy as np
+import pytest
+
+from repro import simt
+from repro.simt import (
+    AtomicKind,
+    AtomicRMW,
+    Compute,
+    Engine,
+    MemRead,
+    Tracer,
+)
+
+
+def demo_kernel(ctx):
+    yield Compute(10)
+    rd = MemRead("buf", ctx.lane)
+    yield rd
+    yield AtomicRMW("ctr", 0, AtomicKind.ADD, 1)
+
+
+class TestTracer:
+    def test_records_every_op_in_issue_order(self, testgpu):
+        eng = Engine(testgpu)
+        eng.memory.alloc("buf", 64)
+        eng.memory.alloc("ctr", 1)
+        tracer = Tracer()
+        res = eng.launch(tracer.wrap(demo_kernel), 3)
+        assert len(tracer.events) == res.stats.issued_ops == 9
+        assert [e.seq for e in tracer.events] == list(range(9))
+        assert tracer.counts_by_kind() == {
+            "Compute": 3, "MemRead": 3, "AtomicRMW": 3,
+        }
+
+    def test_results_unchanged_by_tracing(self, testgpu):
+        def run(tracer):
+            eng = Engine(testgpu)
+            eng.memory.alloc("buf", 64)
+            eng.memory.alloc("ctr", 1)
+            kern = tracer.wrap(demo_kernel) if tracer else demo_kernel
+            res = eng.launch(kern, 3)
+            return res.cycles, int(eng.memory["ctr"][0])
+
+        assert run(None) == run(Tracer())
+
+    def test_filtering(self, testgpu):
+        eng = Engine(testgpu)
+        eng.memory.alloc("buf", 64)
+        eng.memory.alloc("ctr", 1)
+        tracer = Tracer()
+        eng.launch(tracer.wrap(demo_kernel), 2)
+        assert len(tracer.filter(wf_id=0)) == 3
+        assert len(tracer.filter(kind="AtomicRMW")) == 2
+        assert len(tracer.filter(detail_contains="ctr")) == 2
+        assert len(tracer.filter(wf_id=1, kind="Compute")) == 1
+
+    def test_render(self, testgpu):
+        eng = Engine(testgpu)
+        eng.memory.alloc("buf", 64)
+        eng.memory.alloc("ctr", 1)
+        tracer = Tracer()
+        eng.launch(tracer.wrap(demo_kernel), 1)
+        text = tracer.render()
+        assert "MemRead" in text and "ctr:add" in text
+
+    def test_truncation(self, testgpu):
+        eng = Engine(testgpu)
+        eng.memory.alloc("buf", 64)
+        eng.memory.alloc("ctr", 1)
+        tracer = Tracer(max_events=2)
+        eng.launch(tracer.wrap(demo_kernel), 2)
+        assert len(tracer.events) == 2
+        assert tracer.truncated
+        assert "truncated" in tracer.render()
+
+    def test_invalid_max_events(self):
+        with pytest.raises(ValueError):
+            Tracer(max_events=0)

@@ -1,0 +1,73 @@
+"""Tests for tools/summarize_results.py (the EXPERIMENTS.md helper)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+
+spec = importlib.util.spec_from_file_location(
+    "summarize_results", REPO / "tools" / "summarize_results.py"
+)
+summarize = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(summarize)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "tab3.json").write_text(json.dumps({
+        "cells": {
+            "Fiji|Synthetic": {
+                "seconds": {"BASE": 0.01, "AN": 0.004, "RF/AN": 0.002},
+                "paper": {"BASE": 0.0976, "AN": 0.06777, "RF/AN": 0.00865},
+            }
+        }
+    }))
+    (tmp_path / "fig1.json").write_text(json.dumps({
+        "workgroups": [1, 4], "cas_failures": [0, 10],
+        "cas_attempts": [100, 110],
+    }))
+    (tmp_path / "tab5.json").write_text(json.dumps({
+        "NYR_input": {"speedup": 7.3, "paper": [20.8, 8.08, 2.574]},
+    }))
+    (tmp_path / "tab6.json").write_text(json.dumps({
+        "graph4096|Fiji": {"speedup": 8.8, "paper": [5.93, 0.20, 28.95]},
+    }))
+    (tmp_path / "fig5.json").write_text(json.dumps({
+        "Fiji|Synthetic": {
+            "workgroups": [1, 224],
+            "queue_atomic_ratio": [80.0, 40.0],
+            "atomic_ratio": [2.0, 1.5],
+        }
+    }))
+    (tmp_path / "fig4.json").write_text(json.dumps({
+        "Fiji|Synthetic": {
+            "workgroups": [1, 224],
+            "speedup": {"RF/AN": [1, 200], "AN": [1, 100], "BASE": [1, 10]},
+        }
+    }))
+    return tmp_path
+
+
+class TestSummarize:
+    def test_full_directory(self, results_dir, capsys):
+        assert summarize.main(["prog", str(results_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3 shape" in out
+        assert "Figure 1" in out
+        assert "Table 5" in out and "Table 6" in out
+        assert "Figure 5" in out and "Figure 4" in out
+        # the tab3 ratio math: 0.01/0.002 = 5 measured, 11.28 paper
+        assert "11.28" in out
+        tab3_line = [l for l in out.splitlines() if "Fiji" in l][0]
+        assert " 5 " in tab3_line
+
+    def test_missing_files_tolerated(self, tmp_path, capsys):
+        assert summarize.main(["prog", str(tmp_path)]) == 0
+        assert "not present" in capsys.readouterr().out
+
+    def test_missing_directory(self, tmp_path, capsys):
+        assert summarize.main(["prog", str(tmp_path / "nope")]) == 2

@@ -1,0 +1,68 @@
+"""Tests for the connected-components workload."""
+
+import numpy as np
+import pytest
+
+from repro.core import QUEUE_VARIANTS
+from repro.graphs import (
+    CSRGraph,
+    complete_binary_tree,
+    path_graph,
+    roadmap_graph,
+    social_graph,
+)
+from repro.workloads import reference_components, run_components
+
+ALL_VARIANTS = sorted(QUEUE_VARIANTS)
+
+
+class TestReference:
+    def test_two_components(self):
+        g = CSRGraph.from_edges(5, [(0, 1), (1, 2), (3, 4)]).symmetrized()
+        assert reference_components(g).tolist() == [0, 0, 0, 3, 3]
+
+    def test_isolated_vertices(self):
+        g = CSRGraph.from_edges(3, [])
+        assert reference_components(g).tolist() == [0, 1, 2]
+
+    def test_direction_ignored(self):
+        # weak connectivity: a directed chain is one component
+        g = path_graph(6)
+        ref = reference_components(g.symmetrized())
+        assert (ref == 0).all()
+
+
+class TestSimulated:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_multi_component_graph(self, variant, testgpu):
+        edges = [(0, 1), (1, 2), (4, 5), (5, 6), (8, 9)]
+        g = CSRGraph.from_edges(10, edges, name="multi")
+        result = run_components(g, variant, testgpu, 6)
+        assert result.n_components == 5  # {0,1,2} {4,5,6} {8,9} {3} {7}
+        assert result.labels[2] == 0
+        assert result.labels[6] == 4
+        assert result.labels[3] == 3
+
+    def test_single_component_grid(self, testgpu):
+        g = roadmap_graph(8, 8, seed=1)
+        result = run_components(g, "RF/AN", testgpu, 6)
+        assert result.n_components == 1
+        assert (result.labels == 0).all()
+
+    def test_social_graph(self, testgpu):
+        g = social_graph(200, avg_degree=4, seed=2)
+        result = run_components(g, "RF/AN", testgpu, 6)
+        ref = reference_components(g.symmetrized())
+        assert result.n_components == np.unique(ref).size
+
+    def test_tree(self, testgpu):
+        g = complete_binary_tree(5)
+        result = run_components(g, "AN", testgpu, 4)
+        assert result.n_components == 1
+
+    def test_verify_catches_corruption(self, testgpu):
+        g = path_graph(8)
+        result = run_components(g, "RF/AN", testgpu, 2)
+        result.labels[4] = 99
+        with pytest.raises(AssertionError, match="vertex 4"):
+            result.verify(g)

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Summarize a harness results directory against the paper's numbers.
+
+Reads the ``*.json`` payloads written by ``python -m repro.harness ...
+--out DIR`` and prints the compact paper-vs-measured comparison used to
+update EXPERIMENTS.md.
+
+Run:  python tools/summarize_results.py results/
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.harness.paper_data import PAPER_TABLE3, PAPER_TABLE5, PAPER_TABLE6
+from repro.harness.report import render_table
+
+
+def load(directory: Path, name: str):
+    path = directory / f"{name}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def summarize_tab3(d) -> str:
+    rows = []
+    for key, cell in d["cells"].items():
+        dev, name = key.split("|")
+        t = cell["seconds"]
+        paper = cell.get("paper") or PAPER_TABLE3.get((dev, name), {})
+        base_ratio = t["BASE"] / t["RF/AN"]
+        an_ratio = t["AN"] / t["RF/AN"]
+        p_base = (
+            paper["BASE"] / paper["RF/AN"] if paper else float("nan")
+        )
+        p_an = paper["AN"] / paper["RF/AN"] if paper else float("nan")
+        rows.append(
+            [dev, name, round(base_ratio, 2), round(p_base, 2),
+             round(an_ratio, 2), round(p_an, 2)]
+        )
+    return render_table(
+        ["GPU", "dataset", "BASE/RFAN", "paper", "AN/RFAN", "paper"],
+        rows,
+        title="Table 3 shape: slowdown of each baseline relative to RF/AN",
+    )
+
+
+def summarize_fig1(d) -> str:
+    rows = list(zip(d["workgroups"], d["cas_failures"], d["cas_attempts"]))
+    return render_table(
+        ["nWG", "CAS failures", "CAS attempts"], rows,
+        title="Figure 1: retry growth with thread count",
+    )
+
+
+def summarize_fig5(d) -> str:
+    rows = []
+    for key, cell in d.items():
+        rows.append(
+            [key, cell["workgroups"][0], round(cell["queue_atomic_ratio"][0], 1),
+             cell["workgroups"][-1], round(cell["queue_atomic_ratio"][-1], 1)]
+        )
+    return render_table(
+        ["series", "wg_lo", "ratio_lo", "wg_hi", "ratio_hi"], rows,
+        title="Figure 5: queue-atomic retry ratio, ends of each sweep",
+    )
+
+
+def summarize_tab5(d) -> str:
+    rows = [
+        [name, round(cell["speedup"], 2), round(cell["paper"][2], 2)]
+        for name, cell in d.items()
+    ]
+    return render_table(
+        ["dataset", "RF/AN speedup", "paper"], rows,
+        title="Table 5: speedup over CHAI",
+    )
+
+
+def summarize_tab6(d) -> str:
+    rows = [
+        [key, round(cell["speedup"], 2), round(cell["paper"][2], 2)]
+        for key, cell in d.items()
+    ]
+    return render_table(
+        ["dataset|device", "RF/AN speedup", "paper"], rows,
+        title="Table 6: speedup over Rodinia",
+    )
+
+
+def summarize_fig4(d) -> str:
+    rows = []
+    for key, cell in d.items():
+        wgs = cell["workgroups"]
+        rows.append(
+            [key, wgs[-1],
+             round(cell["speedup"]["RF/AN"][-1], 1),
+             round(cell["speedup"]["AN"][-1], 1),
+             round(cell["speedup"]["BASE"][-1], 1)]
+        )
+    return render_table(
+        ["plot", "top nWG", "RF/AN speedup", "AN", "BASE"], rows,
+        title="Figure 4: speedup at the top of each sweep",
+    )
+
+
+SUMMARIZERS = {
+    "tab3": summarize_tab3,
+    "fig1": summarize_fig1,
+    "fig4": summarize_fig4,
+    "fig5": summarize_fig5,
+    "tab5": summarize_tab5,
+    "tab6": summarize_tab6,
+}
+
+
+def main(argv) -> int:
+    directory = Path(argv[1]) if len(argv) > 1 else Path("results")
+    if not directory.is_dir():
+        print(f"no such results directory: {directory}", file=sys.stderr)
+        return 2
+    for name, fn in SUMMARIZERS.items():
+        data = load(directory, name)
+        if data is None:
+            print(f"[{name}: not present in {directory}]")
+            continue
+        print(fn(data))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
