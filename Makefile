@@ -2,7 +2,7 @@
 # no `wheel` package, hence the setup.py fallback; on normal machines
 # `pip install -e .[test]` works directly.
 
-.PHONY: install test bench harness-quick harness-full examples clean
+.PHONY: install test bench bench-engine harness-quick harness-full examples clean
 
 install:
 	pip install -e .[test] || python setup.py develop
@@ -12,6 +12,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-engine:
+	python tools/bench_engine.py --quick --out BENCH_engine.json
 
 harness-quick:
 	python -m repro.harness all --quick --out results-quick/

@@ -1,0 +1,61 @@
+"""Micro-benchmark — wall-clock throughput of the engine hot paths.
+
+Every other benchmark in this suite reports *simulated* cycles; this one
+measures the *host* cost of simulating: issued ops per second through
+the event loop (the mixed-op soup kernel) and the wall time of one fixed
+persistent-BFS launch.  The workload definitions live in
+``tools/bench_engine.py`` so the CI tool and this benchmark measure the
+same thing.
+
+A determinism guard re-runs the soup kernel and asserts identical
+simulated cycles and op counts: an engine change that speeds up the
+event loop must not change what the event loop computes.
+"""
+
+import importlib.util
+from pathlib import Path
+
+from conftest import save_report
+
+from repro.harness.report import render_table
+from repro.harness.results import ExperimentResult
+
+_REPO = Path(__file__).resolve().parents[1]
+_spec = importlib.util.spec_from_file_location(
+    "bench_engine", _REPO / "tools" / "bench_engine.py"
+)
+bench_engine = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_engine)
+
+
+def test_engine_hotpath_throughput(benchmark, reports_dir):
+    def once():
+        return bench_engine.bench_soup(repeats=1), bench_engine.bench_bfs(
+            repeats=1
+        )
+
+    soup, bfs = benchmark.pedantic(once, rounds=1)
+
+    # determinism guard: same workload, same simulated outcome.
+    again = bench_engine.bench_soup(repeats=1)
+    assert again["cycles"] == soup["cycles"]
+    assert again["issued_ops"] == soup["issued_ops"]
+
+    rows = [
+        ["soup", soup["seconds"], soup["issued_ops"], soup["cycles"],
+         soup["ops_per_sec"]],
+        ["bfs", bfs["seconds"], bfs["issued_ops"], bfs["cycles"],
+         bfs["ops_per_sec"]],
+    ]
+    text = render_table(
+        ["Workload", "wall s", "issued ops", "sim cycles", "ops/sec"],
+        rows,
+        title="Engine hot-path wall-clock throughput (host, not simulated)",
+    )
+    result = ExperimentResult(
+        "bench_engine",
+        "Engine hot-path wall-clock throughput",
+        text,
+        {"soup": soup, "bfs": bfs},
+    )
+    save_report(result, reports_dir)

@@ -65,22 +65,21 @@ class RetryFreeQueue(DeviceQueue):
     def acquire(
         self, ctx: KernelContext, st: WavefrontQueueState
     ) -> Generator[Op, Op, None]:
-        stats = ctx.stats
-        dev = ctx.device
+        custom = ctx.stats.custom
 
         # --- Listing 1: slot reservation for newly hungry lanes --------
         n_hungry = st.n_hungry
         if n_hungry:
             hungry = st.hungry_mask()
-            stats.custom[K_DEQ_REQUESTS] += n_hungry
+            custom[K_DEQ_REQUESTS] += n_hungry
             ranks, total = rank_within(hungry)
             # lock-step local atomic_inc: zeroing by the proxy + per-lane
             # increment, one LDS round (lines 2-9 of Listing 1).
-            yield LocalOp(dev.lds_op_cycles)
+            yield LocalOp(ctx.device.lds_op_cycles)
             # proxy thread reserves `total` slots with one AFA (line 13).
             op = AtomicRMW(self.buf_ctrl, FRONT, AtomicKind.ADD, total)
             yield op
-            stats.custom[K_PROXY_ATOMICS] += 1
+            custom[K_PROXY_ATOMICS] += 1
             base = int(op.old[0])
             lanes = np.flatnonzero(hungry)
             st.watch(lanes, base + ranks[lanes])
@@ -89,8 +88,10 @@ class RetryFreeQueue(DeviceQueue):
         if st.n_watching == 0:
             return
         # the watch set only changes on reservation/grant, so the lane,
-        # address and transaction arrays are cached between polls — this
-        # poll runs every work cycle of every starved wavefront.
+        # address and transaction arrays — and the poll op itself, whose
+        # result the engine refills at each completion — are cached
+        # between polls: this poll runs every work cycle of every starved
+        # wavefront.
         if st.cache is None:
             watching = st.slot >= 0
             raw = st.slot[watching]
@@ -98,26 +99,31 @@ class RetryFreeQueue(DeviceQueue):
             lanes = np.flatnonzero(watching)[inb]
             phys = np.asarray(self._phys(raw[inb]), dtype=np.int64)
             trans = transactions_for(phys) if phys.size else 0
-            st.cache = (lanes, phys, trans)
-        lanes, phys, trans = st.cache
-        if lanes.size == 0:
+            read = MemRead(self.buf_data, phys, trans=trans, prechecked=True)
+            st.cache = (lanes, phys, read)
+        lanes, phys, read = st.cache
+        n_lanes = lanes.size
+        if n_lanes == 0:
             # all monitored slots are beyond queue bounds; no data will
             # ever arrive there (kernel is winding down).
             return
-        read = MemRead(self.buf_data, phys, trans=trans, prechecked=True)
         yield read
-        stats.custom[K_ARRIVAL_CHECKS] += int(lanes.size)
-        arrived = read.result != DNA
-        if not arrived.any():
+        custom[K_ARRIVAL_CHECKS] += int(n_lanes)
+        res = read.result
+        # task tokens are non-negative and DNA is the smallest sentinel,
+        # so max(slots) == DNA means no data arrived: one reduction in the
+        # common empty poll instead of a compare plus an any().
+        if int(res.max()) == DNA:
             return
+        arrived = res != DNA
         got_lanes = lanes[arrived]
-        tokens = read.result[arrived]
+        tokens = res[arrived]
         # pick up the token and put the sentinel back so the slot can be
         # reused when the queue is configured circular (§4.2).
         yield MemWrite(self.buf_data, phys[arrived], DNA)
         st.unwatch(got_lanes)
         st.grant(got_lanes, tokens)
-        stats.custom[K_DEQ_TOKENS] += int(got_lanes.size)
+        custom[K_DEQ_TOKENS] += int(got_lanes.size)
 
     def publish(
         self,

@@ -158,14 +158,19 @@ def persistent_kernel(
         cycles = 0
 
         done_idx = np.array([DONE], dtype=np.int64)
+        # one reusable poll op: the engine fills `result` afresh at every
+        # completion and never holds a read past its wavefront's resume,
+        # so re-yielding the same object each work cycle is safe and spares
+        # one allocation per poll in the simulator's hottest loop.
+        dread = MemRead(sched.buf_ctrl, done_idx, trans=1, prechecked=True)
+        custom = stats.custom
         while True:
             # 1. WorkRemains()? — poll the done flag.
-            dread = MemRead(sched.buf_ctrl, done_idx, trans=1, prechecked=True)
             yield dread
             if int(dread.result[0]):
                 break
             cycles += 1
-            stats.custom[K_WORK_CYCLES] += 1
+            custom[K_WORK_CYCLES] += 1
             if max_cycles is not None and cycles > max_cycles:
                 raise RuntimeError(
                     f"wavefront {ctx.wf_id} exceeded max_work_cycles="
@@ -174,7 +179,7 @@ def persistent_kernel(
 
             # 2. GetWorkToken() for hungry lanes.
             yield from queue.acquire(ctx, st)
-            stats.custom[K_IDLE_CYCLES] += wf_size - st.n_token
+            custom[K_IDLE_CYCLES] += wf_size - st.n_token
             if st.n_token == 0:
                 continue
 

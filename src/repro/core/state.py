@@ -31,14 +31,16 @@ from .constants import DNA
 class WavefrontQueueState:
     """Lane-private scheduler registers for one wavefront."""
 
-    __slots__ = ("needs_work", "has_token", "token", "slot",
-                 "n_token", "n_watching", "cache")
+    __slots__ = ("wavefront_size", "needs_work", "has_token", "token",
+                 "slot", "n_token", "n_watching", "cache")
 
     def __init__(self, wavefront_size: int):
         if wavefront_size <= 0:
             raise ValueError(
                 f"wavefront_size must be positive, got {wavefront_size}"
             )
+        #: number of lanes (plain int: read every work cycle).
+        self.wavefront_size = wavefront_size
         #: lane wants a task assigned (kept in lockstep with ~has_token).
         self.needs_work = np.ones(wavefront_size, dtype=bool)
         #: lane currently holds a task token.
@@ -54,10 +56,6 @@ class WavefrontQueueState:
         #: queue-variant scratch (e.g. RF/AN's cached watch arrays);
         #: invalidated on every watch/unwatch.
         self.cache = None
-
-    @property
-    def wavefront_size(self) -> int:
-        return self.needs_work.size
 
     def grant(self, lanes: np.ndarray, tokens: np.ndarray) -> None:
         """Hand tokens to lanes (index array + aligned token vector)."""

@@ -23,7 +23,7 @@ import time
 from typing import List, Optional
 
 from .config import HarnessConfig
-from .experiments import EXPERIMENTS, run_tab3, run_tab4
+from .experiments import EXPERIMENTS, run_many
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -57,6 +57,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", default=None, metavar="DIR",
         help="also save <exp>.txt and <exp>.json under DIR",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help=(
+            "fan independent experiments out over N worker processes "
+            "(default 1: run in-process); reports are byte-identical "
+            "either way"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -77,22 +85,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiment(s): {unknown}; use --list", file=sys.stderr)
         return 2
 
-    shared_tab3 = None
-    for exp_id in ids:
-        t0 = time.time()
-        if exp_id == "tab3":
-            result = run_tab3(cfg)
-            shared_tab3 = result
-        elif exp_id == "tab4":
-            # reuse tab3's runs when it already executed this invocation
-            result = run_tab4(cfg, tab3=shared_tab3)
-        else:
-            result = EXPERIMENTS[exp_id](cfg)
+    t0 = time.time()
+    results = run_many(cfg, ids, jobs=args.jobs)
+    for result in results:
         print(result.text)
-        print(f"\n[{exp_id} regenerated in {time.time() - t0:.1f}s]\n")
+        print(f"\n[{result.exp_id} regenerated in {result.elapsed:.1f}s]\n")
         if args.out:
             path = result.save(args.out)
             print(f"[saved {path}]")
+    if len(results) > 1:
+        print(f"[{len(results)} experiments in {time.time() - t0:.1f}s "
+              f"with --jobs {args.jobs}]")
     return 0
 
 

@@ -10,6 +10,7 @@ where crossovers fall) are the reproduction target — see EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -449,3 +450,88 @@ EXPERIMENTS = {
     "tab5": run_tab5,
     "tab6": run_tab6,
 }
+
+
+# ----------------------------------------------------------------------
+# Multi-experiment driver (sequential or process-parallel)
+# ----------------------------------------------------------------------
+def plan_groups(ids: List[str]) -> List[List[str]]:
+    """Partition experiment ids into scheduling groups, preserving order.
+
+    Each group runs in one worker.  ``tab4`` derives from ``tab3``'s
+    simulation runs, so when both are requested they share a group —
+    otherwise a parallel run would simulate tab3 twice.
+    """
+    groups: List[List[str]] = []
+    pending = list(ids)
+    while pending:
+        exp_id = pending.pop(0)
+        if exp_id == "tab3" and "tab4" in pending:
+            pending.remove("tab4")
+            groups.append(["tab3", "tab4"])
+        else:
+            groups.append([exp_id])
+    return groups
+
+
+def _run_group(cfg: HarnessConfig, group: List[str]) -> List[ExperimentResult]:
+    """Run one scheduling group in-process (top-level: must pickle)."""
+    out: List[ExperimentResult] = []
+    shared_tab3: Optional[ExperimentResult] = None
+    for exp_id in group:
+        t0 = time.perf_counter()
+        if exp_id == "tab3":
+            result = run_tab3(cfg)
+            shared_tab3 = result
+        elif exp_id == "tab4":
+            result = run_tab4(cfg, tab3=shared_tab3)
+        else:
+            result = EXPERIMENTS[exp_id](cfg)
+        result.elapsed = time.perf_counter() - t0
+        out.append(result)
+    return out
+
+
+def run_many(
+    cfg: HarnessConfig, ids: List[str], jobs: int = 1
+) -> List[ExperimentResult]:
+    """Run several experiments, optionally across worker processes.
+
+    ``jobs <= 1`` runs everything in-process.  With more jobs, scheduling
+    groups fan out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+    (each worker re-simulates from the same deterministic config, so the
+    reports are byte-identical to a sequential run); if worker processes
+    cannot be started on this platform, the run falls back to in-process
+    execution.  Results always come back in requested-id order.
+    """
+    groups = plan_groups(ids)
+    if jobs <= 1 or len(groups) <= 1:
+        results: List[ExperimentResult] = []
+        for group in groups:
+            results.extend(_run_group(cfg, group))
+    else:
+        results = _run_groups_parallel(cfg, groups, jobs)
+    by_id = {r.exp_id: r for r in results}
+    return [by_id[exp_id] for exp_id in ids]
+
+
+def _run_groups_parallel(
+    cfg: HarnessConfig, groups: List[List[str]], jobs: int
+) -> List[ExperimentResult]:
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(groups))) as ex:
+            futures = [ex.submit(_run_group, cfg, g) for g in groups]
+            results: List[ExperimentResult] = []
+            for fut in futures:
+                results.extend(fut.result())
+            return results
+    except (OSError, BrokenProcessPool):
+        # the pool itself failed (fork unavailable, resource limits);
+        # experiment errors propagate above instead of being retried.
+        results = []
+        for group in groups:
+            results.extend(_run_group(cfg, group))
+        return results

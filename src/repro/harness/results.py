@@ -20,6 +20,10 @@ class ExperimentResult:
     text: str
     #: machine-readable payload (used by tab4, tests, EXPERIMENTS.md).
     data: Dict[str, Any] = field(default_factory=dict)
+    #: wall-clock seconds spent regenerating this artefact.  Informational
+    #: only — deliberately excluded from the saved .txt/.json so reports
+    #: stay byte-identical across machines and worker counts.
+    elapsed: float = 0.0
 
     def save(self, directory: str | Path) -> Path:
         """Write <exp_id>.txt and <exp_id>.json under ``directory``."""

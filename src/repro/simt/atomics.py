@@ -35,9 +35,18 @@ from typing import Dict, Tuple
 import numpy as np
 
 from .device import DeviceSpec
+from .errors import MemoryFault
 from .memory import HOT_BUFFER_WORDS, GlobalMemory
 from .ops import AtomicKind, AtomicRMW
 from .stats import SimStats
+
+
+def _scalar_operand(value) -> int:
+    """Extract a single int operand without allocating arrays for the
+    plain-int case (proxy atomics pass Python ints)."""
+    if type(value) is int:
+        return value
+    return int(np.asarray(value).reshape(-1)[0])
 
 
 class AtomicSystem:
@@ -60,7 +69,22 @@ class AtomicSystem:
         ``atomic_service`` cycles.
         """
         buf = self._memory[op.buf]
-        idx = self._memory.check_bounds(op.buf, op.index)
+        raw = op.index
+        if type(raw) is int or isinstance(raw, (int, np.integer)):
+            # proxy-thread atomic (§4.1): a single scalar request is the
+            # arbitrary-n design's common case — skip array materialization.
+            a = int(raw)
+            if a < 0 or a >= buf.size:
+                raise MemoryFault(
+                    f"buffer {op.buf!r}: index {a} out of bounds "
+                    f"(size {buf.size})"
+                )
+            self._stats.count_atomic(op.kind, 1)
+            svc = self._device.atomic_service
+            self._stats.atomic_service_cycles += svc
+            hot = buf.size <= HOT_BUFFER_WORDS
+            return self._service_scalar(op, buf, a, arrival, svc, hot)
+        idx = self._memory.check_bounds(op.buf, raw)
         n = idx.size
         self._stats.count_atomic(op.kind, n)
         svc = self._device.atomic_service
@@ -108,8 +132,8 @@ class AtomicSystem:
         cur = int(buf[a])
         kind = op.kind
         if kind is AtomicKind.CAS:
-            expected = int(np.asarray(op.operand).reshape(-1)[0])
-            new = int(np.asarray(op.operand2).reshape(-1)[0])
+            expected = _scalar_operand(op.operand)
+            new = _scalar_operand(op.operand2)
             ok = cur == expected
             if ok:
                 buf[a] = new
@@ -118,7 +142,7 @@ class AtomicSystem:
             op.old = np.array([cur], dtype=np.int64)
             op.success = np.array([ok])
             return end
-        operand = int(np.asarray(op.operand).reshape(-1)[0])
+        operand = _scalar_operand(op.operand)
         if kind is AtomicKind.ADD:
             buf[a] = cur + operand
         elif kind is AtomicKind.MIN:

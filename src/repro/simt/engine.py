@@ -22,26 +22,52 @@ each wavefront instruction.
 Determinism: the event queue breaks time ties by insertion order, and no
 randomness exists anywhere in the engine, so every simulation is exactly
 reproducible.
+
+Wall-clock fast paths
+---------------------
+The event loop is the wall-clock bottleneck of the whole reproduction, so
+it trades a little obviousness for speed while keeping every simulated
+cycle bit-identical (see docs/simulator_model.md, "Performance model vs.
+wall-clock performance"):
+
+* ops whose issue-pipe release and wavefront wake-up land on the *same*
+  cycle (``Compute``, ``LocalOp``, ``Fence``, buffered ``MemWrite``) push
+  one combined event instead of two — the original pair carried
+  consecutive sequence numbers at one timestamp, so nothing could ever
+  interleave between them;
+* a CU that issues while its ready queue is empty does not push a
+  ``CU_FREE`` wake-up at all; it *reserves* the event's sequence number
+  and the wake-up is pushed lazily only if some wavefront actually
+  arrives during the busy window.  The reserved sequence number keeps the
+  event exactly where it would have sorted, so tie-breaking is unchanged;
+* per-buffer memory latency and the buffer arrays themselves are cached
+  per launch (buffers cannot be allocated, freed, or re-marked hot while
+  a kernel is in flight), and engine counters accumulate in locals that
+  are flushed into :class:`SimStats` when the launch ends.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, Iterable, List, Optional
+from itertools import count
+from typing import Callable, Dict, Generator, List, Optional
 
 import numpy as np
 
 from .atomics import AtomicSystem
 from .device import DeviceSpec
 from .errors import KernelAbort, LaunchConfigError, SimulationTimeout
-from .memory import HOT_BUFFER_WORDS, GlobalMemory
+from .memory import GlobalMemory
 from .ops import Abort, AtomicRMW, Compute, Fence, LocalOp, MemRead, MemWrite, Op
 from .stats import SimStats
 
 #: segment size (in 8-byte words) used by the coalescing model: lanes whose
 #: addresses fall in one aligned segment share one memory transaction.
 COALESCE_SEGMENT_WORDS = 16
+
+_I64 = np.dtype(np.int64)
 
 
 def transactions_for(index) -> int:
@@ -52,8 +78,18 @@ def transactions_for(index) -> int:
     actually produce (contiguous runs coalesce to the span; widely
     scattered lanes pay one transaction each) without an O(n log n)
     distinct-count per memory op.
+
+    Hot-loop callers should precompute this once and pass it to the op's
+    ``trans`` argument (the queue layers do); the fast paths below keep
+    the remaining calls cheap for plain ints and ready-made int64 arrays
+    such as ``ctx.lane``-shaped contiguous gathers.
     """
-    idx = np.asarray(index, dtype=np.int64)
+    if type(index) is int:
+        return 1
+    if type(index) is np.ndarray and index.dtype == np.int64:
+        idx = index
+    else:
+        idx = np.asarray(index, dtype=np.int64)
     if idx.ndim == 0:
         return 1
     n = idx.size
@@ -61,9 +97,26 @@ def transactions_for(index) -> int:
         return 0
     if n == 1:
         return 1
+    # the span depends only on the address extremes, so two reductions
+    # suffice for every access shape (contiguous runs included).
     lo = int(idx.min()) // COALESCE_SEGMENT_WORDS
     hi = int(idx.max()) // COALESCE_SEGMENT_WORDS
     return min(hi - lo + 1, n)
+
+
+#: shared, immutable per-wavefront-size lane vectors: a Fiji-scale launch
+#: creates one KernelContext per wavefront, and allocating a fresh
+#: ``np.arange`` for each (14k allocations) showed up in profiles.
+_LANE_CACHE: Dict[int, np.ndarray] = {}
+
+
+def _lane_vector(wavefront_size: int) -> np.ndarray:
+    lane = _LANE_CACHE.get(wavefront_size)
+    if lane is None:
+        lane = np.arange(wavefront_size, dtype=np.int64)
+        lane.setflags(write=False)
+        _LANE_CACHE[wavefront_size] = lane
+    return lane
 
 
 @dataclass
@@ -82,7 +135,9 @@ class KernelContext:
     params:
         Launch parameters: buffer names, problem constants, tuning knobs.
     lane:
-        ``[0..wavefront_size)`` lane index vector (convenience).
+        ``[0..wavefront_size)`` lane index vector (convenience).  Shared
+        between wavefronts and marked read-only; arithmetic on it
+        (``ctx.lane + 1``) allocates fresh arrays as before.
     """
 
     wf_id: int
@@ -95,7 +150,7 @@ class KernelContext:
 
     def __post_init__(self) -> None:
         if self.lane.size == 0:
-            self.lane = np.arange(self.device.wavefront_size, dtype=np.int64)
+            self.lane = _lane_vector(self.device.wavefront_size)
 
     @property
     def global_thread_base(self) -> int:
@@ -121,12 +176,14 @@ class _Wavefront:
 class _CU:
     """Engine-internal compute unit: an issue pipe plus a ready queue."""
 
-    __slots__ = ("cid", "busy_until", "ready")
+    __slots__ = ("cid", "busy_until", "ready", "wake")
 
     def __init__(self, cid: int):
         self.cid = cid
         self.busy_until = 0
-        self.ready: List[_Wavefront] = []
+        self.ready = deque()
+        #: reserved-but-unpushed CU_FREE sequence number (-1: none).
+        self.wake = -1
 
 
 # event kinds
@@ -134,6 +191,45 @@ _EV_WF_READY = 0
 _EV_CU_FREE = 1
 _EV_ATOMIC = 2
 _EV_APPLY_WRITE = 3
+#: combined CU_FREE + WF_READY at one timestamp (see module docstring).
+_EV_FREE_READY = 4
+
+# exact-type dispatch ids for issue_from; unknown classes (Op subclasses
+# defined outside this package) are resolved once via isinstance and cached.
+_K_COMPUTE = 1
+_K_LOCAL = 2
+_K_READ = 3
+_K_WRITE = 4
+_K_ATOMIC = 5
+_K_FENCE = 6
+_K_ABORT = 7
+
+_OP_KIND: Dict[type, int] = {
+    Compute: _K_COMPUTE,
+    LocalOp: _K_LOCAL,
+    MemRead: _K_READ,
+    MemWrite: _K_WRITE,
+    AtomicRMW: _K_ATOMIC,
+    Fence: _K_FENCE,
+    Abort: _K_ABORT,
+}
+
+
+def _resolve_op_kind(cls: type, op: Op) -> int:
+    """Classify an op subclass the slow way and memoize the answer."""
+    for base, kind in (
+        (Compute, _K_COMPUTE),
+        (LocalOp, _K_LOCAL),
+        (MemRead, _K_READ),
+        (MemWrite, _K_WRITE),
+        (AtomicRMW, _K_ATOMIC),
+        (Fence, _K_FENCE),
+        (Abort, _K_ABORT),
+    ):
+        if isinstance(op, base):
+            _OP_KIND[cls] = kind
+            return kind
+    raise TypeError(f"kernel yielded a non-Op: {op!r}")
 
 
 @dataclass
@@ -157,7 +253,10 @@ class Engine:
 
     One engine may run several kernel launches back to back against the
     same memory (like a real host command queue); statistics can be read
-    per launch or accumulated by the caller.
+    per launch or accumulated by the caller.  Atomic-unit occupancy is
+    scoped per launch: a fresh :class:`AtomicSystem` is built for each,
+    so a second launch never inherits stale per-address timing from the
+    first (its clock restarts at zero).
     """
 
     def __init__(self, device: DeviceSpec, memory: Optional[GlobalMemory] = None):
@@ -197,24 +296,26 @@ class Engine:
             )
         params = dict(params or {})
         stats = SimStats()
-        atomics = AtomicSystem(self.device, self.memory, stats)
+        device = self.device
+        memory = self.memory
+        # per-launch atomic-unit occupancy: never shared across launches
+        # (each launch restarts the simulated clock at zero).
+        atomics = AtomicSystem(device, memory, stats)
+        atomics.reset_timing()
 
-        cus = [_CU(i) for i in range(self.device.n_cus)]
+        cus = [_CU(i) for i in range(device.n_cus)]
         live = 0
         heap: List[tuple] = []
-        seq = 0
-
-        def push(time: int, kind: int, payload) -> None:
-            nonlocal seq
-            heapq.heappush(heap, (time, seq, kind, payload))
-            seq += 1
+        next_seq = count().__next__
+        heappush = heapq.heappush
+        heappop = heapq.heappop
 
         for wid in range(n_wavefronts):
             cu = cus[wid % len(cus)]
             ctx = KernelContext(
                 wf_id=wid,
                 n_wavefronts=n_wavefronts,
-                device=self.device,
+                device=device,
                 params=params,
                 stats=stats,
             )
@@ -225,151 +326,285 @@ class Engine:
 
         # atomics execute at the L2 (GCN), as do loads/stores of small hot
         # control buffers; bulk data pays full memory latency.
-        lat_to = self.device.l2_latency // 2
-        lat_back = self.device.l2_latency - lat_to
-        issue = self.device.issue_cycles
+        lat_to = device.l2_latency // 2
+        lat_back = device.l2_latency - lat_to
+        issue = device.issue_cycles
+        l2_latency = device.l2_latency
+        mem_latency = device.mem_latency
+        pipe = device.mem_pipe_cycles
+        is_hot = memory.is_hot
+        check_bounds = memory.check_bounds
+        bufs = memory.raw_arrays()
+        op_kind_get = _OP_KIND.get
+        #: per-launch buffer-name -> load/store latency (buffer sets and
+        #: hot markings are host-side and cannot change mid-launch).
+        lat_cache: Dict[str, int] = {}
 
-        def mem_op_latency(buf_name: str) -> int:
-            if self.memory.is_hot(buf_name):
-                return self.device.l2_latency
-            return self.device.mem_latency
         now = 0
         abort_exc: Optional[KernelAbort] = None
+        # engine counters, flushed into `stats` in the finally block
+        n_issued = n_compute = n_reads = n_writes = 0
+        n_trans = n_lds = n_busy = 0
 
-        def complete_effects(wf: _Wavefront, when: int) -> None:
-            """Sample memory for a load at its architectural completion."""
-            op = wf.pending
-            if isinstance(op, MemRead):
-                if op.prechecked:
-                    idx = op.index
-                else:
-                    idx = self.memory.check_bounds(op.buf, op.index)
-                op.result = self.memory[op.buf][idx].copy()
+        def span_trans(op, raw) -> int:
+            """Transaction count for a mem op, caching the index extremes
+            on the op so the bounds check at completion/apply time does
+            not rescan the index array."""
+            if type(raw) is np.ndarray and raw.ndim == 1 and raw.dtype == _I64:
+                n_idx = raw.size
+                if n_idx > 1:
+                    mn = int(raw.min())
+                    mx = int(raw.max())
+                    op.span = (mn, mx)
+                    t = (
+                        mx // COALESCE_SEGMENT_WORDS
+                        - mn // COALESCE_SEGMENT_WORDS
+                        + 1
+                    )
+                    return t if t < n_idx else n_idx
+                if n_idx == 1:
+                    v = int(raw[0])
+                    op.span = (v, v)
+                    return 1
+                return 0
+            return transactions_for(raw)
+
+        def checked_index(op) -> np.ndarray:
+            """Bounds-validated index, using the span cached at issue."""
+            span = op.span
+            if span is None:
+                return check_bounds(op.buf, op.index)
+            mn, mx = span
+            if mn < 0 or mx >= bufs[op.buf].size:
+                # out of bounds: delegate for the exact first-offender
+                # message (this path always raises).
+                check_bounds(op.buf, op.index)
+            return op.index
 
         def apply_write(op: MemWrite) -> None:
             if op.prechecked:
                 idx = op.index
             else:
-                idx = self.memory.check_bounds(op.buf, op.index)
-            vals = np.broadcast_to(
-                np.asarray(op.values, dtype=np.int64), idx.shape
-            )
-            self.memory[op.buf][idx] = vals
+                idx = checked_index(op)
+            # fancy-index assignment broadcasts scalars and vectors alike
+            # (and rejects shape mismatches), no explicit broadcast needed.
+            bufs[op.buf][idx] = op.values
 
         def issue_from(cu: _CU) -> None:
-            """If the CU is free and has a ready wavefront, issue one op."""
+            """While the CU is free and has ready wavefronts, issue one op."""
             nonlocal live, abort_exc
+            nonlocal n_issued, n_compute, n_reads, n_writes, n_trans, n_lds, n_busy
             if abort_exc is not None:
                 return
-            if now < cu.busy_until or not cu.ready:
+            if now < cu.busy_until:
                 return
-            wf = cu.ready.pop(0)
-            try:
-                op = wf.gen.send(wf.pending)
-            except StopIteration:
-                live -= 1
-                # the exiting instruction still occupied the pipe briefly;
-                # charge nothing extra and let the next wavefront issue.
-                issue_from(cu)
-                return
-            except KernelAbort as exc:
-                abort_exc = exc
-                return
-            wf.pending = op
-            stats.issued_ops += 1
+            ready = cu.ready
+            while ready:
+                wf = ready.popleft()
+                try:
+                    op = wf.gen.send(wf.pending)
+                except StopIteration:
+                    live -= 1
+                    # the exiting instruction still occupied the pipe
+                    # briefly; charge nothing extra and keep issuing (a CU
+                    # draining many exiting wavefronts must not recurse).
+                    continue
+                except KernelAbort as exc:
+                    abort_exc = exc
+                    return
+                wf.pending = op
+                n_issued += 1
+                cls = op.__class__
+                kind = op_kind_get(cls)
+                if kind is None:
+                    kind = _resolve_op_kind(cls, op)
 
-            if isinstance(op, Compute):
-                occ = max(op.cycles, 1)
-                stats.compute_cycles += op.cycles
-                stats.cu_busy_cycles += occ
-                cu.busy_until = now + occ
-                push(cu.busy_until, _EV_CU_FREE, cu)
-                push(now + occ, _EV_WF_READY, wf)
-            elif isinstance(op, LocalOp):
-                occ = max(op.cycles, 1)
-                stats.lds_ops += 1
-                stats.cu_busy_cycles += occ
-                cu.busy_until = now + occ
-                push(cu.busy_until, _EV_CU_FREE, cu)
-                push(now + occ, _EV_WF_READY, wf)
-            elif isinstance(op, MemRead):
-                trans = op.trans if op.trans is not None else transactions_for(op.index)
-                stats.mem_reads += 1
-                stats.mem_transactions += trans
-                stats.cu_busy_cycles += issue
-                cu.busy_until = now + issue
-                push(cu.busy_until, _EV_CU_FREE, cu)
-                extra = max(trans - 1, 0) * self.device.mem_pipe_cycles
-                push(now + issue + mem_op_latency(op.buf) + extra,
-                     _EV_WF_READY, wf)
-            elif isinstance(op, MemWrite):
-                # stores are write-buffered: the wavefront proceeds after
-                # issue; the effect lands at architectural completion time.
-                trans = op.trans if op.trans is not None else transactions_for(op.index)
-                stats.mem_writes += 1
-                stats.mem_transactions += trans
-                stats.cu_busy_cycles += issue
-                cu.busy_until = now + issue
-                push(cu.busy_until, _EV_CU_FREE, cu)
-                extra = max(trans - 1, 0) * self.device.mem_pipe_cycles
-                push(now + issue + mem_op_latency(op.buf) + extra,
-                     _EV_APPLY_WRITE, op)
-                push(now + issue, _EV_WF_READY, wf)
-            elif isinstance(op, AtomicRMW):
-                stats.cu_busy_cycles += issue
-                cu.busy_until = now + issue
-                push(cu.busy_until, _EV_CU_FREE, cu)
-                push(now + issue + lat_to, _EV_ATOMIC, wf)
-            elif isinstance(op, Fence):
-                stats.cu_busy_cycles += issue
-                cu.busy_until = now + issue
-                push(cu.busy_until, _EV_CU_FREE, cu)
-                push(now + issue, _EV_WF_READY, wf)
-            elif isinstance(op, Abort):
+                if kind == _K_READ:
+                    trans = op.trans
+                    if trans is None:
+                        trans = span_trans(op, op.index)
+                    n_reads += 1
+                    n_trans += trans
+                    n_busy += issue
+                    b = now + issue
+                    cu.busy_until = b
+                    if ready:
+                        heappush(heap, (b, next_seq(), _EV_CU_FREE, cu))
+                        cu.wake = -1
+                    else:
+                        cu.wake = next_seq()
+                    buf = op.buf
+                    lat = lat_cache.get(buf)
+                    if lat is None:
+                        lat = l2_latency if is_hot(buf) else mem_latency
+                        lat_cache[buf] = lat
+                    t = b + lat
+                    if trans > 1:
+                        t += (trans - 1) * pipe
+                    heappush(heap, (t, next_seq(), _EV_WF_READY, wf))
+                    return
+                if kind == _K_ATOMIC:
+                    n_busy += issue
+                    b = now + issue
+                    cu.busy_until = b
+                    if ready:
+                        heappush(heap, (b, next_seq(), _EV_CU_FREE, cu))
+                        cu.wake = -1
+                    else:
+                        cu.wake = next_seq()
+                    heappush(heap, (b + lat_to, next_seq(), _EV_ATOMIC, wf))
+                    return
+                if kind == _K_COMPUTE:
+                    cyc = op.cycles
+                    occ = cyc if cyc > 0 else 1
+                    n_compute += cyc
+                    n_busy += occ
+                    b = now + occ
+                    cu.busy_until = b
+                    cu.wake = -1
+                    heappush(heap, (b, next_seq(), _EV_FREE_READY, wf))
+                    return
+                if kind == _K_WRITE:
+                    trans = op.trans
+                    if trans is None:
+                        trans = span_trans(op, op.index)
+                    n_writes += 1
+                    n_trans += trans
+                    n_busy += issue
+                    b = now + issue
+                    cu.busy_until = b
+                    buf = op.buf
+                    lat = lat_cache.get(buf)
+                    if lat is None:
+                        lat = l2_latency if is_hot(buf) else mem_latency
+                        lat_cache[buf] = lat
+                    if trans > 1:
+                        lat += (trans - 1) * pipe
+                    # stores are write-buffered: the wavefront proceeds
+                    # after issue; the effect lands at completion time.
+                    if lat > 0:
+                        cu.wake = -1
+                        heappush(heap, (b, next_seq(), _EV_FREE_READY, wf))
+                        heappush(heap, (b + lat, next_seq(), _EV_APPLY_WRITE, op))
+                    else:
+                        # zero-latency store: preserve the seed's exact
+                        # free / apply / ready ordering at one timestamp.
+                        heappush(heap, (b, next_seq(), _EV_CU_FREE, cu))
+                        cu.wake = -1
+                        heappush(heap, (b, next_seq(), _EV_APPLY_WRITE, op))
+                        heappush(heap, (b, next_seq(), _EV_WF_READY, wf))
+                    return
+                if kind == _K_LOCAL:
+                    cyc = op.cycles
+                    occ = cyc if cyc > 0 else 1
+                    n_lds += 1
+                    n_busy += occ
+                    b = now + occ
+                    cu.busy_until = b
+                    cu.wake = -1
+                    heappush(heap, (b, next_seq(), _EV_FREE_READY, wf))
+                    return
+                if kind == _K_FENCE:
+                    n_busy += issue
+                    b = now + issue
+                    cu.busy_until = b
+                    cu.wake = -1
+                    heappush(heap, (b, next_seq(), _EV_FREE_READY, wf))
+                    return
+                # _K_ABORT
                 abort_exc = KernelAbort(op.reason)
-            else:
-                raise TypeError(f"kernel yielded a non-Op: {op!r}")
+                return
 
-        # prime: let every CU start issuing at t=0
-        for cu in cus:
-            issue_from(cu)
+        total = 0
+        try:
+            # prime: let every CU start issuing at t=0
+            for cu in cus:
+                issue_from(cu)
 
-        while heap and live > 0 and abort_exc is None:
-            now, _, kind, payload = heapq.heappop(heap)
-            if now > max_cycles:
-                raise SimulationTimeout(
-                    f"simulation exceeded {max_cycles} cycles "
-                    f"({live} wavefronts still live)"
-                )
-            if kind == _EV_WF_READY:
-                wf = payload
-                complete_effects(wf, now)
-                wf.cu.ready.append(wf)
-                issue_from(wf.cu)
-            elif kind == _EV_CU_FREE:
-                issue_from(payload)
-            elif kind == _EV_ATOMIC:
-                wf = payload
-                op = wf.pending
-                assert isinstance(op, AtomicRMW)
-                last_end = atomics.service(op, now)
-                push(last_end + lat_back, _EV_WF_READY, wf)
-            elif kind == _EV_APPLY_WRITE:
-                apply_write(payload)
+            while heap and live > 0 and abort_exc is None:
+                now, _, kind, payload = heappop(heap)
+                if now > max_cycles:
+                    raise SimulationTimeout(
+                        f"simulation exceeded {max_cycles} cycles "
+                        f"({live} wavefronts still live)"
+                    )
+                if kind == _EV_WF_READY:
+                    wf = payload
+                    op = wf.pending
+                    # the class was cached in _OP_KIND when the op issued
+                    if op_kind_get(op.__class__) == _K_READ:
+                        # sample memory at architectural completion (fancy
+                        # indexing with an int64 array always copies).
+                        if op.prechecked:
+                            idx = op.index
+                        else:
+                            idx = checked_index(op)
+                        op.result = bufs[op.buf][idx]
+                    cu = wf.cu
+                    cu.ready.append(wf)
+                    if now < cu.busy_until:
+                        w = cu.wake
+                        if w >= 0:
+                            heappush(
+                                heap, (cu.busy_until, w, _EV_CU_FREE, cu)
+                            )
+                            cu.wake = -1
+                    else:
+                        issue_from(cu)
+                elif kind == _EV_CU_FREE:
+                    cu = payload
+                    if cu.ready and now >= cu.busy_until:
+                        issue_from(cu)
+                elif kind == _EV_FREE_READY:
+                    wf = payload
+                    cu = wf.cu
+                    # CU_FREE half: wake a waiting wavefront first, as the
+                    # seed's separate (earlier-sequence) event did.
+                    if cu.ready and now >= cu.busy_until:
+                        issue_from(cu)
+                    cu.ready.append(wf)
+                    if now < cu.busy_until:
+                        w = cu.wake
+                        if w >= 0:
+                            heappush(
+                                heap, (cu.busy_until, w, _EV_CU_FREE, cu)
+                            )
+                            cu.wake = -1
+                    else:
+                        issue_from(cu)
+                elif kind == _EV_ATOMIC:
+                    wf = payload
+                    op = wf.pending
+                    assert isinstance(op, AtomicRMW)
+                    last_end = atomics.service(op, now)
+                    heappush(
+                        heap, (last_end + lat_back, next_seq(), _EV_WF_READY, wf)
+                    )
+                else:  # _EV_APPLY_WRITE
+                    apply_write(payload)
 
-        if abort_exc is not None:
-            raise abort_exc
+            if abort_exc is not None:
+                raise abort_exc
 
-        total = now
-        # drain the write buffer: stores issued by the last wavefronts are
-        # architecturally committed at kernel end (a real GPU flushes them
-        # before signalling completion).
-        while heap:
-            t, _, kind, payload = heapq.heappop(heap)
-            if kind == _EV_APPLY_WRITE:
-                apply_write(payload)
-                total = max(total, t)
+            total = now
+            # drain the write buffer: stores issued by the last wavefronts
+            # are architecturally committed at kernel end (a real GPU
+            # flushes them before signalling completion).
+            while heap:
+                t, _, kind, payload = heappop(heap)
+                if kind == _EV_APPLY_WRITE:
+                    apply_write(payload)
+                    total = max(total, t)
+        finally:
+            stats.issued_ops += n_issued
+            stats.compute_cycles += n_compute
+            stats.mem_reads += n_reads
+            stats.mem_writes += n_writes
+            stats.mem_transactions += n_trans
+            stats.lds_ops += n_lds
+            stats.cu_busy_cycles += n_busy
+
         if charge_launch_overhead:
-            total += self.device.kernel_launch_cycles
+            total += device.kernel_launch_cycles
         stats.sim_cycles = total
-        return LaunchResult(cycles=total, stats=stats, device=self.device)
+        return LaunchResult(cycles=total, stats=stats, device=device)

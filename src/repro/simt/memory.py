@@ -89,6 +89,14 @@ class GlobalMemory:
         buf = self[name]
         return buf.size <= HOT_BUFFER_WORDS or name in self._hot
 
+    def raw_arrays(self) -> Dict[str, np.ndarray]:
+        """The live name -> array mapping, for engine hot paths.
+
+        Callers may read and write array *contents* in place but must not
+        add or remove entries; allocation goes through :meth:`alloc`.
+        """
+        return self._buffers
+
     def __getitem__(self, name: str) -> np.ndarray:
         try:
             return self._buffers[name]

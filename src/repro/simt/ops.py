@@ -92,7 +92,7 @@ class MemRead(Op):
     :func:`repro.simt.engine.transactions_for`).
     """
 
-    __slots__ = ("buf", "index", "result", "trans", "prechecked")
+    __slots__ = ("buf", "index", "result", "trans", "prechecked", "span")
 
     def __init__(self, buf: str, index, trans: Optional[int] = None,
                  prechecked: bool = False):
@@ -103,6 +103,9 @@ class MemRead(Op):
         self.trans = trans
         #: index already validated as an in-bounds int64 array.
         self.prechecked = prechecked
+        #: engine-private ``(min, max)`` of the index, computed once at
+        #: issue so the completion-time bounds check needn't rescan.
+        self.span: Optional[tuple] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"MemRead({self.buf!r}, n={np.size(self.index)})"
@@ -111,7 +114,7 @@ class MemRead(Op):
 class MemWrite(Op):
     """Per-lane scatter to a global buffer, applied at completion time."""
 
-    __slots__ = ("buf", "index", "values", "trans", "prechecked")
+    __slots__ = ("buf", "index", "values", "trans", "prechecked", "span")
 
     def __init__(self, buf: str, index, values, trans: Optional[int] = None,
                  prechecked: bool = False):
@@ -120,6 +123,7 @@ class MemWrite(Op):
         self.values = values
         self.trans = trans
         self.prechecked = prechecked
+        self.span: Optional[tuple] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"MemWrite({self.buf!r}, n={np.size(self.index)})"

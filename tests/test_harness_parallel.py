@@ -1,0 +1,88 @@
+"""Tests for the process-parallel experiment driver (``--jobs N``).
+
+The contract: worker count is a wall-clock knob only.  ``run_many`` with
+any ``jobs`` value returns the experiments in requested order with
+byte-identical reports, because every experiment re-simulates from the
+same deterministic :class:`HarnessConfig`.
+"""
+
+import json
+
+import pytest
+
+from repro.harness import HarnessConfig
+from repro.harness.cli import main
+from repro.harness.experiments import plan_groups, run_many
+from repro.harness.results import ExperimentResult
+
+
+class TestPlanGroups:
+    def test_singletons_preserve_order(self):
+        assert plan_groups(["fig1", "tab1"]) == [["fig1"], ["tab1"]]
+
+    def test_tab3_tab4_share_a_group(self):
+        # tab4 derives from tab3's runs; splitting them across workers
+        # would simulate tab3 twice.
+        assert plan_groups(["tab1", "tab3", "fig4", "tab4"]) == [
+            ["tab1"], ["tab3", "tab4"], ["fig4"],
+        ]
+
+    def test_tab4_alone_is_its_own_group(self):
+        assert plan_groups(["tab4"]) == [["tab4"]]
+
+    def test_all_ids_covered_exactly_once(self):
+        ids = ["fig1", "tab3", "tab4", "tab5"]
+        flat = [e for g in plan_groups(ids) for e in g]
+        assert sorted(flat) == sorted(ids)
+
+
+@pytest.fixture(scope="module")
+def quick_cfg():
+    return HarnessConfig(quick=True)
+
+
+def _payload(results):
+    """The exact bytes a --out directory would contain."""
+    return {
+        r.exp_id: (r.text, json.dumps(r.data, sort_keys=True, default=str))
+        for r in results
+    }
+
+
+class TestRunMany:
+    def test_sequential_and_parallel_reports_identical(self, quick_cfg):
+        ids = ["tab1", "tab2"]
+        seq = run_many(quick_cfg, ids, jobs=1)
+        par = run_many(quick_cfg, ids, jobs=2)
+        assert [r.exp_id for r in seq] == ids
+        assert [r.exp_id for r in par] == ids
+        assert _payload(seq) == _payload(par)
+
+    def test_results_return_in_requested_order(self, quick_cfg):
+        results = run_many(quick_cfg, ["tab2", "tab1"], jobs=2)
+        assert [r.exp_id for r in results] == ["tab2", "tab1"]
+
+    def test_elapsed_is_recorded_but_not_serialized(self, quick_cfg, tmp_path):
+        (result,) = run_many(quick_cfg, ["tab1"], jobs=1)
+        assert result.elapsed > 0
+        path = result.save(tmp_path)
+        assert "elapsed" not in path.read_text()
+
+    def test_oversubscribed_jobs_clamp_to_group_count(self, quick_cfg):
+        results = run_many(quick_cfg, ["tab1"], jobs=64)
+        assert [r.exp_id for r in results] == ["tab1"]
+
+
+class TestCliJobs:
+    def test_jobs_flag_produces_identical_artifacts(self, tmp_path, capsys):
+        out1 = tmp_path / "j1"
+        out2 = tmp_path / "j2"
+        assert main(["tab1", "--quick", "--jobs", "1",
+                     "--out", str(out1)]) == 0
+        assert main(["tab1", "--quick", "--jobs", "2",
+                     "--out", str(out2)]) == 0
+        capsys.readouterr()
+        for suffix in ("txt", "json"):
+            a = (out1 / f"tab1.{suffix}").read_text()
+            b = (out2 / f"tab1.{suffix}").read_text()
+            assert a == b

@@ -238,3 +238,34 @@ class TestStatsAccounting:
         sys_.reset_timing()
         end2 = sys_.service(AtomicRMW("b", 0, AtomicKind.ADD, 1), 0)
         assert end1 == end2
+
+
+class TestLaunchScopedTiming:
+    def test_sequential_launches_see_fresh_atomic_units(self):
+        """Unit-occupancy state must not leak across Engine.launch calls.
+
+        Two identical launches on one engine, with memory reset in
+        between, must cost identical cycles: each launch restarts the
+        simulated clock at zero, so ``_free_at`` entries from the first
+        launch (which end at large absolute cycles) would stall the
+        second launch's atomics far into the future if they survived.
+        """
+        from repro.simt import Engine, GlobalMemory, TESTGPU
+
+        def kernel(ctx):
+            # contended hot-word atomics: every wavefront hammers ctrl[0],
+            # building up large _free_at end times.
+            for _ in range(20):
+                yield AtomicRMW("ctrl", 0, AtomicKind.ADD, 1)
+
+        mem = GlobalMemory()
+        mem.alloc("ctrl", 2, fill=0)
+        eng = Engine(TESTGPU, mem)
+
+        first = eng.launch(kernel, 8)
+        assert mem["ctrl"][0] == 8 * 20
+        mem["ctrl"][:] = 0  # host resets between launches
+        second = eng.launch(kernel, 8)
+
+        assert second.cycles == first.cycles
+        assert second.stats.snapshot() == first.stats.snapshot()

@@ -1,0 +1,105 @@
+"""Determinism and hot-path-equivalence guards for the engine.
+
+The engine's wall-clock fast paths (combined free+ready events, deferred
+CU wakes, per-launch latency caches, index-span caching) are pure
+optimizations: they must never change a single simulated cycle, stats
+counter, or memory word.  These tests pin that invariant:
+
+* the same launch run twice produces bit-identical results;
+* ops issued through the precomputed fast path (``trans``/``prechecked``)
+  and the generic path simulate identically;
+* a CU draining thousands of immediately-exiting wavefronts completes
+  without recursion (the issue loop is iterative).
+"""
+
+import numpy as np
+
+from repro.bfs import run_persistent_bfs
+from repro.graphs import dataset
+from repro.simt import (
+    Compute,
+    DeviceSpec,
+    Engine,
+    GlobalMemory,
+    MemRead,
+    MemWrite,
+    TESTGPU,
+)
+from repro.simt.engine import transactions_for
+
+
+def test_same_bfs_launch_twice_is_bit_identical():
+    spec = dataset("Synthetic")
+    g = spec.build(spec.default_scale * 0.25)
+    runs = []
+    for _ in range(2):
+        run = run_persistent_bfs(
+            g, spec.source, "RF/AN", TESTGPU, 4, verify=False
+        )
+        runs.append(run)
+    a, b = runs
+    assert a.cycles == b.cycles
+    assert a.stats.snapshot() == b.stats.snapshot()
+    assert np.array_equal(a.costs, b.costs)
+
+
+def _rw_kernel(precomputed):
+    """Reads and writes a strided window; optionally via the fast path."""
+
+    def kernel(ctx):
+        idx = (ctx.global_thread_base + ctx.lane * 2) % 256
+        for i in range(30):
+            if precomputed:
+                read = MemRead(
+                    "data", idx, trans=transactions_for(idx), prechecked=True
+                )
+            else:
+                read = MemRead("data", idx)
+            yield read
+            vals = read.result + 1
+            if precomputed:
+                yield MemWrite(
+                    "data", idx, vals,
+                    trans=transactions_for(idx), prechecked=True,
+                )
+            else:
+                yield MemWrite("data", idx, vals)
+            yield Compute(3)
+
+    return kernel
+
+
+def _run_rw(precomputed):
+    mem = GlobalMemory()
+    mem.alloc("data", 256, fill=7)
+    eng = Engine(TESTGPU, mem)
+    res = eng.launch(_rw_kernel(precomputed), 6)
+    return res, mem["data"].copy()
+
+
+def test_fast_path_and_generic_path_simulate_identically():
+    res_fast, mem_fast = _run_rw(precomputed=True)
+    res_gen, mem_gen = _run_rw(precomputed=False)
+    assert res_fast.cycles == res_gen.cycles
+    assert res_fast.stats.snapshot() == res_gen.stats.snapshot()
+    assert np.array_equal(mem_fast, mem_gen)
+
+
+def test_draining_thousands_of_exiting_wavefronts_is_iterative():
+    # one CU, every wavefront exits on its first resume: the seed's
+    # recursive issue-on-StopIteration would exceed the recursion limit.
+    dev = DeviceSpec(
+        name="drain", n_cus=1, wavefront_size=4, max_wavefronts_per_cu=2000
+    )
+    n = 1990
+
+    def kernel(ctx):
+        if ctx.wf_id == 0:
+            yield Compute(1)
+        # everyone else exits without issuing anything
+        return
+
+    mem = GlobalMemory()
+    eng = Engine(dev, mem)
+    res = eng.launch(kernel, n)
+    assert res.stats.issued_ops == 1

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Engine hot-path wall-clock benchmark — emits BENCH_engine.json.
+
+The simulator's *results* are deterministic, so the interesting number
+here is host wall-clock throughput of the discrete-event engine itself.
+Two fixed workloads:
+
+* ``soup`` — a mixed-op kernel exercising every issue path of the engine
+  (compute, LDS, fence, gather, scatter, hot atomic) with precomputed
+  index vectors, so event-loop overhead dominates and kernel-side NumPy
+  churn does not mask it.  Reported as issued ops per second.
+* ``bfs`` — one fixed persistent-BFS launch (RF/AN, Fiji, 56 workgroups
+  on the NY roadmap stand-in at 1/8 harness scale): the end-to-end cost
+  a harness experiment actually pays per launch.
+
+``--harness`` additionally times the full ``--quick`` harness through
+:func:`repro.harness.experiments.run_many` with ``--jobs`` workers.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/bench_engine.py --out BENCH_engine.json
+
+Pass ``--baseline other.json`` (produced by this tool on another
+revision) to record speedup factors; the tool refuses to compare runs
+whose simulated cycle counts differ, because a perf change that alters
+simulation results is a correctness bug, not a speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.simt import (
+    FIJI,
+    AtomicKind,
+    AtomicRMW,
+    Compute,
+    Engine,
+    Fence,
+    GlobalMemory,
+    LocalOp,
+    MemRead,
+    MemWrite,
+)
+
+SOUP_ROUNDS = 400
+SOUP_WAVEFRONTS = 56
+SOUP_DATA_WORDS = 4096
+BFS_DATASET = "USA-road-d.NY"
+BFS_SCALE = 0.125
+BFS_WORKGROUPS = 56
+
+
+def soup_kernel(ctx):
+    """Mixed op soup: every issue path, engine-bound by construction."""
+    idx = (ctx.global_thread_base + ctx.lane) % SOUP_DATA_WORDS
+    for i in range(SOUP_ROUNDS):
+        yield Compute(2)
+        read = MemRead("data", idx)
+        yield read
+        yield LocalOp(4)
+        yield MemWrite("data", idx, i)
+        if i % 8 == 0:
+            yield AtomicRMW("ctrl", 0, AtomicKind.ADD, 1)
+        if i % 16 == 0:
+            yield Fence()
+
+
+def bench_soup(repeats: int = 3) -> dict:
+    """Best-of-N wall time for the soup kernel on a fresh engine."""
+    best = None
+    for _ in range(repeats):
+        mem = GlobalMemory()
+        mem.alloc("data", SOUP_DATA_WORDS, fill=0)
+        mem.alloc("ctrl", 4, fill=0)
+        eng = Engine(FIJI, mem)
+        t0 = time.perf_counter()
+        res = eng.launch(soup_kernel, SOUP_WAVEFRONTS)
+        dt = time.perf_counter() - t0
+        if best is None or dt < best[0]:
+            best = (dt, res)
+    dt, res = best
+    return {
+        "seconds": round(dt, 4),
+        "issued_ops": int(res.stats.issued_ops),
+        "cycles": int(res.cycles),
+        "ops_per_sec": int(res.stats.issued_ops / dt),
+    }
+
+
+def bench_bfs(repeats: int = 3) -> dict:
+    """Best-of-N wall time for one fixed persistent-BFS launch."""
+    from repro.bfs import run_persistent_bfs
+    from repro.graphs import dataset
+
+    spec = dataset(BFS_DATASET)
+    g = spec.build(spec.default_scale * BFS_SCALE)
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run = run_persistent_bfs(
+            g, spec.source, "RF/AN", FIJI, BFS_WORKGROUPS, verify=False
+        )
+        dt = time.perf_counter() - t0
+        if best is None or dt < best[0]:
+            best = (dt, run)
+    dt, run = best
+    return {
+        "seconds": round(dt, 4),
+        "issued_ops": int(run.stats.issued_ops),
+        "cycles": int(run.cycles),
+        "ops_per_sec": int(run.stats.issued_ops / dt),
+    }
+
+
+def bench_harness(jobs: int) -> dict:
+    """Wall time for the full --quick harness via run_many."""
+    from repro.harness import HarnessConfig
+    from repro.harness.experiments import EXPERIMENTS, run_many
+
+    cfg = HarnessConfig(quick=True)
+    t0 = time.perf_counter()
+    run_many(cfg, list(EXPERIMENTS), jobs=jobs)
+    return {"seconds": round(time.perf_counter() - t0, 1), "jobs": jobs}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_engine.json", metavar="FILE")
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="BENCH_engine.json from another revision; adds speedups",
+    )
+    parser.add_argument(
+        "--harness", action="store_true",
+        help="also time the full --quick harness (minutes)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes for --harness (default: cpu count)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="single repetition per workload (CI mode)",
+    )
+    args = parser.parse_args(argv)
+    repeats = 1 if args.quick else 3
+
+    report = {
+        "generated_by": "tools/bench_engine.py",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": {},
+    }
+    print(f"soup kernel ({repeats} repeat(s))...")
+    report["benchmarks"]["soup"] = bench_soup(repeats)
+    print(f"  {report['benchmarks']['soup']}")
+    print(f"fixed BFS launch ({repeats} repeat(s))...")
+    report["benchmarks"]["bfs"] = bench_bfs(repeats)
+    print(f"  {report['benchmarks']['bfs']}")
+    if args.harness:
+        import os
+
+        jobs = args.jobs or os.cpu_count() or 1
+        print(f"--quick harness with --jobs {jobs} (this takes minutes)...")
+        report["benchmarks"]["harness_quick"] = bench_harness(jobs)
+        print(f"  {report['benchmarks']['harness_quick']}")
+
+    if args.baseline:
+        base = json.loads(Path(args.baseline).read_text())
+        report["baseline"] = base["benchmarks"]
+        speedup = {}
+        for name, cur in report["benchmarks"].items():
+            ref = base["benchmarks"].get(name)
+            if not ref:
+                continue
+            for key in ("cycles", "issued_ops"):
+                if key in ref and ref[key] != cur[key]:
+                    raise SystemExit(
+                        f"{name}: simulated {key} changed "
+                        f"({ref[key]} -> {cur[key]}); refusing to report a "
+                        "speedup over a run with different results"
+                    )
+            speedup[name] = round(ref["seconds"] / cur["seconds"], 2)
+        report["speedup_vs_baseline"] = speedup
+        print(f"speedup vs {args.baseline}: {speedup}")
+
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
