@@ -133,6 +133,7 @@ def run_persistent_bfs(
     grow_on_full: bool = True,
     max_cycles: int = 20_000_000_000,
     verify: bool = False,
+    probe: Optional[object] = None,
 ) -> BFSRun:
     """Simulate a persistent-thread BFS with the given queue variant.
 
@@ -157,6 +158,7 @@ def run_persistent_bfs(
                 circular,
                 max_cycles,
                 verify,
+                probe,
             )
         except KernelAbort as exc:
             if not grow_on_full or attempts > 8:
@@ -175,6 +177,7 @@ def _run_once(
     circular: bool,
     max_cycles: int,
     verify: bool,
+    probe: Optional[object] = None,
 ) -> BFSRun:
     engine = Engine(device)
     alloc_graph_buffers(engine.memory, graph, source)
@@ -188,7 +191,7 @@ def _run_once(
     kernel = persistent_kernel(
         queue, BFSWorker(), sched, subtasks_per_cycle=subtasks_per_cycle
     )
-    result = engine.launch(kernel, n_workgroups, max_cycles=max_cycles)
+    result = engine.launch(kernel, n_workgroups, max_cycles=max_cycles, probe=probe)
 
     run = BFSRun(
         implementation=variant,

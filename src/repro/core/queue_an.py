@@ -59,6 +59,7 @@ class ArbitraryNQueue(BaseCasQueue):
     ) -> Generator[Op, Op, None]:
         stats = ctx.stats
         dev = ctx.device
+        probe = self._probe(ctx)
         n = st.n_hungry
         if n == 0:
             return
@@ -72,11 +73,16 @@ class ArbitraryNQueue(BaseCasQueue):
             ctrl = self._read_ctrl()
             yield ctrl
             front, rear = int(ctrl.result[0]), int(ctrl.result[1])
+            if probe is not None:
+                probe.queue_counter(self.prefix, "front", probe.now, front)
+                probe.queue_counter(self.prefix, "rear", probe.now, rear)
             avail = rear - front
             m = min(n, avail)
             if m <= 0:
                 # queue-empty exception: all hungry lanes stay hungry.
                 stats.custom[K_EMPTY_EXC] += n
+                if probe is not None:
+                    probe.queue_instant(self.prefix, "empty", probe.now, n)
                 return
             if not first_round:
                 stats.custom[K_CAS_ROUNDS] += 1
@@ -90,12 +96,17 @@ class ArbitraryNQueue(BaseCasQueue):
             if bool(op.success[0]):
                 break
             # CAS failed: somebody moved Front; re-read and retry.
+            if probe is not None:
+                probe.queue_instant(self.prefix, "cas_retry", probe.now, 1)
 
         # first m hungry lanes receive slots front .. front+m-1.
         served = hungry & (ranks < m)
         lanes = np.flatnonzero(served)
         raw = front + ranks[served]
         phys = self._phys(raw)
+        if probe is not None:
+            probe.queue_proxy(self.prefix, "acquire", m)
+            probe.queue_watch(self.prefix, raw, probe.now)
 
         while True:
             vread = MemRead(self.buf_valid, phys)
@@ -103,10 +114,16 @@ class ArbitraryNQueue(BaseCasQueue):
             if np.all(vread.result == 1):
                 break
             stats.custom[K_CAS_ROUNDS] += 1
+            if probe is not None:
+                probe.queue_instant(
+                    self.prefix, "handoff_spin", probe.now, int(lanes.size)
+                )
 
         dread = MemRead(self.buf_data, phys)
         yield dread
         yield MemWrite(self.buf_valid, phys, 0)
+        if probe is not None:
+            probe.queue_grant(self.prefix, raw, probe.now)
         st.grant(lanes, dread.result)
         stats.custom[K_DEQ_TOKENS] += int(lanes.size)
 
@@ -120,6 +137,7 @@ class ArbitraryNQueue(BaseCasQueue):
     ) -> Generator[Op, Op, None]:
         stats = ctx.stats
         dev = ctx.device
+        probe = self._probe(ctx)
         counts = np.asarray(counts, dtype=np.int64)
         has_new = counts > 0
         if not has_new.any():
@@ -132,6 +150,9 @@ class ArbitraryNQueue(BaseCasQueue):
             ctrl = self._read_ctrl()
             yield ctrl
             front, rear = int(ctrl.result[0]), int(ctrl.result[1])
+            if probe is not None:
+                probe.queue_counter(self.prefix, "front", probe.now, front)
+                probe.queue_counter(self.prefix, "rear", probe.now, rear)
             if self._is_full(front, rear, total):
                 yield Abort(
                     f"queue full: rear={rear} front={front} "
@@ -147,6 +168,12 @@ class ArbitraryNQueue(BaseCasQueue):
             stats.custom[K_PROXY_ATOMICS] += 1
             if bool(op.success[0]):
                 break
+            if probe is not None:
+                probe.queue_instant(self.prefix, "cas_retry", probe.now, 1)
+
+        if probe is not None:
+            probe.queue_counter(self.prefix, "rear", probe.now, rear + total)
+            probe.queue_proxy(self.prefix, "publish", total)
 
         lane_base = rear + ranks
         max_count = int(counts.max())

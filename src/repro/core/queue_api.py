@@ -182,6 +182,18 @@ class DeviceQueue(abc.ABC):
         """One coalesced read of (Front, Rear)."""
         return MemRead(self.buf_ctrl, np.array([FRONT, REAR], dtype=np.int64))
 
+    def _probe(self, ctx: KernelContext) -> Optional[object]:
+        """The launch's observability probe (None almost always).
+
+        Registers this queue on first sight so exporters know its
+        capacity/variant.  Probes are passive: nothing on this path may
+        touch stats, memory, or op scheduling.
+        """
+        probe = ctx.probe
+        if probe is not None:
+            probe.queue_register(self.prefix, self.capacity, self.variant)
+        return probe
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"{type(self).__name__}(capacity={self.capacity}, "

@@ -97,6 +97,7 @@ class BaseCasQueue(DeviceQueue):
         loop is the retry loop.
         """
         stats = ctx.stats
+        probe = self._probe(ctx)
 
         # 1. per-lane CAS ticket claims, one attempt per work cycle.
         #
@@ -123,6 +124,9 @@ class BaseCasQueue(DeviceQueue):
             ctrl = self._read_ctrl()
             yield ctrl
             front, rear = int(ctrl.result[0]), int(ctrl.result[1])
+            if probe is not None:
+                probe.queue_counter(self.prefix, "front", probe.now, front)
+                probe.queue_counter(self.prefix, "rear", probe.now, rear)
             avail = rear - front
             ranks, _ = rank_within(attempting)
             live = attempting & (ranks < avail)
@@ -131,6 +135,8 @@ class BaseCasQueue(DeviceQueue):
                 # queue-empty exception: these lanes give up this work
                 # cycle and retry on the next one (§3.2 / §6.5).
                 stats.custom[K_EMPTY_EXC] += starved
+                if probe is not None:
+                    probe.queue_instant(self.prefix, "empty", probe.now, starved)
             if live.any():
                 lanes = np.flatnonzero(live)
                 exp = front + ranks[lanes]
@@ -146,10 +152,17 @@ class BaseCasQueue(DeviceQueue):
                 if won.any():
                     win_lanes = lanes[won]
                     st.watch(win_lanes, exp[won])
+                    if probe is not None:
+                        probe.queue_watch(self.prefix, exp[won], probe.now)
                 if not won.all():
                     # failed speculation: retry next work cycle (counted
                     # as retry traffic; engine counted the CAS failures)
                     stats.custom[K_CAS_ROUNDS] += 1
+                    if probe is not None:
+                        probe.queue_instant(
+                            self.prefix, "cas_retry", probe.now,
+                            int((~won).sum()),
+                        )
 
         # 2. hand-off: poll valid flags of every claimed slot once per
         #    work cycle; producers may still be writing.
@@ -167,11 +180,17 @@ class BaseCasQueue(DeviceQueue):
                 dread = MemRead(self.buf_data, got_phys)
                 yield dread
                 yield MemWrite(self.buf_valid, got_phys, 0)
+                if probe is not None:
+                    probe.queue_grant(self.prefix, raw[ready], probe.now)
                 st.unwatch(got_lanes)
                 st.grant(got_lanes, dread.result)
                 stats.custom[K_DEQ_TOKENS] += int(got_lanes.size)
             else:
                 stats.custom[K_CAS_ROUNDS] += 1  # hand-off spin traffic
+                if probe is not None:
+                    probe.queue_instant(
+                        self.prefix, "handoff_spin", probe.now, int(lanes.size)
+                    )
 
     # ------------------------------------------------------------------
     def publish(
@@ -191,6 +210,7 @@ class BaseCasQueue(DeviceQueue):
         arbitrary-n property removes.
         """
         stats = ctx.stats
+        probe = self._probe(ctx)
         counts = np.asarray(counts, dtype=np.int64)
         if not (counts > 0).any():
             return
@@ -214,6 +234,9 @@ class BaseCasQueue(DeviceQueue):
             ctrl = self._read_ctrl()
             yield ctrl
             front, rear = int(ctrl.result[0]), int(ctrl.result[1])
+            if probe is not None:
+                probe.queue_counter(self.prefix, "front", probe.now, front)
+                probe.queue_counter(self.prefix, "rear", probe.now, rear)
             ranks, n_round = rank_within(pending)
             if self._is_full(front, rear, n_round):
                 yield Abort(
@@ -231,6 +254,10 @@ class BaseCasQueue(DeviceQueue):
             )
             yield op
             won = op.success
+            if probe is not None and not won.all():
+                probe.queue_instant(
+                    self.prefix, "cas_retry", probe.now, int((~won).sum())
+                )
             if not won.any():
                 continue
             win_lanes = lanes[won]

@@ -66,6 +66,7 @@ class RetryFreeQueue(DeviceQueue):
         self, ctx: KernelContext, st: WavefrontQueueState
     ) -> Generator[Op, Op, None]:
         custom = ctx.stats.custom
+        probe = self._probe(ctx)
 
         # --- Listing 1: slot reservation for newly hungry lanes --------
         n_hungry = st.n_hungry
@@ -83,6 +84,10 @@ class RetryFreeQueue(DeviceQueue):
             base = int(op.old[0])
             lanes = np.flatnonzero(hungry)
             st.watch(lanes, base + ranks[lanes])
+            if probe is not None:
+                probe.queue_counter(self.prefix, "front", probe.now, base + total)
+                probe.queue_proxy(self.prefix, "acquire", total)
+                probe.queue_watch(self.prefix, base + ranks[lanes], probe.now)
 
         # --- Listing 2: data-arrival poll for every watching lane ------
         if st.n_watching == 0:
@@ -114,6 +119,8 @@ class RetryFreeQueue(DeviceQueue):
         # so max(slots) == DNA means no data arrived: one reduction in the
         # common empty poll instead of a compare plus an any().
         if int(res.max()) == DNA:
+            if probe is not None:
+                probe.queue_instant(self.prefix, "empty_poll", probe.now, n_lanes)
             return
         arrived = res != DNA
         got_lanes = lanes[arrived]
@@ -121,6 +128,8 @@ class RetryFreeQueue(DeviceQueue):
         # pick up the token and put the sentinel back so the slot can be
         # reused when the queue is configured circular (§4.2).
         yield MemWrite(self.buf_data, phys[arrived], DNA)
+        if probe is not None:
+            probe.queue_grant(self.prefix, st.slot[got_lanes], probe.now)
         st.unwatch(got_lanes)
         st.grant(got_lanes, tokens)
         custom[K_DEQ_TOKENS] += int(got_lanes.size)
@@ -148,6 +157,10 @@ class RetryFreeQueue(DeviceQueue):
         yield op
         stats.custom[K_PROXY_ATOMICS] += 1
         base = int(op.old[0])
+        probe = self._probe(ctx)
+        if probe is not None:
+            probe.queue_counter(self.prefix, "rear", probe.now, base + total)
+            probe.queue_proxy(self.prefix, "publish", total)
 
         # --- lines 24-27: lock-step copy, one sub-iteration per token
         # rank within the busiest lane.  Each iteration checks the target

@@ -180,6 +180,9 @@ def persistent_kernel(
             # 2. GetWorkToken() for hungry lanes.
             yield from queue.acquire(ctx, st)
             custom[K_IDLE_CYCLES] += wf_size - st.n_token
+            probe = ctx.probe
+            if probe is not None:
+                probe.sched_tokens(probe.now, ctx.wf_id, st.n_token, wf_size)
             if st.n_token == 0:
                 continue
 

@@ -42,6 +42,7 @@ class NaiveCasQueue(BaseCasQueue):
         self, ctx: KernelContext, st: WavefrontQueueState
     ) -> Generator[Op, Op, None]:
         stats = ctx.stats
+        probe = self._probe(ctx)
 
         # one shared-expected CAS attempt per work cycle
         n = st.n_hungry
@@ -51,8 +52,13 @@ class NaiveCasQueue(BaseCasQueue):
             ctrl = self._read_ctrl()
             yield ctrl
             front, rear = int(ctrl.result[0]), int(ctrl.result[1])
+            if probe is not None:
+                probe.queue_counter(self.prefix, "front", probe.now, front)
+                probe.queue_counter(self.prefix, "rear", probe.now, rear)
             if rear - front <= 0:
                 stats.custom[K_EMPTY_EXC] += n
+                if probe is not None:
+                    probe.queue_instant(self.prefix, "empty", probe.now, n)
             else:
                 op = AtomicRMW(
                     self.buf_ctrl,
@@ -66,14 +72,25 @@ class NaiveCasQueue(BaseCasQueue):
                 if winners.size:
                     lane = np.flatnonzero(attempting)[winners[:1]]
                     st.watch(lane, np.array([front], dtype=np.int64))
+                    if probe is not None:
+                        probe.queue_watch(
+                            self.prefix,
+                            np.array([front], dtype=np.int64),
+                            probe.now,
+                        )
                 else:
                     stats.custom[K_CAS_ROUNDS] += 1
+                    if probe is not None:
+                        probe.queue_instant(
+                            self.prefix, "cas_retry", probe.now, n
+                        )
 
         # hand-off identical to BASE: poll valid, read data, clear flag
         if st.n_watching:
             claimed = st.slot >= 0
             lanes = np.flatnonzero(claimed)
-            phys = self._phys(st.slot[lanes])
+            raw = st.slot[lanes]
+            phys = self._phys(raw)
             vread = MemRead(self.buf_valid, phys)
             yield vread
             ready = vread.result == 1
@@ -83,5 +100,7 @@ class NaiveCasQueue(BaseCasQueue):
                 dread = MemRead(self.buf_data, got_phys)
                 yield dread
                 yield MemWrite(self.buf_valid, got_phys, 0)
+                if probe is not None:
+                    probe.queue_grant(self.prefix, raw[ready], probe.now)
                 st.unwatch(got_lanes)
                 st.grant(got_lanes, dread.result)

@@ -27,6 +27,13 @@ from .experiments import EXPERIMENTS, run_many
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "profile":
+        # profiled single runs have their own flag set; see profile.py.
+        from .profile import profile_main
+
+        return profile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-harness",
         description=(
@@ -38,7 +45,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         nargs="?",
-        help="experiment id (fig1, tab1..tab6, fig3..fig5) or 'all'",
+        help=(
+            "experiment id (fig1, tab1..tab6, fig3..fig5) or 'all'; "
+            "or the 'profile' subcommand (see 'profile --help')"
+        ),
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument(
@@ -65,6 +75,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             "either way"
         ),
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "attach observability probes to every launch (forces "
+            "--jobs 1); reports are unchanged — probes are passive — "
+            "and aggregate profile metrics land in DIR/<exp>.profile.json "
+            "when --out is given"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -86,16 +105,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     t0 = time.time()
-    results = run_many(cfg, ids, jobs=args.jobs)
+    if args.profile:
+        # the probe factory is a module global in this interpreter, so
+        # worker processes would run unprofiled — keep it in-process.
+        from repro.obs import ProfileSession
+
+        jobs = 1
+        profiles = {}
+        for exp_id in ids:
+            with ProfileSession(keep_timelines=False) as session:
+                results_one = run_many(cfg, [exp_id], jobs=1)
+            profiles[exp_id] = [e["metrics"] for e in session.launches]
+            results = results + results_one if exp_id != ids[0] else results_one
+    else:
+        jobs = args.jobs
+        profiles = {}
+        results = run_many(cfg, ids, jobs=jobs)
     for result in results:
         print(result.text)
         print(f"\n[{result.exp_id} regenerated in {result.elapsed:.1f}s]\n")
         if args.out:
             path = result.save(args.out)
             print(f"[saved {path}]")
+            launches = profiles.get(result.exp_id)
+            if launches is not None:
+                import json
+                import os
+
+                ppath = os.path.join(args.out, f"{result.exp_id}.profile.json")
+                with open(ppath, "w") as fh:
+                    json.dump({"launches": launches}, fh, indent=1)
+                print(f"[saved {ppath} ({len(launches)} profiled launches)]")
     if len(results) > 1:
         print(f"[{len(results)} experiments in {time.time() - t0:.1f}s "
-              f"with --jobs {args.jobs}]")
+              f"with --jobs {jobs}]")
     return 0
 
 

@@ -145,10 +145,14 @@ def run_tab3(cfg: HarnessConfig,
                 stats[variant] = {
                     "cycles": run.cycles,
                     "cas_failures": run.stats.cas_failures,
+                    "cas_attempts": run.stats.cas_attempts,
                     "atomics": run.stats.total_atomic_requests,
                     "empty_exceptions": int(
                         run.stats.custom.get("queue.empty_exceptions", 0)
                     ),
+                    "custom": {
+                        k: int(v) for k, v in sorted(run.stats.custom.items())
+                    },
                 }
             paper = PAPER_TABLE3.get((dev.name, name), {})
             rows.append(

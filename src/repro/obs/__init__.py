@@ -1,0 +1,41 @@
+"""Cycle-accurate observability for simulated launches.
+
+The simulator's scalar counters (:class:`~repro.simt.stats.SimStats`)
+answer *how much*; this package answers *when*.  It consumes the opt-in
+:class:`~repro.simt.probe.Probe` hooks that the engine, atomic system,
+queue variants, and persistent scheduler emit, and turns them into:
+
+* :class:`~repro.obs.timeline.TimelineProbe` — the raw cycle-stamped
+  event timeline of one launch (issue spans, wake-ups, atomic
+  serialization windows, queue control-word samples, dna-wait pairs);
+* :func:`~repro.obs.metrics.compute_metrics` — time-binned series
+  (issue-pipe occupancy, queue depth, atomics per kcycle, wavefront
+  parallelism) plus histogram summaries (dna-wait, proxy amortization,
+  CAS failure bursts);
+* :func:`~repro.obs.perfetto.write_trace` — a Chrome ``trace_event``
+  JSON export, loadable at https://ui.perfetto.dev;
+* :class:`~repro.obs.session.ProfileSession` — process-wide attachment:
+  every ``Engine.launch`` in scope gets a probe, metrics are aggregated
+  per launch, and reports stay byte-identical (probes are passive).
+
+Probing never changes a simulated cycle: a profiled run's ``SimStats``
+and memory are bit-identical to an unprofiled run (pinned by
+``tests/test_simt_determinism.py``).
+"""
+
+from repro.simt.probe import Probe
+
+from .metrics import compute_metrics, summarize
+from .perfetto import to_perfetto, write_trace
+from .session import ProfileSession
+from .timeline import TimelineProbe
+
+__all__ = [
+    "Probe",
+    "ProfileSession",
+    "TimelineProbe",
+    "compute_metrics",
+    "summarize",
+    "to_perfetto",
+    "write_trace",
+]

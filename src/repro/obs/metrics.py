@@ -1,0 +1,247 @@
+"""Turn a recorded timeline into time-binned series and summaries.
+
+Everything here is pure post-processing over a finished
+:class:`~repro.obs.timeline.TimelineProbe`: the launch is over, the
+streams are immutable, and the output is a plain JSON-able dict so the
+harness can dump it next to the Perfetto trace.
+
+The dict produced by :func:`compute_metrics` has this shape::
+
+    {
+      "device": "fiji", "cycles": 123456, "n_wavefronts": 224,
+      "bins": 60, "bin_cycles": 2058,
+      "engine": {
+        "occupancy": [...],          # fraction of CU-issue-cycles busy, per bin
+        "issues_per_bin": [...],
+        "transactions_per_bin": [...],
+        "issue_span": {...},         # summary of per-op issue-pipe spans
+        "op_mix": {"MemRead": 123, ...},
+      },
+      "atomics": {
+        "per_kcycle": [...],         # batches serviced per 1000 cycles, per bin
+        "busy_frac": [...],          # fraction of each bin inside service windows
+        "batch_lanes": {...},        # summary
+        "cas_failure_burst": {...},  # summary over batches with failures
+        "by_buf": {"queue.ring": {"batches": n, "failures": n, ...}},
+        "hot_addrs": [[addr, hits], ...],
+      },
+      "queues": {
+        "queue": {
+          "capacity": 4096, "variant": "RF/AN",
+          "depth": [...],            # rear-front sampled at bin edges
+          "highwater": 87, "highwater_frac": 0.021,
+          "dna_wait": {...},         # summary, cycles from watch to grant
+          "proxy": {"acquire": {...}, "publish": {...}},  # lanes/op summaries
+          "instants": {"empty": 12, ...},
+          "starved_watches": 0,
+        }, ...
+      },
+      "scheduler": {
+        "parallelism": [...],        # active task tokens sampled at bin edges
+        "peak_parallelism": 3584,
+      },
+      "truncated": false, "n_events": 123,
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+def summarize(values: Sequence[float]) -> Optional[Dict[str, float]]:
+    """Five-number-ish summary of a sample list (None when empty)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return None
+    return {
+        "count": int(arr.size),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+    }
+
+
+def _bin_intervals(starts, ends, bins: int, bin_cycles: int) -> np.ndarray:
+    """Accumulate interval lengths into time bins (intervals may span bins)."""
+    acc = np.zeros(bins, dtype=np.float64)
+    if len(starts) == 0:
+        return acc
+    s = np.asarray(starts, dtype=np.int64)
+    e = np.asarray(ends, dtype=np.int64)
+    horizon = bins * bin_cycles
+    np.clip(e, 0, horizon, out=e)
+    np.clip(s, 0, horizon, out=s)
+    live = e > s
+    s, e = s[live], e[live]
+    while s.size:
+        b = s // bin_cycles
+        edge = (b + 1) * bin_cycles
+        seg_end = np.minimum(e, edge)
+        np.add.at(acc, np.minimum(b, bins - 1), seg_end - s)
+        carry = e > edge
+        s, e = edge[carry], e[carry]
+    return acc
+
+
+def _sample_steps(points, edges) -> List[int]:
+    """Sample a step series ``[(cycle, value)]`` at each bin edge."""
+    if not points:
+        return [0] * len(edges)
+    cyc = np.asarray([p[0] for p in points], dtype=np.int64)
+    val = np.asarray([p[1] for p in points], dtype=np.int64)
+    idx = np.searchsorted(cyc, edges, side="right") - 1
+    return [int(val[i]) if i >= 0 else 0 for i in idx]
+
+
+def compute_metrics(probe, bins: int = 60) -> Dict:
+    """Reduce *probe* (a finished TimelineProbe) to a JSON-able dict."""
+    from repro.simt.engine import OP_KIND_NAMES
+
+    cycles = max(int(probe.cycles), 1)
+    bins = max(1, min(int(bins), cycles))
+    bin_cycles = -(-cycles // bins)  # ceil
+    edges = np.arange(1, bins + 1, dtype=np.int64) * bin_cycles
+
+    dev = probe.device
+    dev_name = getattr(dev, "name", None) or str(dev)
+    n_cus = int(getattr(dev, "n_cus", 1) or 1)
+
+    # ---------------- engine ----------------
+    iss = probe.issues
+    occ = _bin_intervals(
+        [i[0] for i in iss], [i[4] for i in iss], bins, bin_cycles
+    )
+    issue_counts = np.zeros(bins, dtype=np.int64)
+    trans_counts = np.zeros(bins, dtype=np.int64)
+    op_mix: Dict[str, int] = {}
+    if iss:
+        start = np.asarray([i[0] for i in iss], dtype=np.int64)
+        b = np.minimum(start // bin_cycles, bins - 1)
+        np.add.at(issue_counts, b, 1)
+        np.add.at(
+            trans_counts, b, np.asarray([i[5] for i in iss], dtype=np.int64)
+        )
+        kinds, counts = np.unique(
+            np.asarray([i[3] for i in iss], dtype=np.int64), return_counts=True
+        )
+        for k, c in zip(kinds, counts):
+            op_mix[OP_KIND_NAMES.get(int(k), str(int(k)))] = int(c)
+    denom = float(bin_cycles * n_cus)
+    engine = {
+        "occupancy": [round(float(x) / denom, 6) for x in occ],
+        "issues_per_bin": [int(x) for x in issue_counts],
+        "transactions_per_bin": [int(x) for x in trans_counts],
+        "issue_span": summarize([i[4] - i[0] for i in iss]),
+        "op_mix": op_mix,
+    }
+
+    # ---------------- atomics ----------------
+    ats = probe.atomics
+    at_busy = _bin_intervals(
+        [a[0] for a in ats], [a[4] for a in ats], bins, bin_cycles
+    )
+    at_counts = np.zeros(bins, dtype=np.int64)
+    by_buf: Dict[str, Dict[str, float]] = {}
+    addr_hits: Dict[int, int] = {}
+    for a in ats:
+        at_counts[min(a[0] // bin_cycles, bins - 1)] += 1
+        slot = by_buf.setdefault(
+            a[1], {"batches": 0, "lanes": 0, "failures": 0, "busy_cycles": 0}
+        )
+        slot["batches"] += 1
+        slot["lanes"] += a[3]
+        slot["failures"] += a[5]
+        slot["busy_cycles"] += a[4] - a[0]
+        if a[6] >= 0:
+            addr_hits[a[6]] = addr_hits.get(a[6], 0) + 1
+    hot = sorted(addr_hits.items(), key=lambda kv: -kv[1])[:8]
+    atomics = {
+        "per_kcycle": [
+            round(float(c) * 1000.0 / bin_cycles, 3) for c in at_counts
+        ],
+        "busy_frac": [round(float(x) / bin_cycles, 6) for x in at_busy],
+        "batch_lanes": summarize([a[3] for a in ats]),
+        "cas_failure_burst": summarize([a[5] for a in ats if a[5] > 0]),
+        "by_buf": by_buf,
+        "hot_addrs": [[int(k), int(v)] for k, v in hot],
+    }
+
+    # ---------------- queues ----------------
+    queues: Dict[str, Dict] = {}
+    for prefix, (capacity, variant) in sorted(probe.queues.items()):
+        front = probe.counters.get((prefix, "front"), [])
+        rear = probe.counters.get((prefix, "rear"), [])
+        f = _sample_steps(front, edges)
+        r = _sample_steps(rear, edges)
+        depth = [max(rv - fv, 0) for fv, rv in zip(f, r)]
+        all_depths = []
+        if front and rear:
+            fc = np.asarray([p[0] for p in front], dtype=np.int64)
+            fv = np.asarray([p[1] for p in front], dtype=np.int64)
+            rc = np.asarray([p[0] for p in rear], dtype=np.int64)
+            rv = np.asarray([p[1] for p in rear], dtype=np.int64)
+            # depth at every rear publish against latest front sample
+            fi = np.searchsorted(fc, rc, side="right") - 1
+            base = np.where(fi >= 0, fv[np.maximum(fi, 0)], 0)
+            all_depths = np.maximum(rv - base, 0)
+        highwater = int(np.max(all_depths)) if len(all_depths) else max(depth, default=0)
+        # monotonic queues never wrap, so the binding capacity limit is
+        # the highest raw index either control word reached (RF/AN's
+        # front legitimately runs ahead of rear — reserved, not stored).
+        max_raw = 0
+        for pts in (front, rear):
+            if pts:
+                max_raw = max(max_raw, max(v for _, v in pts))
+        proxy = {}
+        for direction in ("acquire", "publish"):
+            lanes = probe.proxy.get((prefix, direction))
+            if lanes:
+                proxy[direction] = summarize(lanes)
+        instants = {
+            name: int(sum(c for _, c in pts))
+            for (p, name), pts in sorted(probe.instants.items())
+            if p == prefix
+        }
+        queues[prefix] = {
+            "capacity": int(capacity),
+            "variant": variant,
+            "depth": depth,
+            "highwater": highwater,
+            "highwater_frac": round(highwater / capacity, 6) if capacity else 0.0,
+            "max_raw_index": int(max_raw),
+            "fill_frac": round(max_raw / capacity, 6) if capacity else 0.0,
+            "dna_wait": summarize(probe.waits.get(prefix, [])),
+            "proxy": proxy,
+            "instants": instants,
+            "starved_watches": probe.pending_watches(prefix),
+        }
+
+    # ---------------- scheduler ----------------
+    par = _sample_steps(probe.parallelism, edges)
+    scheduler = {
+        "parallelism": par,
+        "peak_parallelism": (
+            int(max(v for _, v in probe.parallelism))
+            if probe.parallelism
+            else 0
+        ),
+    }
+
+    return {
+        "device": dev_name,
+        "cycles": int(probe.cycles),
+        "n_wavefronts": int(probe.n_wavefronts),
+        "bins": bins,
+        "bin_cycles": int(bin_cycles),
+        "engine": engine,
+        "atomics": atomics,
+        "queues": queues,
+        "scheduler": scheduler,
+        "truncated": bool(probe.truncated),
+        "n_events": int(probe.n_events),
+    }

@@ -1,0 +1,231 @@
+"""Chrome ``trace_event`` JSON export for recorded timelines.
+
+The output loads directly in https://ui.perfetto.dev (or
+``chrome://tracing``).  One simulated cycle maps to one microsecond of
+trace time, so the ruler reads in kilocycles.
+
+Track layout (pid / tid):
+
+* pid 1 ``engine`` — one thread per compute unit; every issued op is a
+  duration ("X") slice named after its kind, with wavefront id,
+  transaction count, and cycle bounds in ``args``.
+* pid 2 ``wavefronts`` — one thread per wavefront; stall spans
+  reconstructed by pairing each blocking issue with the wavefront's
+  next wake-up, plus an instant ("i") at kernel exit.
+* pid 3 ``queues`` — counter ("C") tracks for sampled control words and
+  derived depth, instants for ``empty`` / retry events.
+* pid 4 ``atomics`` — one thread per buffer; each serviced batch is a
+  slice whose args carry lane count, CAS failures, and address.
+
+Everything is plain dict/list so ``json.dump`` handles it; no third-
+party dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+_PID_ENGINE = 1
+_PID_WAVEFRONTS = 2
+_PID_QUEUES = 3
+_PID_ATOMICS = 4
+
+#: Cap on wavefront stall spans (they are the one quadratic-ish stream).
+MAX_STALL_SPANS = 200_000
+
+
+def _meta(pid: int, name: str, tid: int = 0, thread: str = "") -> List[Dict]:
+    out = [
+        {
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "name": "process_name",
+            "args": {"name": name},
+        }
+    ]
+    if thread:
+        out.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": thread},
+            }
+        )
+    return out
+
+
+def to_perfetto(probe) -> Dict:
+    """Convert a finished TimelineProbe into a trace_event dict."""
+    from repro.simt.engine import OP_KIND_NAMES, _K_ATOMIC, _K_READ, _K_WRITE
+
+    events: List[Dict] = []
+    events += _meta(_PID_ENGINE, "engine (CUs)")
+    events += _meta(_PID_WAVEFRONTS, "wavefronts")
+    events += _meta(_PID_QUEUES, "queues")
+    events += _meta(_PID_ATOMICS, "atomic units")
+
+    # ---- engine: one slice per issued op, per-CU threads --------------
+    seen_cus = set()
+    for cycle, cu, wf, kind, end, trans in probe.issues:
+        if cu not in seen_cus:
+            seen_cus.add(cu)
+            events += _meta(_PID_ENGINE, "", tid=cu, thread=f"CU {cu}")
+        ev = {
+            "ph": "X",
+            "pid": _PID_ENGINE,
+            "tid": cu,
+            "ts": cycle,
+            "dur": max(end - cycle, 1),
+            "name": OP_KIND_NAMES.get(kind, str(kind)),
+            "args": {"wf": wf},
+        }
+        if trans:
+            ev["args"]["transactions"] = trans
+        events.append(ev)
+
+    # ---- wavefronts: stall spans (blocking issue -> next wake) --------
+    wakes_by_wf: Dict[int, List[int]] = {}
+    for cycle, wf in probe.wakes:
+        wakes_by_wf.setdefault(wf, []).append(cycle)
+    cursor: Dict[int, int] = {}
+    n_spans = 0
+    stall_truncated = False
+    for cycle, cu, wf, kind, end, trans in probe.issues:
+        if kind not in (_K_READ, _K_WRITE, _K_ATOMIC):
+            continue
+        wl = wakes_by_wf.get(wf)
+        if not wl:
+            continue
+        i = cursor.get(wf, 0)
+        while i < len(wl) and wl[i] <= cycle:
+            i += 1
+        cursor[wf] = i
+        if i >= len(wl):
+            continue
+        wake = wl[i]
+        cursor[wf] = i + 1
+        if wake <= cycle:
+            continue
+        if n_spans >= MAX_STALL_SPANS:
+            stall_truncated = True
+            break
+        n_spans += 1
+        events.append(
+            {
+                "ph": "X",
+                "pid": _PID_WAVEFRONTS,
+                "tid": wf,
+                "ts": cycle,
+                "dur": wake - cycle,
+                "name": f"stall:{OP_KIND_NAMES.get(kind, kind)}",
+                "args": {"cu": cu},
+            }
+        )
+    for cycle, wf in probe.exits:
+        events.append(
+            {
+                "ph": "i",
+                "pid": _PID_WAVEFRONTS,
+                "tid": wf,
+                "ts": cycle,
+                "s": "t",
+                "name": "exit",
+            }
+        )
+
+    # ---- queues: counters + derived depth + instants ------------------
+    for (prefix, name), points in sorted(probe.counters.items()):
+        for cycle, value in points:
+            events.append(
+                {
+                    "ph": "C",
+                    "pid": _PID_QUEUES,
+                    "tid": 0,
+                    "ts": cycle,
+                    "name": f"{prefix}.{name}",
+                    "args": {name: value},
+                }
+            )
+    for prefix in sorted(probe.queues):
+        front = probe.counters.get((prefix, "front"), [])
+        rear = probe.counters.get((prefix, "rear"), [])
+        if front and rear:
+            merged = sorted(
+                [(c, "f", v) for c, v in front] + [(c, "r", v) for c, v in rear]
+            )
+            f = r = 0
+            for cycle, which, value in merged:
+                if which == "f":
+                    f = value
+                else:
+                    r = value
+                events.append(
+                    {
+                        "ph": "C",
+                        "pid": _PID_QUEUES,
+                        "tid": 0,
+                        "ts": cycle,
+                        "name": f"{prefix}.depth",
+                        "args": {"depth": max(r - f, 0)},
+                    }
+                )
+    for (prefix, name), points in sorted(probe.instants.items()):
+        for cycle, count in points:
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": _PID_QUEUES,
+                    "tid": 0,
+                    "ts": cycle,
+                    "s": "p",
+                    "name": f"{prefix}.{name}",
+                    "args": {"count": count},
+                }
+            )
+
+    # ---- atomics: one thread per buffer, slice per batch --------------
+    buf_tids: Dict[str, int] = {}
+    for cycle, buf, kind, n, end, failures, addr in probe.atomics:
+        tid = buf_tids.get(buf)
+        if tid is None:
+            tid = buf_tids[buf] = len(buf_tids)
+            events += _meta(_PID_ATOMICS, "", tid=tid, thread=buf)
+        ev = {
+            "ph": "X",
+            "pid": _PID_ATOMICS,
+            "tid": tid,
+            "ts": cycle,
+            "dur": max(end - cycle, 1),
+            "name": str(kind),
+            "args": {"lanes": n},
+        }
+        if failures:
+            ev["args"]["cas_failures"] = failures
+        if addr >= 0:
+            ev["args"]["addr"] = addr
+        events.append(ev)
+
+    dev = getattr(probe, "device", None)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "device": getattr(dev, "name", None) or str(dev),
+            "sim_cycles": int(probe.cycles),
+            "n_wavefronts": int(probe.n_wavefronts),
+            "truncated": bool(probe.truncated or stall_truncated),
+            "unit": "1 trace us == 1 simulated cycle",
+        },
+    }
+
+
+def write_trace(probe, path) -> Dict:
+    """Export *probe* to trace_event JSON at *path*; returns the dict."""
+    doc = to_perfetto(probe)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return doc

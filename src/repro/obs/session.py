@@ -1,0 +1,96 @@
+"""Process-wide probe attachment for existing entry points.
+
+The harness (and user code) reaches the engine through several layers
+— ``run_persistent_bfs``, soup drivers, experiment tables — and most of
+those signatures predate observability.  :class:`ProfileSession` avoids
+threading a ``probe=`` argument through all of them: while the session
+is active, :data:`repro.simt.engine.PROBE_FACTORY` hands every
+``Engine.launch`` in this process a fresh
+:class:`~repro.obs.timeline.TimelineProbe`, and the session collects
+each finished launch's metrics.
+
+Probes are passive, so everything the wrapped code returns (reports,
+stats, tables) is byte-identical to an unprofiled run.
+
+Usage::
+
+    with ProfileSession() as prof:
+        run_persistent_bfs(...)
+    prof.launches[0]["metrics"]["engine"]["occupancy"]
+
+Not multiprocess-aware: the factory is a module global in *this*
+interpreter, so run profiled experiments with ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.simt import engine as _engine
+
+from .metrics import compute_metrics
+from .timeline import TimelineProbe
+
+
+class ProfileSession:
+    """Attach a TimelineProbe to every launch while the session is open.
+
+    Parameters
+    ----------
+    bins:
+        Time-bin count handed to :func:`~repro.obs.metrics.compute_metrics`.
+    max_events:
+        Per-launch cap forwarded to :class:`TimelineProbe`.
+    keep_timelines:
+        When true, the raw probe objects are retained in
+        ``launches[i]["timeline"]`` (needed for Perfetto export);
+        otherwise only the reduced metrics dict is kept.
+    """
+
+    def __init__(
+        self,
+        bins: int = 60,
+        max_events: int = 2_000_000,
+        keep_timelines: bool = True,
+    ):
+        self.bins = bins
+        self.max_events = max_events
+        self.keep_timelines = keep_timelines
+        #: one entry per finished launch: {"metrics": ..., "timeline": ...}
+        self.launches: List[Dict] = []
+        self._prev_factory = None
+        self._active = False
+
+    # ------------------------------------------------------------------
+    def _collect(self, probe: TimelineProbe) -> None:
+        entry: Dict = {"metrics": compute_metrics(probe, bins=self.bins)}
+        if self.keep_timelines:
+            entry["timeline"] = probe
+        self.launches.append(entry)
+
+    def _factory(self) -> TimelineProbe:
+        return TimelineProbe(max_events=self.max_events, on_end=self._collect)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ProfileSession":
+        if self._active:
+            raise RuntimeError("ProfileSession is not re-entrant")
+        self._prev_factory = _engine.PROBE_FACTORY
+        _engine.PROBE_FACTORY = self._factory
+        self._active = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _engine.PROBE_FACTORY = self._prev_factory
+        self._prev_factory = None
+        self._active = False
+
+    # ------------------------------------------------------------------
+    @property
+    def last(self) -> Optional[Dict]:
+        """The most recent launch entry, or None."""
+        return self.launches[-1] if self.launches else None
+
+    def total_cycles(self) -> int:
+        """Sum of simulated cycles across collected launches."""
+        return sum(e["metrics"]["cycles"] for e in self.launches)

@@ -1,0 +1,180 @@
+"""The recording probe: one launch's cycle-stamped event timeline.
+
+:class:`TimelineProbe` implements every :class:`~repro.simt.probe.Probe`
+hook by appending compact tuples to per-stream lists.  It performs *no*
+analysis while the simulation runs — recording must stay cheap enough
+that profiling a harness experiment is practical — and is consumed
+afterwards by :mod:`repro.obs.metrics` and :mod:`repro.obs.perfetto`.
+
+Streams
+-------
+``issues``
+    ``(cycle, cu, wf, kind, end, trans)`` per issued op; ``kind`` decodes
+    through :data:`repro.simt.engine.OP_KIND_NAMES`, ``end`` is the cycle
+    the CU issue pipe frees, ``trans`` the coalesced transaction count.
+``wakes`` / ``exits``
+    ``(cycle, wf)`` — end of a memory/atomic stall, and kernel exit.
+``atomics``
+    ``(cycle, buf, kind, n, end, failures, addr)`` per serviced batch:
+    the serialization window ``[cycle, end]`` at the address unit(s).
+``counters`` / ``instants``
+    ``{(prefix, name): [(cycle, value), ...]}`` — sampled control words
+    (``front``/``rear``) and event bursts (``empty``, ``cas_retry``).
+``proxy``
+    ``{(prefix, direction): [lanes, ...]}`` — lanes served per global
+    proxy atomic (the arbitrary-n amortization of §4.1).
+``waits``
+    ``{prefix: [cycles, ...]}`` — dna-wait per delivered slot: grant
+    cycle minus the watch cycle that parked the lane on it (§4.2).
+``parallelism``
+    ``(cycle, total_tokens)`` — device-wide count of lanes holding task
+    tokens, sampled whenever a wavefront's share changes (the wavefront-
+    parallelism ramp of Figure 3, but over *time* instead of BFS level).
+
+Only ``issues``, ``wakes``, and ``exits`` are unbounded in practice, so
+they share the ``max_events`` cap; everything else is small.  When the
+cap trips, :attr:`truncated` is set and the dropped streams stop
+growing, but counters/waits keep recording so queue metrics stay whole.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.simt.probe import Probe
+
+
+class TimelineProbe(Probe):
+    """Records the full observable timeline of one launch."""
+
+    def __init__(
+        self,
+        max_events: int = 2_000_000,
+        on_end: Optional[Callable[["TimelineProbe"], None]] = None,
+    ):
+        if max_events <= 0:
+            raise ValueError("max_events must be positive")
+        self.now = 0
+        self.max_events = max_events
+        #: called from ``launch_end`` (ProfileSession collects here).
+        self.on_end = on_end
+
+        # launch envelope
+        self.device = None
+        self.n_wavefronts = 0
+        self.cycles = 0
+        self.stats = None
+
+        # event streams (see module docstring)
+        self.issues: List[Tuple[int, int, int, int, int, int]] = []
+        self.wakes: List[Tuple[int, int]] = []
+        self.exits: List[Tuple[int, int]] = []
+        self.atomics: List[Tuple[int, str, str, int, int, int, int]] = []
+        self.counters: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
+        self.instants: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
+        self.proxy: Dict[Tuple[str, str], List[int]] = {}
+        self.queues: Dict[str, Tuple[int, str]] = {}
+        self.waits: Dict[str, List[int]] = {}
+        self.parallelism: List[Tuple[int, int]] = []
+        self.truncated = False
+
+        self._watch: Dict[str, Dict[int, int]] = {}
+        self._wf_tokens: Dict[int, int] = {}
+        self._token_total = 0
+
+    # ------------------------------------------------------------------
+    # engine
+    # ------------------------------------------------------------------
+    def launch_begin(self, device, n_wavefronts: int) -> None:
+        self.device = device
+        self.n_wavefronts = n_wavefronts
+
+    def launch_end(self, cycles: int, stats) -> None:
+        self.cycles = cycles
+        self.stats = stats
+        if self.on_end is not None:
+            self.on_end(self)
+
+    def on_issue(self, cycle, cu, wf, kind, end, trans) -> None:
+        if len(self.issues) < self.max_events:
+            self.issues.append((cycle, cu, wf, kind, end, trans))
+        else:
+            self.truncated = True
+
+    def on_wake(self, cycle, wf) -> None:
+        if len(self.wakes) < self.max_events:
+            self.wakes.append((cycle, wf))
+        else:
+            self.truncated = True
+
+    def on_exit(self, cycle, wf) -> None:
+        self.exits.append((cycle, wf))
+        # a wavefront only exits once the in-flight counter hit zero, so
+        # its lanes hold no tokens — close out its parallelism share
+        # (the last acquire-time sample predates the final completions).
+        self.sched_tokens(cycle, wf, 0, 0)
+
+    # ------------------------------------------------------------------
+    # atomics
+    # ------------------------------------------------------------------
+    def on_atomic(self, cycle, buf, kind, n, end, failures, addr) -> None:
+        if len(self.atomics) < self.max_events:
+            self.atomics.append((cycle, buf, kind, n, end, failures, addr))
+        else:
+            self.truncated = True
+
+    # ------------------------------------------------------------------
+    # queues
+    # ------------------------------------------------------------------
+    def queue_register(self, prefix, capacity, variant) -> None:
+        self.queues.setdefault(prefix, (capacity, variant))
+
+    def queue_counter(self, prefix, name, cycle, value) -> None:
+        self.counters.setdefault((prefix, name), []).append((cycle, value))
+
+    def queue_instant(self, prefix, name, cycle, count) -> None:
+        self.instants.setdefault((prefix, name), []).append((cycle, count))
+
+    def queue_proxy(self, prefix, direction, lanes) -> None:
+        self.proxy.setdefault((prefix, direction), []).append(int(lanes))
+
+    def queue_watch(self, prefix, slots, cycle) -> None:
+        started = self._watch.setdefault(prefix, {})
+        for s in slots:
+            started[int(s)] = cycle
+
+    def queue_grant(self, prefix, slots, cycle) -> None:
+        started = self._watch.get(prefix)
+        waits = self.waits.setdefault(prefix, [])
+        for s in slots:
+            t0 = None if started is None else started.pop(int(s), None)
+            # slots seeded by the host were never watched: wait unknown,
+            # count it as measured-from-launch (cycle itself).
+            waits.append(cycle - t0 if t0 is not None else cycle)
+
+    # ------------------------------------------------------------------
+    # scheduler
+    # ------------------------------------------------------------------
+    def sched_tokens(self, cycle, wf, n_token, wavefront_size) -> None:
+        prev = self._wf_tokens.get(wf, 0)
+        if n_token != prev:
+            self._wf_tokens[wf] = n_token
+            self._token_total += n_token - prev
+            self.parallelism.append((cycle, self._token_total))
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    @property
+    def n_events(self) -> int:
+        """Total recorded events across the big streams."""
+        return (
+            len(self.issues)
+            + len(self.wakes)
+            + len(self.exits)
+            + len(self.atomics)
+        )
+
+    def pending_watches(self, prefix: str) -> int:
+        """Slots still watched at launch end (lanes that starved out)."""
+        return len(self._watch.get(prefix, ()))

@@ -12,14 +12,19 @@ It provides:
   lock-step wavefronts, zero-cost wavefront switching, and per-address
   atomic serialization where CAS can fail and fetch-add cannot;
 * lane-mask helpers in :mod:`repro.simt.lanes`;
-* :class:`~repro.simt.stats.SimStats` counters feeding Figures 1 and 5.
+* :class:`~repro.simt.stats.SimStats` counters feeding Figures 1 and 5;
+* the opt-in :class:`~repro.simt.probe.Probe` observability interface —
+  cycle-accurate hooks consumed by :mod:`repro.obs` (timelines, queue and
+  contention metrics, Perfetto export).
 """
 
 from .analysis import Utilization, analyze, utilization_report
 from .device import FIJI, SPECTRE, TESTGPU, DeviceSpec, paper_workgroups
+from .probe import Probe
 from .trace import TraceEvent, Tracer
 from .engine import (
     COALESCE_SEGMENT_WORDS,
+    OP_KIND_NAMES,
     Engine,
     Kernel,
     KernelContext,
@@ -49,6 +54,8 @@ from .ops import (
 from .stats import SimStats
 
 __all__ = [
+    "OP_KIND_NAMES",
+    "Probe",
     "TraceEvent",
     "Tracer",
     "Utilization",

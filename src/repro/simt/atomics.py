@@ -52,10 +52,23 @@ def _scalar_operand(value) -> int:
 class AtomicSystem:
     """Applies :class:`AtomicRMW` batches and computes their timing."""
 
-    def __init__(self, device: DeviceSpec, memory: GlobalMemory, stats: SimStats):
+    def __init__(
+        self,
+        device: DeviceSpec,
+        memory: GlobalMemory,
+        stats: SimStats,
+        probe=None,
+    ):
         self._device = device
         self._memory = memory
         self._stats = stats
+        #: opt-in observability hook (see repro.simt.probe); passive.
+        self._probe = probe
+        if probe is None:
+            # unprobed launches skip the recording wrapper entirely: the
+            # instance attribute shadows the class method, so `service`
+            # costs exactly what it did before probes existed.
+            self.service = self._service
         #: (buffer name, index) -> cycle at which that address's unit frees.
         self._free_at: Dict[Tuple[str, int], int] = {}
 
@@ -68,6 +81,30 @@ class AtomicSystem:
         starts at ``max(arrival, unit_free_at)`` and holds the unit for
         ``atomic_service`` cycles.
         """
+        probe = self._probe
+        fail0 = self._stats.cas_failures
+        end = self._service(op, arrival)
+        n = int(np.size(op.old))
+        raw = op.index
+        if type(raw) is int or isinstance(raw, (int, np.integer)):
+            addr = int(raw)
+        else:
+            flat = np.asarray(raw).reshape(-1)
+            first = int(flat[0]) if flat.size else -1
+            addr = first if flat.size and bool((flat == first).all()) else -1
+        probe.on_atomic(
+            arrival,
+            op.buf,
+            op.kind.value,
+            n,
+            end,
+            self._stats.cas_failures - fail0,
+            addr,
+        )
+        return end
+
+    def _service(self, op: AtomicRMW, arrival: int) -> int:
+        """Dispatch one batch to the matching service shape."""
         buf = self._memory[op.buf]
         raw = op.index
         if type(raw) is int or isinstance(raw, (int, np.integer)):

@@ -147,6 +147,9 @@ class KernelContext:
     lane: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
     #: the launch's statistics; queue/scheduler layers bump stats.custom.
     stats: Optional[SimStats] = None
+    #: the launch's observability probe (None when unprobed); kernel-side
+    #: layers read ``probe.now`` for the current simulated cycle.
+    probe: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.lane.size == 0:
@@ -214,6 +217,24 @@ _OP_KIND: Dict[type, int] = {
     Abort: _K_ABORT,
 }
 
+#: op-kind id -> class name, for probes decoding ``Probe.on_issue``.
+OP_KIND_NAMES: Dict[int, str] = {
+    _K_COMPUTE: "Compute",
+    _K_LOCAL: "LocalOp",
+    _K_READ: "MemRead",
+    _K_WRITE: "MemWrite",
+    _K_ATOMIC: "AtomicRMW",
+    _K_FENCE: "Fence",
+    _K_ABORT: "Abort",
+}
+
+#: opt-in observability hook: when set, every launch that was not given
+#: an explicit ``probe`` asks this zero-arg factory for one (it may
+#: return None to leave that launch unprobed).  Installed/removed by
+#: :class:`repro.obs.session.ProfileSession`; the indirection keeps the
+#: engine free of any dependency on the observability package.
+PROBE_FACTORY: Optional[Callable[[], Optional[object]]] = None
+
 
 def _resolve_op_kind(cls: type, op: Op) -> int:
     """Classify an op subclass the slow way and memoize the answer."""
@@ -271,6 +292,7 @@ class Engine:
         params: Optional[Dict[str, object]] = None,
         max_cycles: int = 20_000_000_000,
         charge_launch_overhead: bool = False,
+        probe: Optional[object] = None,
     ) -> LaunchResult:
         """Run ``kernel`` on ``n_wavefronts`` wavefronts until all exit.
 
@@ -283,6 +305,12 @@ class Engine:
         ``charge_launch_overhead`` adds ``device.kernel_launch_cycles`` to
         the reported cycle count; per-level drivers (Rodinia-style BFS) set
         it to model their dominant cost.
+
+        ``probe`` attaches an observability hook
+        (:class:`repro.simt.probe.Probe`) for this launch only.  Probes
+        are passive: a probed launch simulates bit-identically to an
+        unprobed one.  When no explicit probe is given and
+        :data:`PROBE_FACTORY` is installed, the factory supplies one.
         """
         if n_wavefronts <= 0:
             raise LaunchConfigError(
@@ -298,9 +326,15 @@ class Engine:
         stats = SimStats()
         device = self.device
         memory = self.memory
+        if probe is None and PROBE_FACTORY is not None:
+            probe = PROBE_FACTORY()
+        probing = probe is not None
+        if probing:
+            probe.now = 0
+            probe.launch_begin(device, n_wavefronts)
         # per-launch atomic-unit occupancy: never shared across launches
         # (each launch restarts the simulated clock at zero).
-        atomics = AtomicSystem(device, memory, stats)
+        atomics = AtomicSystem(device, memory, stats, probe=probe)
         atomics.reset_timing()
 
         cus = [_CU(i) for i in range(device.n_cus)]
@@ -318,6 +352,7 @@ class Engine:
                 device=device,
                 params=params,
                 stats=stats,
+                probe=probe,
             )
             gen = kernel(ctx)
             wf = _Wavefront(wid, cu, gen)
@@ -401,10 +436,16 @@ class Engine:
             ready = cu.ready
             while ready:
                 wf = ready.popleft()
+                if probing:
+                    # expose the simulated clock to kernel-side layers
+                    # (queues, schedulers, tracers) for event stamping.
+                    probe.now = now
                 try:
                     op = wf.gen.send(wf.pending)
                 except StopIteration:
                     live -= 1
+                    if probing:
+                        probe.on_exit(now, wf.wid)
                     # the exiting instruction still occupied the pipe
                     # briefly; charge nothing extra and keep issuing (a CU
                     # draining many exiting wavefronts must not recurse).
@@ -428,6 +469,8 @@ class Engine:
                     n_busy += issue
                     b = now + issue
                     cu.busy_until = b
+                    if probing:
+                        probe.on_issue(now, cu.cid, wf.wid, _K_READ, b, trans)
                     if ready:
                         heappush(heap, (b, next_seq(), _EV_CU_FREE, cu))
                         cu.wake = -1
@@ -447,6 +490,8 @@ class Engine:
                     n_busy += issue
                     b = now + issue
                     cu.busy_until = b
+                    if probing:
+                        probe.on_issue(now, cu.cid, wf.wid, _K_ATOMIC, b, 0)
                     if ready:
                         heappush(heap, (b, next_seq(), _EV_CU_FREE, cu))
                         cu.wake = -1
@@ -462,6 +507,8 @@ class Engine:
                     b = now + occ
                     cu.busy_until = b
                     cu.wake = -1
+                    if probing:
+                        probe.on_issue(now, cu.cid, wf.wid, _K_COMPUTE, b, 0)
                     heappush(heap, (b, next_seq(), _EV_FREE_READY, wf))
                     return
                 if kind == _K_WRITE:
@@ -473,6 +520,8 @@ class Engine:
                     n_busy += issue
                     b = now + issue
                     cu.busy_until = b
+                    if probing:
+                        probe.on_issue(now, cu.cid, wf.wid, _K_WRITE, b, trans)
                     buf = op.buf
                     lat = lat_cache.get(buf)
                     if lat is None:
@@ -502,6 +551,8 @@ class Engine:
                     b = now + occ
                     cu.busy_until = b
                     cu.wake = -1
+                    if probing:
+                        probe.on_issue(now, cu.cid, wf.wid, _K_LOCAL, b, 0)
                     heappush(heap, (b, next_seq(), _EV_FREE_READY, wf))
                     return
                 if kind == _K_FENCE:
@@ -509,6 +560,8 @@ class Engine:
                     b = now + issue
                     cu.busy_until = b
                     cu.wake = -1
+                    if probing:
+                        probe.on_issue(now, cu.cid, wf.wid, _K_FENCE, b, 0)
                     heappush(heap, (b, next_seq(), _EV_FREE_READY, wf))
                     return
                 # _K_ABORT
@@ -531,6 +584,8 @@ class Engine:
                 if kind == _EV_WF_READY:
                     wf = payload
                     op = wf.pending
+                    if probing:
+                        probe.on_wake(now, wf.wid)
                     # the class was cached in _OP_KIND when the op issued
                     if op_kind_get(op.__class__) == _K_READ:
                         # sample memory at architectural completion (fancy
@@ -607,4 +662,6 @@ class Engine:
         if charge_launch_overhead:
             total += device.kernel_launch_cycles
         stats.sim_cycles = total
+        if probing:
+            probe.launch_end(total, stats)
         return LaunchResult(cycles=total, stats=stats, device=device)

@@ -1,0 +1,138 @@
+"""The opt-in observability hook interface of the simulator.
+
+A :class:`Probe` receives cycle-stamped callbacks from every layer of a
+simulated launch:
+
+* the **engine** reports instruction issue (with the cycle the issue pipe
+  frees), wavefront wake-ups after memory/atomic stalls, and wavefront
+  exits;
+* the **atomic system** reports each serviced request batch: target
+  buffer, kind, batch size, the serialization window at the address
+  unit(s), and how many CAS requests in the batch failed;
+* the **queue variants** report control-word samples (Front/Rear), proxy
+  aggregation (lanes served per global atomic), slot watch/grant pairs
+  (the dna-wait of §4.2), and time-stamped retry/empty exceptions;
+* the **persistent scheduler** reports per-wavefront token occupancy
+  after every acquire.
+
+Every method is a no-op here, so subclasses override only what they
+need.  The rich recording implementation lives in
+:mod:`repro.obs.timeline`; this module holds only the interface so the
+simulator core never depends on the observability package.
+
+Zero-cost contract
+------------------
+Probing is strictly opt-in (``Engine.launch(..., probe=None)`` is the
+default) and instrumentation sites are gated on a single ``probe is not
+None`` test, so a probe-less launch runs the exact hot paths of an
+uninstrumented build.  A probe must be *passive*: it may read, never
+mutate, simulation state — the engine guarantees that attaching any
+conforming probe leaves every simulated cycle, statistic, and memory
+word bit-identical (pinned by ``tests/test_simt_determinism.py``).
+
+The :attr:`now` attribute is the probe's simulated clock: the engine
+stores the current cycle into it immediately before resuming a kernel
+generator, so kernel-side layers (queues, schedulers, tracers) can
+time-stamp their own events without threading the clock through every
+call.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Probe:
+    """No-op base class for simulation observability hooks."""
+
+    #: simulated cycle at the last generator resume (engine-maintained).
+    now: int = 0
+
+    # ------------------------------------------------------------------
+    # engine callbacks
+    # ------------------------------------------------------------------
+    def launch_begin(self, device, n_wavefronts: int) -> None:
+        """A kernel launch is starting on ``device``."""
+
+    def launch_end(self, cycles: int, stats) -> None:
+        """The launch finished after ``cycles`` simulated cycles."""
+
+    def on_issue(
+        self,
+        cycle: int,
+        cu: int,
+        wf: int,
+        kind: int,
+        end: int,
+        trans: int,
+    ) -> None:
+        """Wavefront ``wf`` issued an op on CU ``cu`` at ``cycle``.
+
+        ``kind`` is an op-kind id (map it through
+        :data:`repro.simt.engine.OP_KIND_NAMES`), ``end`` the cycle the
+        CU issue pipe frees, ``trans`` the memory-transaction count of
+        the op after coalescing (0 for non-memory ops).
+        """
+
+    def on_wake(self, cycle: int, wf: int) -> None:
+        """Wavefront ``wf`` finished a memory/atomic stall at ``cycle``."""
+
+    def on_exit(self, cycle: int, wf: int) -> None:
+        """Wavefront ``wf`` exited the kernel at ``cycle``."""
+
+    # ------------------------------------------------------------------
+    # atomic-system callbacks
+    # ------------------------------------------------------------------
+    def on_atomic(
+        self,
+        cycle: int,
+        buf: str,
+        kind: str,
+        n: int,
+        end: int,
+        failures: int,
+        addr: int,
+    ) -> None:
+        """A batch of ``n`` atomic requests on ``buf`` was serviced.
+
+        The batch arrived at ``cycle`` and its last request completed at
+        ``end`` (the serialization window at the address unit).
+        ``failures`` counts CAS requests in the batch whose expected
+        value was stale; ``addr`` is the target word when the whole
+        batch hits one address, else ``-1``.
+        """
+
+    # ------------------------------------------------------------------
+    # queue-layer callbacks
+    # ------------------------------------------------------------------
+    def queue_register(self, prefix: str, capacity: int, variant: str) -> None:
+        """Declare a queue (idempotent; called before its first event)."""
+
+    def queue_counter(
+        self, prefix: str, name: str, cycle: int, value: int
+    ) -> None:
+        """Sampled control-word value, e.g. ``front`` or ``rear``."""
+
+    def queue_instant(
+        self, prefix: str, name: str, cycle: int, count: int
+    ) -> None:
+        """A time-stamped queue event burst (``empty``, ``cas_retry``)."""
+
+    def queue_proxy(self, prefix: str, direction: str, lanes: int) -> None:
+        """One proxy-aggregated global atomic served ``lanes`` lanes
+        (``direction`` is ``"acquire"`` or ``"publish"``)."""
+
+    def queue_watch(self, prefix: str, slots, cycle: int) -> None:
+        """Lanes parked on raw ``slots`` (array) at ``cycle``."""
+
+    def queue_grant(self, prefix: str, slots, cycle: int) -> None:
+        """Raw ``slots`` delivered their tokens at ``cycle`` (closes the
+        matching :meth:`queue_watch`; the difference is the dna-wait)."""
+
+    # ------------------------------------------------------------------
+    # scheduler callbacks
+    # ------------------------------------------------------------------
+    def sched_tokens(
+        self, cycle: int, wf: int, n_token: int, wavefront_size: int
+    ) -> None:
+        """Wavefront ``wf`` holds ``n_token`` task tokens after acquire."""

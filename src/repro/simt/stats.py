@@ -111,6 +111,8 @@ class SimStats:
             "atomic_service_cycles": self.atomic_service_cycles,
             "atomic_requests": dict(self.atomic_requests),
             "total_atomic_requests": self.total_atomic_requests,
+            "cas_attempts": self.cas_attempts,
+            "cas_successes": self.cas_successes,
             "cas_failures": self.cas_failures,
             "sim_cycles": self.sim_cycles,
             "custom": dict(self.custom),

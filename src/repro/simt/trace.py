@@ -1,17 +1,26 @@
 """Optional execution tracing for simulated launches.
 
 A :class:`Tracer` wraps a kernel and records one event per yielded op —
-wavefront id, op kind, a compact detail string, and (after the launch)
-nothing else; timing lives in the engine, so the trace records *issue
-order*, which is what one actually reads when debugging a scheduler
-("which wavefront grabbed the token?", "who hit queue-full first?").
+wavefront id, op kind, a compact detail string, the active-lane count,
+and (when the launch carries a probe) the simulated cycle at which the
+op was issued.  The trace therefore records *issue order* — which is
+what one actually reads when debugging a scheduler ("which wavefront
+grabbed the token?", "who hit queue-full first?") — and, probed,
+*issue time* as well.
 
 Usage::
 
     tracer = Tracer(max_events=10_000)
-    engine.launch(tracer.wrap(kernel), n_wavefronts)
+    engine.launch(tracer.wrap(kernel), n_wavefronts, probe=tracer)
     print(tracer.render(limit=50))
     deq = tracer.filter(kind="AtomicRMW", detail_contains="wq.ctrl")
+
+``Tracer`` extends :class:`~repro.simt.probe.Probe` purely so it can be
+passed as the launch's probe: the engine then keeps ``tracer.now`` at
+the current simulated cycle, which the wrapper stamps onto each event.
+Omitting ``probe=tracer`` (or attaching a different probe — the wrapper
+reads ``ctx.probe.now`` whoever owns it) keeps tracing working; events
+then record ``cycle=-1``.
 
 Tracing is strictly opt-in: the engine's hot path is untouched, and the
 wrapper adds one tuple append per op to the traced launch only.
@@ -26,6 +35,7 @@ import numpy as np
 
 from .engine import Kernel, KernelContext
 from .ops import AtomicRMW, Compute, LocalOp, MemRead, MemWrite, Op
+from .probe import Probe
 
 
 @dataclass(frozen=True)
@@ -40,6 +50,10 @@ class TraceEvent:
     kind: str
     #: compact human-readable payload summary.
     detail: str
+    #: simulated issue cycle (-1 when the launch carried no probe).
+    cycle: int = -1
+    #: lanes participating in the op (wavefront size for uniform ops).
+    lanes: int = 0
 
 
 def _describe(op: Op) -> str:
@@ -52,7 +66,13 @@ def _describe(op: Op) -> str:
     return ""
 
 
-class Tracer:
+def _lane_count(op: Op, wavefront_size: int) -> int:
+    if isinstance(op, (MemRead, MemWrite, AtomicRMW)):
+        return int(np.size(op.index))
+    return wavefront_size
+
+
+class Tracer(Probe):
     """Records the op stream of a traced launch."""
 
     def __init__(self, max_events: int = 1_000_000):
@@ -67,6 +87,8 @@ class Tracer:
 
         def traced(ctx: KernelContext) -> Generator[Op, Op, None]:
             gen = kernel(ctx)
+            probe = ctx.probe  # engine keeps probe.now at the sim clock
+            wf_size = ctx.device.wavefront_size
             result = None
             while True:
                 try:
@@ -80,6 +102,8 @@ class Tracer:
                             wf_id=ctx.wf_id,
                             kind=type(op).__name__,
                             detail=_describe(op),
+                            cycle=probe.now if probe is not None else -1,
+                            lanes=_lane_count(op, wf_size),
                         )
                     )
                 else:
@@ -113,11 +137,32 @@ class Tracer:
         return out
 
     def render(self, limit: int = 100, wf_id: Optional[int] = None) -> str:
-        """The first ``limit`` (matching) events as an aligned listing."""
-        events = self.filter(wf_id=wf_id)[:limit]
-        lines = [f"{'seq':>6s} {'wf':>4s} {'op':12s} detail"]
+        """The first ``limit`` (matching) events as an aligned listing.
+
+        The op column sizes itself to the longest kind name (fixed-width
+        formatting used to shear the detail column off long op names),
+        the cycle column only appears when the launch carried a probe,
+        and truncation/elision notes say how many events were dropped.
+        """
+        matching = self.filter(wf_id=wf_id)
+        events = matching[:limit]
+        timed = any(e.cycle >= 0 for e in events)
+        kw = max([len("op")] + [len(e.kind) for e in events])
+        header = f"{'seq':>6s} {'wf':>4s} "
+        if timed:
+            header += f"{'cycle':>10s} "
+        header += f"{'op':{kw}s} {'lanes':>5s} detail"
+        lines = [header]
         for e in events:
-            lines.append(f"{e.seq:6d} {e.wf_id:4d} {e.kind:12s} {e.detail}")
+            row = f"{e.seq:6d} {e.wf_id:4d} "
+            if timed:
+                row += f"{e.cycle:10d} "
+            row += f"{e.kind:{kw}s} {e.lanes:5d} {e.detail}"
+            lines.append(row)
+        if len(matching) > limit:
+            lines.append(f"... {len(matching) - limit} more events not shown")
         if self.truncated:
-            lines.append(f"... truncated at {self.max_events} events")
+            lines.append(
+                f"... recording truncated at max_events={self.max_events}"
+            )
         return "\n".join(lines)

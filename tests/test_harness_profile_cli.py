@@ -1,0 +1,123 @@
+"""Tests for ``python -m repro.harness profile`` and ``--profile``."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+from repro.harness.experiments import EXPERIMENTS, ExperimentResult
+from repro.harness.profile import profile_main
+
+
+class TestProfileSubcommand:
+    def test_bfs_smoke_writes_trace_and_metrics(self, tmp_path, capsys):
+        rc = main(
+            [
+                "profile", "bfs",
+                "--device", "testgpu",
+                "--quick",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "utilization over simulated time" in out
+        assert "queue contention" in out
+
+        trace = json.loads((tmp_path / "trace.json").read_text())
+        assert trace["traceEvents"]
+        assert trace["otherData"]["sim_cycles"] > 0
+
+        metrics = json.loads((tmp_path / "metrics.json").read_text())
+        assert metrics["workload"].startswith("bfs/")
+        launch = metrics["launches"][-1]
+        assert launch["device"] == "TestGPU"
+        assert launch["queues"]  # the work queue registered itself
+
+    def test_variant_flag_reaches_the_queue(self, tmp_path):
+        rc = profile_main(
+            [
+                "bfs",
+                "--device", "testgpu",
+                "--variant", "BASE",
+                "--quick",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        metrics = json.loads((tmp_path / "metrics.json").read_text())
+        variants = {
+            q["variant"]
+            for launch in metrics["launches"]
+            for q in launch["queues"].values()
+        }
+        assert variants == {"BASE"}
+
+    def test_nqueens_workload(self, tmp_path):
+        rc = profile_main(
+            [
+                "nqueens",
+                "--device", "testgpu",
+                "--quick",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        metrics = json.loads((tmp_path / "metrics.json").read_text())
+        assert metrics["workload"].startswith("nqueens/")
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            profile_main(["mandelbrot"])
+
+
+def _tiny_experiment(cfg):
+    """A stand-in experiment: one tiny BFS per queue variant."""
+    from repro.bfs.persistent import run_persistent_bfs
+    from repro.graphs import roadmap_graph
+    from repro.simt import TESTGPU
+
+    g = roadmap_graph(8, 8, seed=5)
+    cycles = {}
+    for variant in ("BASE", "RF/AN"):
+        run = run_persistent_bfs(g, 0, variant, TESTGPU, 2, verify=False)
+        cycles[variant] = run.cycles
+    return ExperimentResult(
+        "tinyexp", "tiny", f"cycles={cycles}", {"cycles": cycles}
+    )
+
+
+class TestProfileFlag:
+    def test_profile_flag_keeps_report_and_adds_metrics(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setitem(EXPERIMENTS, "tinyexp", _tiny_experiment)
+
+        rc = main(["tinyexp", "--out", str(tmp_path / "plain")])
+        assert rc == 0
+        plain = capsys.readouterr().out
+
+        rc = main(["tinyexp", "--profile", "--out", str(tmp_path / "prof")])
+        assert rc == 0
+        profiled = capsys.readouterr().out
+
+        # the report itself is unchanged by profiling
+        plain_txt = (tmp_path / "plain" / "tinyexp.txt").read_text()
+        prof_txt = (tmp_path / "prof" / "tinyexp.txt").read_text()
+        assert plain_txt == prof_txt
+        assert "cycles=" in plain and "cycles=" in profiled
+
+        payload = json.loads(
+            (tmp_path / "prof" / "tinyexp.profile.json").read_text()
+        )
+        assert len(payload["launches"]) == 2  # one per variant
+        assert all(l["cycles"] > 0 for l in payload["launches"])
+        assert not (tmp_path / "plain" / "tinyexp.profile.json").exists()
+
+    def test_probe_factory_restored_after_profile_run(self, monkeypatch):
+        import repro.simt.engine as engine_mod
+
+        monkeypatch.setitem(EXPERIMENTS, "tinyexp", _tiny_experiment)
+        assert engine_mod.PROBE_FACTORY is None
+        assert main(["tinyexp", "--profile"]) == 0
+        assert engine_mod.PROBE_FACTORY is None

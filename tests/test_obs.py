@@ -1,0 +1,225 @@
+"""Tests for the observability layer (repro.obs).
+
+Covers the recording probe, metric reduction, Perfetto export, and
+process-wide session attachment.  The perturbation guarantee itself
+(profiled == unprofiled, bit for bit) is pinned in
+``tests/test_simt_determinism.py``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bfs.persistent import run_persistent_bfs
+from repro.graphs import roadmap_graph
+from repro.obs import (
+    ProfileSession,
+    TimelineProbe,
+    compute_metrics,
+    summarize,
+    to_perfetto,
+    write_trace,
+)
+from repro.simt import TESTGPU
+
+
+@pytest.fixture(scope="module")
+def bfs_probe():
+    """One profiled RF/AN BFS on the test GPU, shared across tests."""
+    g = roadmap_graph(12, 12, seed=3)
+    probe = TimelineProbe()
+    run = run_persistent_bfs(g, 0, "RF/AN", TESTGPU, 4, verify=True, probe=probe)
+    return probe, run
+
+
+class TestTimelineProbe:
+    def test_launch_envelope(self, bfs_probe):
+        probe, run = bfs_probe
+        assert probe.device is TESTGPU
+        assert probe.cycles == run.cycles
+        assert probe.stats is run.stats
+        assert probe.n_wavefronts == 4 * TESTGPU.max_wavefronts_per_cu or probe.n_wavefronts > 0
+
+    def test_issue_stream_is_time_ordered_and_complete(self, bfs_probe):
+        probe, run = bfs_probe
+        cycles = [i[0] for i in probe.issues]
+        assert cycles == sorted(cycles)
+        assert len(probe.issues) == run.stats.issued_ops
+        assert all(end >= c for c, _, _, _, end, _ in probe.issues)
+
+    def test_exits_one_per_wavefront(self, bfs_probe):
+        probe, _ = bfs_probe
+        assert len(probe.exits) == probe.n_wavefronts
+        assert len({wf for _, wf in probe.exits}) == probe.n_wavefronts
+
+    def test_atomics_recorded_with_failures_and_addresses(self, bfs_probe):
+        probe, run = bfs_probe
+        assert probe.atomics
+        total_failures = sum(a[5] for a in probe.atomics)
+        assert total_failures == run.stats.cas_failures
+        # scalar control-word atomics carry their concrete address
+        ctrl = [a for a in probe.atomics if a[1].endswith(".ctrl")]
+        assert ctrl and all(a[6] >= 0 for a in ctrl)
+
+    def test_queue_registration_and_waits(self, bfs_probe):
+        probe, _ = bfs_probe
+        assert "wq" in probe.queues
+        capacity, variant = probe.queues["wq"]
+        assert variant == "RF/AN" and capacity > 0
+        waits = probe.waits["wq"]
+        assert waits and all(w >= 0 for w in waits)
+        # every granted token came off a watched slot plus the host seed
+        granted = probe.stats.custom.get("queue.dequeued_tokens", 0)
+        assert len(waits) == granted
+
+    def test_proxy_amortization_recorded(self, bfs_probe):
+        probe, _ = bfs_probe
+        acq = probe.proxy[("wq", "acquire")]
+        assert acq and all(n >= 1 for n in acq)
+        assert sum(acq) == probe.stats.custom.get("queue.dequeue_requests", 0)
+
+    def test_parallelism_series_is_consistent(self, bfs_probe):
+        probe, _ = bfs_probe
+        vals = [v for _, v in probe.parallelism]
+        assert vals and min(vals) >= 0
+        assert max(vals) <= probe.n_wavefronts * TESTGPU.wavefront_size
+        assert vals[-1] == 0  # all tokens drained at termination
+
+    def test_truncation_cap(self):
+        g = roadmap_graph(8, 8, seed=1)
+        probe = TimelineProbe(max_events=100)
+        run_persistent_bfs(g, 0, "RF/AN", TESTGPU, 2, verify=False, probe=probe)
+        assert probe.truncated
+        assert len(probe.issues) == 100
+        # queue streams keep recording past the cap
+        assert probe.waits["wq"]
+
+    def test_invalid_max_events(self):
+        with pytest.raises(ValueError):
+            TimelineProbe(max_events=0)
+
+
+class TestMetrics:
+    def test_summarize(self):
+        assert summarize([]) is None
+        s = summarize([1, 2, 3, 4])
+        assert s["count"] == 4
+        assert s["min"] == 1 and s["max"] == 4 and s["mean"] == 2.5
+
+    def test_shape_and_json_round_trip(self, bfs_probe):
+        probe, _ = bfs_probe
+        m = compute_metrics(probe, bins=24)
+        assert m["bins"] == 24
+        assert len(m["engine"]["occupancy"]) == 24
+        assert m["bins"] * m["bin_cycles"] >= m["cycles"]
+        json.loads(json.dumps(m))  # plain data, no numpy scalars
+
+    def test_occupancy_bounded_and_consistent(self, bfs_probe):
+        probe, run = bfs_probe
+        m = compute_metrics(probe, bins=24)
+        occ = m["engine"]["occupancy"]
+        assert all(0.0 <= v <= 1.0 for v in occ)
+        # binned issue counts cover every recorded issue exactly once
+        assert sum(m["engine"]["issues_per_bin"]) == len(probe.issues)
+        assert sum(m["engine"]["op_mix"].values()) == run.stats.issued_ops
+
+    def test_queue_metrics(self, bfs_probe):
+        probe, _ = bfs_probe
+        m = compute_metrics(probe, bins=24)
+        q = m["queues"]["wq"]
+        assert q["variant"] == "RF/AN"
+        assert q["dna_wait"]["count"] == len(probe.waits["wq"])
+        assert 0 < q["fill_frac"] <= 1.0
+        assert q["max_raw_index"] <= q["capacity"]
+        assert q["proxy"]["acquire"]["mean"] >= 1.0
+
+    def test_atomics_metrics(self, bfs_probe):
+        probe, _ = bfs_probe
+        m = compute_metrics(probe, bins=24)
+        a = m["atomics"]
+        assert sum(b["batches"] for b in a["by_buf"].values()) == len(probe.atomics)
+        assert all(0.0 <= v <= 1.0 for v in a["busy_frac"])
+        assert a["hot_addrs"]  # control words are hot by construction
+
+    def test_single_bin_degenerate_case(self, bfs_probe):
+        probe, _ = bfs_probe
+        m = compute_metrics(probe, bins=1)
+        assert len(m["engine"]["occupancy"]) == 1
+        assert sum(m["engine"]["issues_per_bin"]) == len(probe.issues)
+
+
+class TestPerfetto:
+    def test_trace_structure(self, bfs_probe):
+        probe, _ = bfs_probe
+        doc = to_perfetto(probe)
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "C", "i"} <= phases
+        names = {e["name"] for e in events if e["ph"] == "M"}
+        assert "process_name" in names and "thread_name" in names
+        assert doc["otherData"]["sim_cycles"] == probe.cycles
+
+    def test_all_timestamps_in_range(self, bfs_probe):
+        probe, _ = bfs_probe
+        for e in to_perfetto(probe)["traceEvents"]:
+            if "ts" in e:
+                assert 0 <= e["ts"] <= probe.cycles
+            if "dur" in e:
+                assert e["dur"] >= 1
+
+    def test_counter_and_instant_tracks(self, bfs_probe):
+        probe, _ = bfs_probe
+        events = to_perfetto(probe)["traceEvents"]
+        counters = {e["name"] for e in events if e["ph"] == "C"}
+        assert "wq.front" in counters and "wq.rear" in counters
+        assert "wq.depth" in counters
+        exits = [e for e in events if e["ph"] == "i" and e["name"] == "exit"]
+        assert len(exits) == len(probe.exits)
+
+    def test_write_trace_is_loadable(self, bfs_probe, tmp_path):
+        probe, _ = bfs_probe
+        path = tmp_path / "trace.json"
+        write_trace(probe, path)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+
+class TestProfileSession:
+    def test_collects_every_launch(self):
+        g = roadmap_graph(8, 8, seed=2)
+        with ProfileSession(bins=8) as session:
+            run_persistent_bfs(g, 0, "BASE", TESTGPU, 2, verify=False)
+            run_persistent_bfs(g, 0, "RF/AN", TESTGPU, 2, verify=False)
+        assert len(session.launches) == 2
+        variants = [
+            next(iter(e["metrics"]["queues"].values()))["variant"]
+            for e in session.launches
+        ]
+        assert variants == ["BASE", "RF/AN"]
+        assert session.total_cycles() == sum(
+            e["metrics"]["cycles"] for e in session.launches
+        )
+        assert session.last is session.launches[-1]
+
+    def test_keep_timelines_flag(self):
+        g = roadmap_graph(8, 8, seed=2)
+        with ProfileSession(keep_timelines=False) as session:
+            run_persistent_bfs(g, 0, "RF/AN", TESTGPU, 2, verify=False)
+        assert "timeline" not in session.launches[0]
+
+    def test_not_reentrant(self):
+        session = ProfileSession()
+        with session:
+            with pytest.raises(RuntimeError):
+                session.__enter__()
+
+    def test_explicit_probe_wins_over_factory(self):
+        g = roadmap_graph(8, 8, seed=2)
+        mine = TimelineProbe()
+        with ProfileSession() as session:
+            run_persistent_bfs(
+                g, 0, "RF/AN", TESTGPU, 2, verify=False, probe=mine
+            )
+        assert mine.cycles > 0
+        assert session.launches == []  # factory never consulted

@@ -9,10 +9,13 @@ counter, or memory word.  These tests pin that invariant:
 * ops issued through the precomputed fast path (``trans``/``prechecked``)
   and the generic path simulate identically;
 * a CU draining thousands of immediately-exiting wavefronts completes
-  without recursion (the issue loop is iterative).
+  without recursion (the issue loop is iterative);
+* attaching an observability probe (``repro.obs``) perturbs nothing:
+  profiled and unprofiled runs agree on every cycle, counter, and cost.
 """
 
 import numpy as np
+import pytest
 
 from repro.bfs import run_persistent_bfs
 from repro.graphs import dataset
@@ -83,6 +86,49 @@ def test_fast_path_and_generic_path_simulate_identically():
     assert res_fast.cycles == res_gen.cycles
     assert res_fast.stats.snapshot() == res_gen.stats.snapshot()
     assert np.array_equal(mem_fast, mem_gen)
+
+
+@pytest.mark.parametrize("variant", ["BASE", "AN", "RF/AN"])
+def test_profiled_run_is_bit_identical_to_unprofiled(variant):
+    from repro.obs import TimelineProbe
+
+    spec = dataset("Synthetic")
+    g = spec.build(spec.default_scale * 0.25)
+    plain = run_persistent_bfs(
+        g, spec.source, variant, TESTGPU, 4, verify=False
+    )
+    probe = TimelineProbe()
+    profiled = run_persistent_bfs(
+        g, spec.source, variant, TESTGPU, 4, verify=False, probe=probe
+    )
+    assert plain.cycles == profiled.cycles
+    assert plain.stats.snapshot() == profiled.stats.snapshot()
+    assert np.array_equal(plain.costs, profiled.costs)
+    # and the probe did record the launch it watched
+    assert probe.cycles == profiled.cycles
+    assert len(probe.issues) > 0
+    assert probe.queues  # queue registered itself
+
+
+def test_profile_session_does_not_perturb_or_leak():
+    import repro.simt.engine as engine_mod
+    from repro.obs import ProfileSession
+
+    spec = dataset("Synthetic")
+    g = spec.build(spec.default_scale * 0.25)
+    plain = run_persistent_bfs(
+        g, spec.source, "RF/AN", TESTGPU, 4, verify=False
+    )
+    assert engine_mod.PROBE_FACTORY is None
+    with ProfileSession(bins=16) as session:
+        profiled = run_persistent_bfs(
+            g, spec.source, "RF/AN", TESTGPU, 4, verify=False
+        )
+    assert engine_mod.PROBE_FACTORY is None  # restored on exit
+    assert plain.cycles == profiled.cycles
+    assert plain.stats.snapshot() == profiled.stats.snapshot()
+    assert len(session.launches) == 1
+    assert session.launches[0]["metrics"]["cycles"] == plain.cycles
 
 
 def test_draining_thousands_of_exiting_wavefronts_is_iterative():

@@ -24,6 +24,12 @@ Pass ``--baseline other.json`` (produced by this tool on another
 revision) to record speedup factors; the tool refuses to compare runs
 whose simulated cycle counts differ, because a perf change that alters
 simulation results is a correctness bug, not a speedup.
+
+``--guard`` (requires ``--baseline``) turns the comparison into an
+overhead gate: the run fails if any benchmark is slower than
+``baseline * (1 + --guard-tolerance)``.  CI uses this to pin the
+zero-cost-when-disabled contract of the observability probes — the
+probes-off hot path must stay within noise of the recorded baseline.
 """
 
 from __future__ import annotations
@@ -147,7 +153,23 @@ def main(argv=None) -> int:
         "--quick", action="store_true",
         help="single repetition per workload (CI mode)",
     )
+    parser.add_argument(
+        "--guard", action="store_true",
+        help=(
+            "fail (exit non-zero) if any benchmark runs slower than "
+            "baseline * (1 + tolerance); requires --baseline"
+        ),
+    )
+    parser.add_argument(
+        "--guard-tolerance", type=float, default=0.35, metavar="FRAC",
+        help=(
+            "allowed slowdown fraction for --guard (default 0.35: "
+            "generous, to absorb shared-CI wall-clock noise)"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.guard and not args.baseline:
+        parser.error("--guard requires --baseline")
     repeats = 1 if args.quick else 3
 
     report = {
@@ -188,6 +210,27 @@ def main(argv=None) -> int:
             speedup[name] = round(ref["seconds"] / cur["seconds"], 2)
         report["speedup_vs_baseline"] = speedup
         print(f"speedup vs {args.baseline}: {speedup}")
+
+        if args.guard:
+            tol = args.guard_tolerance
+            slow = {
+                name: f"{cur['seconds']}s vs {base['benchmarks'][name]['seconds']}s"
+                for name, cur in report["benchmarks"].items()
+                if name in base["benchmarks"]
+                and cur["seconds"]
+                > base["benchmarks"][name]["seconds"] * (1.0 + tol)
+            }
+            report["guard"] = {
+                "tolerance": tol,
+                "passed": not slow,
+                "regressions": slow,
+            }
+            if slow:
+                Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+                raise SystemExit(
+                    f"overhead guard failed (tolerance {tol:.0%}): {slow}"
+                )
+            print(f"overhead guard passed (tolerance {tol:.0%})")
 
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")

@@ -41,10 +41,43 @@ def summarize_tab3(d) -> str:
             [dev, name, round(base_ratio, 2), round(p_base, 2),
              round(an_ratio, 2), round(p_an, 2)]
         )
-    return render_table(
+    out = render_table(
         ["GPU", "dataset", "BASE/RFAN", "paper", "AN/RFAN", "paper"],
         rows,
         title="Table 3 shape: slowdown of each baseline relative to RF/AN",
+    )
+    queues = summarize_tab3_queues(d)
+    if queues:
+        out += "\n\n" + queues
+    return out
+
+
+def summarize_tab3_queues(d) -> str:
+    """Per-queue custom counters (empty string for pre-counter payloads)."""
+    rows = []
+    keys = set()
+    cells = []
+    for key, cell in d["cells"].items():
+        stats = cell.get("stats") or {}
+        for variant, s in stats.items():
+            custom = s.get("custom")
+            if custom is None:
+                continue
+            qc = {k: v for k, v in custom.items() if k.startswith("queue.")}
+            if qc:
+                keys.update(qc)
+                cells.append((key, variant, qc))
+    if not cells:
+        return ""
+    cols = sorted(keys)
+    for key, variant, qc in cells:
+        rows.append(
+            [key, variant] + [qc.get(c, 0) for c in cols]
+        )
+    return render_table(
+        ["cell", "variant"] + [c.removeprefix("queue.") for c in cols],
+        rows,
+        title="Table 3 queue counters (per variant)",
     )
 
 
