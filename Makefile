@@ -2,7 +2,11 @@
 # no `wheel` package, hence the setup.py fallback; on normal machines
 # `pip install -e .[test]` works directly.
 
-.PHONY: install test bench bench-engine harness-quick harness-full examples clean
+.PHONY: install test bench bench-engine bench-diff harness-quick harness-full \
+    runs-report examples clean
+
+# window size for runs-report (make runs-report N=25)
+N ?= 10
 
 install:
 	pip install -e .[test] || python setup.py develop
@@ -15,6 +19,15 @@ bench:
 
 bench-engine:
 	python tools/bench_engine.py --quick --out BENCH_engine.json
+
+# fresh quick bench diffed against the committed baseline (exit 1 on regression)
+bench-diff:
+	python tools/bench_engine.py --quick --no-ledger --out bench_now.json
+	python tools/bench_diff.py BENCH_engine.json bench_now.json
+
+# last N ledger runs with a verdict vs each run's predecessor
+runs-report:
+	python -m repro.harness runs report -n $(N)
 
 harness-quick:
 	python -m repro.harness all --quick --out results-quick/

@@ -13,11 +13,23 @@ Regenerate one artefact quickly::
 Regenerate everything at harness scale, saving text+JSON reports::
 
     python -m repro.harness all --out results/
+
+Watch a long parallel run and keep a structured event log::
+
+    python -m repro.harness all --jobs 4 --live --run-log results/run.jsonl
+
+Query the run ledger (every invocation records a manifest under
+``results/ledger/`` unless ``--no-ledger``)::
+
+    python -m repro.harness runs list
+    python -m repro.harness runs diff last~1 last
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from typing import List, Optional
@@ -34,6 +46,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .profile import profile_main
 
         return profile_main(argv[1:])
+    if argv and argv[0] == "runs":
+        # ledger queries never touch the simulator; see runs.py.
+        from .runs import runs_main
+
+        return runs_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-harness",
         description=(
@@ -47,7 +64,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         nargs="?",
         help=(
             "experiment id (fig1, tab1..tab6, fig3..fig5) or 'all'; "
-            "or the 'profile' subcommand (see 'profile --help')"
+            "or a subcommand: 'profile' (single profiled runs) / "
+            "'runs' (query the run ledger) — see '<subcommand> --help'"
         ),
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
@@ -84,6 +102,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             "when --out is given"
         ),
     )
+    parser.add_argument(
+        "--live", action="store_true",
+        help=(
+            "stream per-job progress (done/failed counts, ETA, running "
+            "groups) to stderr; stdout reports stay byte-identical"
+        ),
+    )
+    parser.add_argument(
+        "--run-log", default=None, metavar="FILE",
+        help="append schema-versioned JSONL run events to FILE",
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help=(
+            "skip recording this run's manifest in the run ledger "
+            "(default ledger: $REPRO_LEDGER or results/ledger)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -104,23 +140,60 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiment(s): {unknown}; use --list", file=sys.stderr)
         return 2
 
-    t0 = time.time()
-    if args.profile:
+    # -- observability plumbing (all passive: reports stay byte-identical)
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.runlog import LiveReporter, MultiObserver, RunLog
+
+    observers = []
+    runlog = None
+    if args.run_log:
+        runlog = RunLog(args.run_log)
+        observers.append(runlog)
+    if args.live:
+        observers.append(LiveReporter())
+    observer = MultiObserver(*observers) if observers else None
+    registry = None if args.no_ledger else MetricsRegistry()
+
+    jobs = args.jobs
+    if args.profile and jobs > 1:
         # the probe factory is a module global in this interpreter, so
         # worker processes would run unprofiled — keep it in-process.
-        from repro.obs import ProfileSession
-
+        print(
+            f"[--profile forces --jobs 1 (probes live in this process); "
+            f"ignoring --jobs {jobs}]",
+            file=sys.stderr,
+        )
         jobs = 1
-        profiles = {}
-        for exp_id in ids:
-            with ProfileSession(keep_timelines=False) as session:
-                results_one = run_many(cfg, [exp_id], jobs=1)
-            profiles[exp_id] = [e["metrics"] for e in session.launches]
-            results = results + results_one if exp_id != ids[0] else results_one
-    else:
-        jobs = args.jobs
-        profiles = {}
-        results = run_many(cfg, ids, jobs=jobs)
+
+    t0 = time.time()
+    try:
+        if args.profile:
+            from repro.obs import ProfileSession
+
+            jobs = 1
+            profiles = {}
+            results = []
+            for exp_id in ids:
+                with ProfileSession(keep_timelines=False) as session:
+                    results += run_many(
+                        cfg, [exp_id], jobs=1,
+                        observer=observer, registry=registry,
+                    )
+                profiles[exp_id] = [e["metrics"] for e in session.launches]
+        else:
+            profiles = {}
+            results = run_many(
+                cfg, ids, jobs=jobs, observer=observer, registry=registry,
+            )
+    except Exception as exc:
+        if runlog is not None:
+            runlog.abort(repr(exc))
+            runlog.close()
+        raise
+    wall = time.time() - t0
+
+    if runlog is not None and registry is not None:
+        runlog.metrics(registry.snapshot())
     for result in results:
         print(result.text)
         print(f"\n[{result.exp_id} regenerated in {result.elapsed:.1f}s]\n")
@@ -129,16 +202,41 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"[saved {path}]")
             launches = profiles.get(result.exp_id)
             if launches is not None:
-                import json
-                import os
-
                 ppath = os.path.join(args.out, f"{result.exp_id}.profile.json")
                 with open(ppath, "w") as fh:
                     json.dump({"launches": launches}, fh, indent=1)
                 print(f"[saved {ppath} ({len(launches)} profiled launches)]")
     if len(results) > 1:
-        print(f"[{len(results)} experiments in {time.time() - t0:.1f}s "
+        print(f"[{len(results)} experiments in {wall:.1f}s "
               f"with --jobs {jobs}]")
+
+    if registry is not None:
+        from repro.obs.ledger import Ledger
+
+        metrics = registry.scalars()
+        metrics["experiments"] = len(results)
+        for result in results:
+            metrics[f"{result.exp_id}.seconds"] = round(result.elapsed, 3)
+        # jobs/profile stay out of the hashed config: they must not change
+        # simulated results, so sequential and parallel runs of the same
+        # experiments share a config_hash and `runs diff` compares exactly.
+        entry = Ledger().record(
+            kind="harness",
+            config={
+                "experiments": ids,
+                "quick": cfg.quick,
+                "scale_factor": cfg.scale_factor,
+                "verify": cfg.verify,
+            },
+            metrics=metrics,
+            wall_seconds=wall,
+            argv=list(argv),
+            notes=f"jobs={jobs} profile={bool(args.profile)}",
+        )
+        # stderr, so stdout reports stay byte-identical across runs
+        print(f"[ledger: recorded run {entry['run_id']}]", file=sys.stderr)
+    if runlog is not None:
+        runlog.close()
     return 0
 
 

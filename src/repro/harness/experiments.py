@@ -496,8 +496,30 @@ def _run_group(cfg: HarnessConfig, group: List[str]) -> List[ExperimentResult]:
     return out
 
 
+def _run_group_collect(
+    cfg: HarnessConfig, group: List[str], collect_metrics: bool
+) -> Tuple[List[ExperimentResult], Optional[Dict]]:
+    """Run one group, optionally under a metrics session (must pickle).
+
+    Returns ``(results, registry_snapshot_or_None)`` — worker processes
+    cannot share the parent's registry, so they ship a snapshot back and
+    the parent merges (counters add, so merge order does not matter).
+    """
+    if not collect_metrics:
+        return _run_group(cfg, group), None
+    from repro.obs.registry import MetricsSession
+
+    with MetricsSession() as session:
+        out = _run_group(cfg, group)
+    return out, session.registry.snapshot()
+
+
 def run_many(
-    cfg: HarnessConfig, ids: List[str], jobs: int = 1
+    cfg: HarnessConfig,
+    ids: List[str],
+    jobs: int = 1,
+    observer=None,
+    registry=None,
 ) -> List[ExperimentResult]:
     """Run several experiments, optionally across worker processes.
 
@@ -507,35 +529,109 @@ def run_many(
     reports are byte-identical to a sequential run); if worker processes
     cannot be started on this platform, the run falls back to in-process
     execution.  Results always come back in requested-id order.
+
+    ``observer`` (a :class:`repro.obs.runlog.RunObserver`) receives
+    run/job lifecycle events — the run log and ``--live`` streaming
+    attach here; job wall times are parent-measured, so observers never
+    touch simulation state and reports stay byte-identical.
+    ``registry`` (a :class:`repro.obs.registry.MetricsRegistry`) has
+    every launch's :class:`SimStats` merged into it, across worker
+    processes.  Both default to ``None``: the original zero-overhead
+    driver path.
     """
     groups = plan_groups(ids)
-    if jobs <= 1 or len(groups) <= 1:
-        results: List[ExperimentResult] = []
-        for group in groups:
-            results.extend(_run_group(cfg, group))
-    else:
-        results = _run_groups_parallel(cfg, groups, jobs)
+    if observer is not None:
+        observer.run_started(ids, groups, jobs)
+    t0 = time.perf_counter()
+    ok = False
+    try:
+        if jobs <= 1 or len(groups) <= 1:
+            results = _run_groups_sequential(cfg, groups, observer, registry)
+        else:
+            results = _run_groups_parallel(cfg, groups, jobs, observer, registry)
+        ok = True
+    finally:
+        if observer is not None:
+            observer.run_finished(time.perf_counter() - t0, ok)
     by_id = {r.exp_id: r for r in results}
     return [by_id[exp_id] for exp_id in ids]
 
 
-def _run_groups_parallel(
-    cfg: HarnessConfig, groups: List[List[str]], jobs: int
+def _run_groups_sequential(
+    cfg: HarnessConfig,
+    groups: List[List[str]],
+    observer=None,
+    registry=None,
 ) -> List[ExperimentResult]:
-    from concurrent.futures import ProcessPoolExecutor
+    results: List[ExperimentResult] = []
+    total = len(groups)
+    for i, group in enumerate(groups):
+        name = "+".join(group)
+        if observer is not None:
+            observer.job_started(name, i, total)
+        t0 = time.perf_counter()
+        try:
+            out, snap = _run_group_collect(cfg, group, registry is not None)
+        except Exception as exc:
+            if observer is not None:
+                observer.job_finished(
+                    name, i, total, time.perf_counter() - t0, error=repr(exc)
+                )
+            raise
+        if observer is not None:
+            observer.job_finished(name, i, total, time.perf_counter() - t0)
+        if registry is not None and snap is not None:
+            registry.merge(snap)
+        results.extend(out)
+    return results
+
+
+def _run_groups_parallel(
+    cfg: HarnessConfig,
+    groups: List[List[str]],
+    jobs: int,
+    observer=None,
+    registry=None,
+) -> List[ExperimentResult]:
+    from concurrent.futures import ProcessPoolExecutor, as_completed
     from concurrent.futures.process import BrokenProcessPool
 
+    collect = registry is not None
+    total = len(groups)
     try:
         with ProcessPoolExecutor(max_workers=min(jobs, len(groups))) as ex:
-            futures = [ex.submit(_run_group, cfg, g) for g in groups]
+            index = {}
+            submitted = {}
+            for i, group in enumerate(groups):
+                name = "+".join(group)
+                fut = ex.submit(_run_group_collect, cfg, group, collect)
+                index[fut] = (i, name)
+                submitted[i] = time.perf_counter()
+                if observer is not None:
+                    observer.job_started(name, i, total)
             results: List[ExperimentResult] = []
-            for fut in futures:
-                results.extend(fut.result())
+            # completion order: observers stream progress as jobs land;
+            # run_many reorders by experiment id afterwards.
+            for fut in as_completed(index):
+                i, name = index[fut]
+                elapsed = time.perf_counter() - submitted[i]
+                try:
+                    out, snap = fut.result()
+                except (OSError, BrokenProcessPool):
+                    raise
+                except Exception as exc:
+                    if observer is not None:
+                        observer.job_finished(
+                            name, i, total, elapsed, error=repr(exc)
+                        )
+                    raise
+                if observer is not None:
+                    observer.job_finished(name, i, total, elapsed)
+                if registry is not None and snap is not None:
+                    registry.merge(snap)
+                results.extend(out)
             return results
     except (OSError, BrokenProcessPool):
         # the pool itself failed (fork unavailable, resource limits);
         # experiment errors propagate above instead of being retried.
-        results = []
-        for group in groups:
-            results.extend(_run_group(cfg, group))
-        return results
+        return _run_groups_sequential(cfg, groups, observer, registry)

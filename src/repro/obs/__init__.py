@@ -1,9 +1,11 @@
-"""Cycle-accurate observability for simulated launches.
+"""Observability for simulated launches and whole runs.
 
-The simulator's scalar counters (:class:`~repro.simt.stats.SimStats`)
-answer *how much*; this package answers *when*.  It consumes the opt-in
+Two layers, both passive — a probed or metered run's simulation is
+bit-identical to a bare one (pinned by ``tests/test_simt_determinism.py``):
+
+**Launch-level** (PR 2) — consumes the opt-in
 :class:`~repro.simt.probe.Probe` hooks that the engine, atomic system,
-queue variants, and persistent scheduler emit, and turns them into:
+queue variants, and persistent scheduler emit:
 
 * :class:`~repro.obs.timeline.TimelineProbe` — the raw cycle-stamped
   event timeline of one launch (issue spans, wake-ups, atomic
@@ -16,25 +18,51 @@ queue variants, and persistent scheduler emit, and turns them into:
   JSON export, loadable at https://ui.perfetto.dev;
 * :class:`~repro.obs.session.ProfileSession` — process-wide attachment:
   every ``Engine.launch`` in scope gets a probe, metrics are aggregated
-  per launch, and reports stay byte-identical (probes are passive).
+  per launch, and reports stay byte-identical.
 
-Probing never changes a simulated cycle: a profiled run's ``SimStats``
-and memory are bit-identical to an unprofiled run (pinned by
-``tests/test_simt_determinism.py``).
+**Run-level** (this PR) — aggregates across launches, jobs, and whole
+invocations:
+
+* :class:`~repro.obs.registry.MetricsRegistry` /
+  :class:`~repro.obs.registry.MetricsSession` — labelled counters,
+  gauges, and histograms; every finished launch's ``SimStats`` lands
+  here via the engine's ``METRICS_SINK`` hook, and snapshots merge
+  exactly across ``--jobs N`` worker processes;
+* :class:`~repro.obs.runlog.RunLog` /
+  :class:`~repro.obs.runlog.LiveReporter` — schema-versioned JSONL run
+  events, and ``--live`` terminal progress (stderr only);
+* :class:`~repro.obs.ledger.Ledger` — the append-only run ledger under
+  ``results/ledger/`` that ``python -m repro.harness runs`` queries;
+* :mod:`~repro.obs.regress` — the rule-based regression sentinel behind
+  ``runs diff`` and ``tools/bench_diff.py``.
 """
 
 from repro.simt.probe import Probe
 
+from .ledger import Ledger, LedgerError
 from .metrics import compute_metrics, summarize
 from .perfetto import to_perfetto, write_trace
+from .registry import MetricsRegistry, MetricsSession
+from .regress import compare as compare_metrics
+from .runlog import LiveReporter, MultiObserver, RunLog, RunObserver, read_runlog
 from .session import ProfileSession
 from .timeline import TimelineProbe
 
 __all__ = [
+    "Ledger",
+    "LedgerError",
+    "LiveReporter",
+    "MetricsRegistry",
+    "MetricsSession",
+    "MultiObserver",
     "Probe",
     "ProfileSession",
+    "RunLog",
+    "RunObserver",
     "TimelineProbe",
+    "compare_metrics",
     "compute_metrics",
+    "read_runlog",
     "summarize",
     "to_perfetto",
     "write_trace",

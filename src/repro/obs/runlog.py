@@ -1,0 +1,254 @@
+"""Structured run logging and live progress for multi-job harness runs.
+
+A long ``python -m repro.harness all --jobs N`` run used to be silent
+until it finished.  This module gives every run two streams:
+
+* :class:`RunLog` — a schema-versioned **JSONL event log** (one JSON
+  object per line): ``run_started``, ``job_started`` / ``job_finished``,
+  ``warning``, ``abort``, ``metrics`` snapshots, ``run_finished``.
+  Machine-readable, append-only, cheap enough to always be on.
+* :class:`LiveReporter` — a terminal **progress stream** (jobs done /
+  failed, current workload, ETA) for ``--live``.  It writes to stderr,
+  so the stdout reports — and everything ``--out`` saves — stay
+  byte-identical with or without it.
+
+Both implement the :class:`RunObserver` protocol that
+:func:`repro.harness.experiments.run_many` drives; ``observer=None``
+(the default) keeps the driver on its original zero-overhead path.
+
+Event schema (``SCHEMA = 1``)
+-----------------------------
+Every line carries ``schema``, ``event``, and ``ts`` (Unix seconds);
+the rest is per-event:
+
+``run_started``   ``ids`` (experiment ids), ``groups``, ``jobs``
+``job_started``   ``job`` ("tab3+tab4"), ``index``, ``total``
+``job_finished``  ``job``, ``index``, ``total``, ``elapsed_s``, ``ok``,
+                  optional ``error``
+``warning``       ``message``
+``abort``         ``reason`` (queue-full and other kernel aborts)
+``metrics``       ``snapshot`` (a registry snapshot, see
+                  :mod:`repro.obs.registry`)
+``run_finished``  ``elapsed_s``, ``ok``
+
+Readers must ignore unknown event types and unknown fields; a reader
+that sees a *newer* ``schema`` than it understands should warn and
+skip, which :func:`read_runlog` does.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, TextIO, Union
+
+#: JSONL event schema version (bump on incompatible changes).
+SCHEMA = 1
+
+
+class RunObserver:
+    """No-op progress hooks driven by ``run_many`` (subclass as needed)."""
+
+    def run_started(self, ids: List[str], groups: List[List[str]], jobs: int) -> None:
+        """The driver is about to run ``groups`` over ``jobs`` workers."""
+
+    def job_started(self, job: str, index: int, total: int) -> None:
+        """Scheduling group ``job`` (e.g. ``"tab3+tab4"``) started."""
+
+    def job_finished(
+        self,
+        job: str,
+        index: int,
+        total: int,
+        elapsed: float,
+        error: Optional[str] = None,
+    ) -> None:
+        """Group ``job`` finished after ``elapsed`` seconds (parent wall)."""
+
+    def run_finished(self, elapsed: float, ok: bool) -> None:
+        """The whole run ended."""
+
+
+class MultiObserver(RunObserver):
+    """Fan every hook out to several observers (e.g. runlog + live)."""
+
+    def __init__(self, *observers: RunObserver):
+        self.observers = [o for o in observers if o is not None]
+
+    def run_started(self, ids, groups, jobs) -> None:
+        for o in self.observers:
+            o.run_started(ids, groups, jobs)
+
+    def job_started(self, job, index, total) -> None:
+        for o in self.observers:
+            o.job_started(job, index, total)
+
+    def job_finished(self, job, index, total, elapsed, error=None) -> None:
+        for o in self.observers:
+            o.job_finished(job, index, total, elapsed, error)
+
+    def run_finished(self, elapsed, ok) -> None:
+        for o in self.observers:
+            o.run_finished(elapsed, ok)
+
+
+class RunLog(RunObserver):
+    """Append-only JSONL event writer (also usable as a RunObserver).
+
+    ``path_or_stream`` may be a filesystem path (parent directories are
+    created; the file is opened lazily on the first event) or any
+    writable text stream.  Each event is one flushed line, so a reader
+    tailing the file sees progress while the run executes.
+    """
+
+    def __init__(self, path_or_stream: Union[str, Path, TextIO]):
+        self._stream: Optional[TextIO] = None
+        self._owns_stream = False
+        if hasattr(path_or_stream, "write"):
+            self._stream = path_or_stream  # type: ignore[assignment]
+            self.path: Optional[Path] = None
+        else:
+            self.path = Path(path_or_stream)
+
+    # ------------------------------------------------------------------
+    def emit(self, event: str, **fields) -> Dict:
+        """Write one event line; returns the emitted record."""
+        record = {"schema": SCHEMA, "event": event, "ts": round(time.time(), 3)}
+        record.update(fields)
+        if self._stream is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = open(self.path, "a")
+            self._owns_stream = True
+        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self._stream.flush()
+        return record
+
+    def close(self) -> None:
+        if self._owns_stream and self._stream is not None:
+            self._stream.close()
+            self._stream = None
+            self._owns_stream = False
+
+    # -- RunObserver ----------------------------------------------------
+    def run_started(self, ids, groups, jobs) -> None:
+        self.emit("run_started", ids=list(ids),
+                  groups=["+".join(g) for g in groups], jobs=jobs)
+
+    def job_started(self, job, index, total) -> None:
+        self.emit("job_started", job=job, index=index, total=total)
+
+    def job_finished(self, job, index, total, elapsed, error=None) -> None:
+        fields = dict(job=job, index=index, total=total,
+                      elapsed_s=round(elapsed, 3), ok=error is None)
+        if error is not None:
+            fields["error"] = error
+        self.emit("job_finished", **fields)
+
+    def run_finished(self, elapsed, ok) -> None:
+        self.emit("run_finished", elapsed_s=round(elapsed, 3), ok=ok)
+
+    # -- convenience event emitters ------------------------------------
+    def warning(self, message: str) -> None:
+        self.emit("warning", message=message)
+
+    def abort(self, reason: str) -> None:
+        """A kernel abort surfaced to the host (e.g. queue-full)."""
+        self.emit("abort", reason=reason)
+
+    def metrics(self, snapshot: Dict) -> None:
+        self.emit("metrics", snapshot=snapshot)
+
+
+def read_runlog(path: Union[str, Path]) -> List[Dict]:
+    """Parse a JSONL run log, skipping lines newer than this reader.
+
+    Unknown event types are kept (callers filter); lines whose
+    ``schema`` is greater than :data:`SCHEMA` are dropped with a
+    warning on stderr, so old readers degrade instead of crashing.
+    """
+    events: List[Dict] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            print(f"[runlog: {path}:{lineno}: unparseable line skipped]",
+                  file=sys.stderr)
+            continue
+        if record.get("schema", 0) > SCHEMA:
+            print(
+                f"[runlog: {path}:{lineno}: schema "
+                f"{record.get('schema')} > {SCHEMA}; line skipped]",
+                file=sys.stderr,
+            )
+            continue
+        events.append(record)
+    return events
+
+
+class LiveReporter(RunObserver):
+    """Streaming per-job progress for ``--live``.
+
+    Writes single-line updates to ``stream`` (default stderr) as
+    scheduling groups start and finish: jobs done/failed, the group
+    that just finished, and a smoothed ETA from the mean group wall
+    time so far.  Nothing is written to stdout, keeping the harness
+    reports byte-identical with ``--live`` on or off.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None, clock=time.monotonic):
+        self.stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self._t0 = 0.0
+        self.total = 0
+        self.done = 0
+        self.failed = 0
+        self.running: List[str] = []
+
+    def _say(self, text: str) -> None:
+        print(f"[live] {text}", file=self.stream, flush=True)
+
+    # -- RunObserver ----------------------------------------------------
+    def run_started(self, ids, groups, jobs) -> None:
+        self._t0 = self._clock()
+        self.total = len(groups)
+        self._say(
+            f"{len(ids)} experiment(s) in {self.total} group(s) "
+            f"over {jobs} worker(s)"
+        )
+
+    def job_started(self, job, index, total) -> None:
+        self.running.append(job)
+        self._say(f"started {job} ({index + 1}/{total})")
+
+    def job_finished(self, job, index, total, elapsed, error=None) -> None:
+        if job in self.running:
+            self.running.remove(job)
+        self.done += 1
+        if error is not None:
+            self.failed += 1
+        status = "failed" if error is not None else "done"
+        line = (
+            f"{job} {status} in {elapsed:.1f}s — "
+            f"{self.done}/{self.total} done, {self.failed} failed"
+        )
+        remaining = self.total - self.done
+        if remaining > 0:
+            wall = max(self._clock() - self._t0, 1e-9)
+            eta = wall / self.done * remaining
+            line += f", eta ~{eta:.0f}s"
+            if self.running:
+                line += f" — running: {', '.join(self.running)}"
+        self._say(line)
+        if error is not None:
+            self._say(f"{job} error: {error}")
+
+    def run_finished(self, elapsed, ok) -> None:
+        verdict = "ok" if ok else "FAILED"
+        self._say(
+            f"run {verdict}: {self.done}/{self.total} group(s), "
+            f"{self.failed} failed, {elapsed:.1f}s"
+        )

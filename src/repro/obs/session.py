@@ -81,6 +81,10 @@ class ProfileSession:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._active:
+            # restoring PROBE_FACTORY from a never-entered session would
+            # clobber whatever another session installed in the meantime.
+            raise RuntimeError("ProfileSession exited without being entered")
         _engine.PROBE_FACTORY = self._prev_factory
         self._prev_factory = None
         self._active = False

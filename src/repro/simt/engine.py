@@ -235,6 +235,14 @@ OP_KIND_NAMES: Dict[int, str] = {
 #: engine free of any dependency on the observability package.
 PROBE_FACTORY: Optional[Callable[[], Optional[object]]] = None
 
+#: opt-in run-level metrics hook: when set, every finished launch is
+#: reported as ``METRICS_SINK(device, n_wavefronts, stats)`` *after* its
+#: statistics are final, so a sink can never perturb the simulation.
+#: Installed/removed by :class:`repro.obs.registry.MetricsSession`; like
+#: :data:`PROBE_FACTORY`, the indirection keeps the engine free of any
+#: dependency on the observability package.
+METRICS_SINK: Optional[Callable[[DeviceSpec, int, SimStats], None]] = None
+
 
 def _resolve_op_kind(cls: type, op: Op) -> int:
     """Classify an op subclass the slow way and memoize the answer."""
@@ -664,4 +672,6 @@ class Engine:
         stats.sim_cycles = total
         if probing:
             probe.launch_end(total, stats)
+        if METRICS_SINK is not None:
+            METRICS_SINK(device, n_wavefronts, stats)
         return LaunchResult(cycles=total, stats=stats, device=device)

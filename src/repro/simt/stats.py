@@ -98,6 +98,34 @@ class SimStats:
         self.sim_cycles += other.sim_cycles
         self.custom.update(other.custom)
 
+    def metric_items(self):
+        """Flat ``(name, value)`` pairs for metrics-registry ingestion.
+
+        Engine counters are namespaced ``sim.*`` (atomic request counts
+        as ``sim.atomic_requests.<kind>``); the free-form ``custom``
+        counters that the queue variants and the persistent scheduler
+        bump keep their already-dotted names (``queue.*``,
+        ``scheduler.*``).  This is the single publishing surface between
+        the simulator's per-launch counters and
+        :meth:`repro.obs.registry.MetricsRegistry.ingest_simstats` —
+        layers add counters here (or to ``custom``) and every run-level
+        consumer sees them without bespoke plumbing.
+        """
+        yield "sim.issued_ops", self.issued_ops
+        yield "sim.compute_cycles", self.compute_cycles
+        yield "sim.mem_reads", self.mem_reads
+        yield "sim.mem_writes", self.mem_writes
+        yield "sim.mem_transactions", self.mem_transactions
+        yield "sim.lds_ops", self.lds_ops
+        yield "sim.cu_busy_cycles", self.cu_busy_cycles
+        yield "sim.atomic_service_cycles", self.atomic_service_cycles
+        for kind, n in sorted(self.atomic_requests.items()):
+            yield f"sim.atomic_requests.{kind}", n
+        yield "sim.cas_failures", self.cas_failures
+        yield "sim.cycles", self.sim_cycles
+        for key, val in sorted(self.custom.items()):
+            yield key, val
+
     def snapshot(self) -> Dict[str, object]:
         """A plain-dict view for reports and JSON dumps."""
         return {

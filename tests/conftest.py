@@ -8,6 +8,16 @@ import pytest
 from repro import simt
 
 
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at a per-test tmp dir.
+
+    CLI invocations record manifests by default; without this, tests
+    would write into the repo's ``results/ledger``.
+    """
+    monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "ledger"))
+
+
 @pytest.fixture
 def testgpu() -> simt.DeviceSpec:
     """The small fast device every unit test runs on."""

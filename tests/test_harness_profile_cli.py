@@ -121,3 +121,45 @@ class TestProfileFlag:
         assert engine_mod.PROBE_FACTORY is None
         assert main(["tinyexp", "--profile"]) == 0
         assert engine_mod.PROBE_FACTORY is None
+
+    def test_profile_with_jobs_warns_and_forces_sequential(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setitem(EXPERIMENTS, "tinyexp", _tiny_experiment)
+        assert main(["tinyexp", "--profile", "--jobs", "4"]) == 0
+        err = capsys.readouterr().err
+        assert "--profile forces --jobs 1" in err
+        assert "ignoring --jobs 4" in err
+
+
+class TestProfileSessionEdgeCases:
+    def test_double_attach_raises(self):
+        from repro.obs import ProfileSession
+
+        with ProfileSession() as session:
+            with pytest.raises(RuntimeError):
+                session.__enter__()
+
+    def test_detach_without_attach_raises_and_preserves_factory(self):
+        import repro.simt.engine as engine_mod
+        from repro.obs import ProfileSession
+
+        # an installed factory must survive a stray __exit__: restoring
+        # from a never-entered session used to clobber it to None.
+        with ProfileSession() as active:
+            installed = engine_mod.PROBE_FACTORY
+            assert installed is not None
+            with pytest.raises(RuntimeError):
+                ProfileSession().__exit__(None, None, None)
+            assert engine_mod.PROBE_FACTORY is installed
+        assert engine_mod.PROBE_FACTORY is None
+
+    def test_session_reusable_after_clean_exit(self):
+        import repro.simt.engine as engine_mod
+        from repro.obs import ProfileSession
+
+        session = ProfileSession()
+        for _ in range(2):
+            with session:
+                assert engine_mod.PROBE_FACTORY is not None
+            assert engine_mod.PROBE_FACTORY is None

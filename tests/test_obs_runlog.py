@@ -1,0 +1,198 @@
+"""Tests for the run log, live reporter, and run_many observer wiring."""
+
+import io
+import json
+
+from repro.harness import HarnessConfig
+from repro.harness.experiments import run_many
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runlog import (
+    SCHEMA,
+    LiveReporter,
+    MultiObserver,
+    RunLog,
+    RunObserver,
+    read_runlog,
+)
+
+
+class TestRunLog:
+    def test_events_are_schema_versioned_jsonl(self, tmp_path):
+        path = tmp_path / "sub" / "run.jsonl"
+        log = RunLog(path)
+        log.run_started(["tab1"], [["tab1"]], jobs=2)
+        log.job_started("tab1", 0, 1)
+        log.job_finished("tab1", 0, 1, elapsed=1.5)
+        log.warning("low disk")
+        log.abort("queue full at launch 3")
+        log.run_finished(elapsed=2.0, ok=True)
+        log.close()
+
+        events = read_runlog(path)
+        assert [e["event"] for e in events] == [
+            "run_started", "job_started", "job_finished",
+            "warning", "abort", "run_finished",
+        ]
+        assert all(e["schema"] == SCHEMA for e in events)
+        assert events[2]["elapsed_s"] == 1.5
+        assert events[2]["ok"] is True
+        assert events[4]["reason"] == "queue full at launch 3"
+
+    def test_failed_job_carries_error(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log = RunLog(path)
+        log.job_finished("tab9", 0, 1, elapsed=0.2, error="ValueError('x')")
+        log.close()
+        (event,) = read_runlog(path)
+        assert event["ok"] is False
+        assert event["error"] == "ValueError('x')"
+
+    def test_reader_skips_bad_and_newer_schema_lines(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            json.dumps({"schema": 1, "event": "ok"}) + "\n"
+            + "this is not json\n"
+            + json.dumps({"schema": 99, "event": "from_the_future"}) + "\n"
+        )
+        events = read_runlog(path)
+        assert [e["event"] for e in events] == ["ok"]
+        err = capsys.readouterr().err
+        assert "unparseable" in err
+        assert "schema 99" in err
+
+    def test_stream_target_is_not_closed(self):
+        buf = io.StringIO()
+        log = RunLog(buf)
+        log.emit("ping")
+        log.close()
+        assert not buf.closed
+        assert json.loads(buf.getvalue())["event"] == "ping"
+
+
+class TestLiveReporter:
+    def test_progress_lines_and_eta(self):
+        buf = io.StringIO()
+        ticks = iter([0.0, 10.0, 20.0])
+        live = LiveReporter(stream=buf, clock=lambda: next(ticks))
+        live.run_started(["a", "b"], [["a"], ["b"]], jobs=2)
+        live.job_started("a", 0, 2)
+        live.job_started("b", 1, 2)
+        live.job_finished("a", 0, 2, elapsed=10.0)
+        live.job_finished("b", 1, 2, elapsed=20.0, error="boom")
+        live.run_finished(20.0, ok=False)
+        out = buf.getvalue()
+        assert "2 experiment(s) in 2 group(s) over 2 worker(s)" in out
+        assert "a done in 10.0s — 1/2 done, 0 failed, eta ~10s" in out
+        assert "running: b" in out
+        assert "b failed" in out
+        assert "b error: boom" in out
+        assert "run FAILED: 2/2 group(s), 1 failed" in out
+
+
+class _Recorder(RunObserver):
+    def __init__(self):
+        self.calls = []
+
+    def run_started(self, ids, groups, jobs):
+        self.calls.append(("run_started", tuple(ids), jobs))
+
+    def job_started(self, job, index, total):
+        self.calls.append(("job_started", job))
+
+    def job_finished(self, job, index, total, elapsed, error=None):
+        self.calls.append(("job_finished", job, error))
+        assert elapsed >= 0
+
+    def run_finished(self, elapsed, ok):
+        self.calls.append(("run_finished", ok))
+
+
+class TestRunManyObservers:
+    def test_sequential_lifecycle_events(self):
+        cfg = HarnessConfig(quick=True)
+        rec = _Recorder()
+        run_many(cfg, ["tab1", "tab2"], jobs=1, observer=rec)
+        assert rec.calls[0] == ("run_started", ("tab1", "tab2"), 1)
+        assert ("job_started", "tab1") in rec.calls
+        assert ("job_finished", "tab2", None) in rec.calls
+        assert rec.calls[-1] == ("run_finished", True)
+
+    def test_parallel_run_reports_and_metrics_match_sequential(self):
+        cfg = HarnessConfig(quick=True)
+        rec = _Recorder()
+        reg_seq = MetricsRegistry()
+        reg_par = MetricsRegistry()
+        seq = run_many(cfg, ["tab1", "tab2"], jobs=1, registry=reg_seq)
+        par = run_many(
+            cfg, ["tab1", "tab2"], jobs=2, observer=rec, registry=reg_par
+        )
+        assert [r.exp_id for r in par] == ["tab1", "tab2"]
+        assert [r.text for r in seq] == [r.text for r in par]
+        # metrics aggregate identically across process boundaries
+        assert reg_seq.scalars() == reg_par.scalars()
+        assert rec.calls[-1] == ("run_finished", True)
+
+    def test_multi_observer_fans_out(self):
+        a, b = _Recorder(), _Recorder()
+        multi = MultiObserver(a, b, None)
+        multi.run_started(["x"], [["x"]], 1)
+        multi.run_finished(0.1, True)
+        assert a.calls == b.calls
+        assert len(a.calls) == 2
+
+    def test_failing_experiment_emits_error_event(self, monkeypatch):
+        from repro.harness.experiments import EXPERIMENTS
+
+        def _boom(cfg):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setitem(EXPERIMENTS, "boomexp", _boom)
+        cfg = HarnessConfig(quick=True)
+        rec = _Recorder()
+        try:
+            run_many(cfg, ["boomexp"], jobs=1, observer=rec)
+        except RuntimeError:
+            pass
+        else:
+            raise AssertionError("experiment failure was swallowed")
+        finished = [c for c in rec.calls if c[0] == "job_finished"]
+        assert finished and "synthetic failure" in finished[0][2]
+        assert rec.calls[-1] == ("run_finished", False)
+
+
+class TestCliLiveAndRunLog:
+    def test_live_keeps_reports_byte_identical(self, tmp_path, capsys):
+        from repro.harness.cli import main
+
+        out_plain = tmp_path / "plain"
+        out_live = tmp_path / "live"
+        runlog_path = tmp_path / "run.jsonl"
+        assert main(["tab1", "--quick", "--out", str(out_plain)]) == 0
+        plain = capsys.readouterr()
+        assert main([
+            "tab1", "--quick", "--out", str(out_live),
+            "--live", "--run-log", str(runlog_path),
+        ]) == 0
+        live = capsys.readouterr()
+
+        # stdout reports and saved artifacts are unchanged by
+        # --live/--run-log ([saved <path>]/timing status lines differ by
+        # out dir and wall clock, so compare the report body only)
+        def report_body(text):
+            return [l for l in text.splitlines() if not l.startswith("[")]
+
+        assert report_body(plain.out) == report_body(live.out)
+        for suffix in ("txt", "json"):
+            assert (
+                (out_plain / f"tab1.{suffix}").read_text()
+                == (out_live / f"tab1.{suffix}").read_text()
+            )
+        # progress went to stderr only
+        assert "[live]" in live.err
+        assert "[live]" not in live.out
+
+        # the run log captured the lifecycle plus a metrics snapshot
+        events = [e["event"] for e in read_runlog(runlog_path)]
+        assert events[0] == "run_started"
+        assert "job_finished" in events
+        assert "metrics" in events

@@ -131,6 +131,36 @@ def test_profile_session_does_not_perturb_or_leak():
     assert session.launches[0]["metrics"]["cycles"] == plain.cycles
 
 
+def test_metrics_session_does_not_perturb_or_leak():
+    # run-level metrics ride the METRICS_SINK hook, which fires after a
+    # launch's stats are final: metered and bare runs must agree on
+    # every cycle, counter, and cost.
+    import repro.simt.engine as engine_mod
+    from repro.obs import MetricsSession
+
+    spec = dataset("Synthetic")
+    g = spec.build(spec.default_scale * 0.25)
+    plain = run_persistent_bfs(
+        g, spec.source, "RF/AN", TESTGPU, 4, verify=False
+    )
+    assert engine_mod.METRICS_SINK is None
+    with MetricsSession() as session:
+        metered = run_persistent_bfs(
+            g, spec.source, "RF/AN", TESTGPU, 4, verify=False
+        )
+    assert engine_mod.METRICS_SINK is None  # restored on exit
+    assert plain.cycles == metered.cycles
+    assert plain.stats.snapshot() == metered.stats.snapshot()
+    assert np.array_equal(plain.costs, metered.costs)
+    # and the registry really saw the launch
+    reg = session.registry
+    assert reg.total("sim.launches") == 1
+    assert reg.total("sim.cycles") == plain.cycles
+    assert reg.value("sim.issued_ops", device="TestGPU") == (
+        plain.stats.issued_ops
+    )
+
+
 def test_draining_thousands_of_exiting_wavefronts_is_iterative():
     # one CU, every wavefront exits on its first resume: the seed's
     # recursive issue-on-StopIteration would exceed the recursion limit.

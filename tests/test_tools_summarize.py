@@ -71,3 +71,37 @@ class TestSummarize:
 
     def test_missing_directory(self, tmp_path, capsys):
         assert summarize.main(["prog", str(tmp_path / "nope")]) == 2
+
+
+class TestOldFormatGracefulDegrade:
+    """Pre-PR2 results files must warn, not crash the whole summary."""
+
+    def test_old_format_payload_warns_and_skips(self, results_dir, capsys):
+        # overwrite tab3.json with a pre-stats-era payload: no "cells"
+        (results_dir / "tab3.json").write_text(json.dumps({
+            "rows": [["Fiji", "Synthetic", 0.01, 0.004, 0.002]],
+        }))
+        assert summarize.main(["prog", str(results_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "tab3" in captured.err
+        assert "skipped" in captured.err
+        # the rest of the directory still renders
+        assert "Figure 1" in captured.out
+        assert "Table 5" in captured.out
+
+    def test_unparseable_json_warns_and_skips(self, results_dir, capsys):
+        (results_dir / "fig1.json").write_text("{not json")
+        assert summarize.main(["prog", str(results_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "not valid JSON" in captured.err
+        assert "Table 3 shape" in captured.out
+
+    def test_old_tab3_without_per_variant_stats_renders_no_queue_table(
+        self, results_dir, capsys
+    ):
+        # PR1-era tab3 payloads carry cells but no "stats" key: the main
+        # ratio table must render and the queue-counter table is absent.
+        assert summarize.main(["prog", str(results_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3 shape" in out
+        assert "queue counters" not in out

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Regression sentinel CLI: diff two metric sets, fail on regressions.
+
+Compares a *candidate* against a *baseline*, where each side is either
+
+* a JSON file — a ``tools/bench_engine.py`` report (``benchmarks``
+  payload), a run-ledger entry (``metrics`` payload), or any nested
+  dict of numbers; or
+* a ledger ref (``last``, ``last~1``, a run id or unique prefix) when
+  the argument names no existing file — resolved against
+  ``$REPRO_LEDGER`` / ``results/ledger``.
+
+The rule table in :mod:`repro.obs.regress` decides what counts as a
+regression: simulated quantities (cycles, issued ops, ``queue.*``
+counters) must match **exactly** — the simulator is deterministic, so
+any drift is a correctness finding — while wall-clock quantities only
+fail beyond ``--tolerance`` (default 0.35, generous for noisy CI
+runners).
+
+Exit codes: 0 pass, 1 regression(s), 2 usage/load error.  CI runs::
+
+    PYTHONPATH=src python tools/bench_diff.py BENCH_engine.json bench_now.json
+
+as the regression gate after a fresh quick bench.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs.ledger import Ledger, LedgerError  # noqa: E402
+from repro.obs.regress import (  # noqa: E402
+    DEFAULT_RULES,
+    Rule,
+    compare,
+    extract_metrics,
+)
+
+
+def load_side(spec: str, ledger: Ledger) -> dict:
+    """Resolve one CLI argument to a payload dict (file first, then ledger)."""
+    path = Path(spec)
+    if path.exists():
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            print(f"bench_diff: {spec}: not valid JSON ({exc})",
+                  file=sys.stderr)
+            raise SystemExit(2)
+    try:
+        return ledger.load(spec)
+    except LedgerError as exc:
+        print(
+            f"bench_diff: {spec!r} is neither a file nor a ledger ref ({exc})",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Compare two metric sets (bench JSONs or ledger refs); "
+            "exit 1 if the candidate regressed."
+        ),
+    )
+    parser.add_argument("baseline", help="baseline JSON file or ledger ref")
+    parser.add_argument("candidate", help="candidate JSON file or ledger ref")
+    parser.add_argument(
+        "--tolerance", type=float, default=None, metavar="T",
+        help="relative wall-clock tolerance (default 0.35)",
+    )
+    parser.add_argument(
+        "--all", action="store_true",
+        help="show identical metrics too (default: only changed)",
+    )
+    parser.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="ledger root for ref arguments "
+             "(default: $REPRO_LEDGER or results/ledger)",
+    )
+    args = parser.parse_args(argv)
+
+    ledger = Ledger(args.ledger)
+    payload_a = load_side(args.baseline, ledger)
+    payload_b = load_side(args.candidate, ledger)
+
+    rules = list(DEFAULT_RULES)
+    if args.tolerance is not None:
+        rules = [
+            Rule(r.pattern, better=r.better, exact=r.exact, gate=r.gate,
+                 tolerance=r.tolerance if r.exact else args.tolerance)
+            for r in rules
+        ]
+
+    cmp = compare(
+        extract_metrics(payload_a),
+        extract_metrics(payload_b),
+        rules=rules,
+        label_a=payload_a.get("run_id") or args.baseline,
+        label_b=payload_b.get("run_id") or args.candidate,
+    )
+    print(cmp.render(only_changed=not args.all))
+    return 0 if cmp.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,14 @@ Two fixed workloads:
   a harness experiment actually pays per launch.
 
 ``--harness`` additionally times the full ``--quick`` harness through
-:func:`repro.harness.experiments.run_many` with ``--jobs`` workers.
+:func:`repro.harness.experiments.run_many` — sequentially
+(``harness_quick``) and, when ``--jobs``/cpu count allows more than one
+worker, process-parallel (``harness_quick_parallel``), so the speedup
+of ``--jobs N`` is itself a tracked datapoint.
+
+Unless ``--no-ledger`` is passed, every invocation also records its
+report in the run ledger (``results/ledger`` or ``$REPRO_LEDGER``; see
+``python -m repro.harness runs`` and ``tools/bench_diff.py``).
 
 Run from the repo root::
 
@@ -134,6 +141,28 @@ def bench_harness(jobs: int) -> dict:
     return {"seconds": round(time.perf_counter() - t0, 1), "jobs": jobs}
 
 
+def record_in_ledger(report: dict, wall: float, argv) -> None:
+    """File this bench run in the run ledger (best-effort)."""
+    from repro.obs.ledger import Ledger
+    from repro.obs.regress import flatten_metrics
+
+    entry = Ledger().record(
+        kind="bench_engine",
+        config={
+            "soup_rounds": SOUP_ROUNDS,
+            "soup_wavefronts": SOUP_WAVEFRONTS,
+            "bfs_dataset": BFS_DATASET,
+            "bfs_scale": BFS_SCALE,
+            "bfs_workgroups": BFS_WORKGROUPS,
+            "benchmarks": sorted(report["benchmarks"]),
+        },
+        metrics=flatten_metrics(report["benchmarks"]),
+        wall_seconds=wall,
+        argv=list(argv) if argv else None,
+    )
+    print(f"ledger: recorded run {entry['run_id']}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_engine.json", metavar="FILE")
@@ -154,6 +183,10 @@ def main(argv=None) -> int:
         help="single repetition per workload (CI mode)",
     )
     parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="skip recording this bench run in the run ledger",
+    )
+    parser.add_argument(
         "--guard", action="store_true",
         help=(
             "fail (exit non-zero) if any benchmark runs slower than "
@@ -171,6 +204,7 @@ def main(argv=None) -> int:
     if args.guard and not args.baseline:
         parser.error("--guard requires --baseline")
     repeats = 1 if args.quick else 3
+    t_start = time.perf_counter()
 
     report = {
         "generated_by": "tools/bench_engine.py",
@@ -188,9 +222,15 @@ def main(argv=None) -> int:
         import os
 
         jobs = args.jobs or os.cpu_count() or 1
-        print(f"--quick harness with --jobs {jobs} (this takes minutes)...")
-        report["benchmarks"]["harness_quick"] = bench_harness(jobs)
+        # sequential first (the long-standing datapoint), then the
+        # parallel speedup datapoint when more than one worker is usable.
+        print("--quick harness with --jobs 1 (this takes minutes)...")
+        report["benchmarks"]["harness_quick"] = bench_harness(1)
         print(f"  {report['benchmarks']['harness_quick']}")
+        if jobs > 1:
+            print(f"--quick harness with --jobs {jobs}...")
+            report["benchmarks"]["harness_quick_parallel"] = bench_harness(jobs)
+            print(f"  {report['benchmarks']['harness_quick_parallel']}")
 
     if args.baseline:
         base = json.loads(Path(args.baseline).read_text())
@@ -234,6 +274,8 @@ def main(argv=None) -> int:
 
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
+    if not args.no_ledger:
+        record_in_ledger(report, time.perf_counter() - t_start, argv)
     return 0
 
 

@@ -22,7 +22,12 @@ def load(directory: Path, name: str):
     path = directory / f"{name}.json"
     if not path.exists():
         return None
-    return json.loads(path.read_text())
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"[{name}: {path} is not valid JSON ({exc}); skipped]",
+              file=sys.stderr)
+        return None
 
 
 def summarize_tab3(d) -> str:
@@ -160,7 +165,19 @@ def main(argv) -> int:
         if data is None:
             print(f"[{name}: not present in {directory}]")
             continue
-        print(fn(data))
+        try:
+            text = fn(data)
+        except (KeyError, TypeError, ValueError, IndexError, AttributeError) as exc:
+            # results written by an older harness revision may predate
+            # fields a summarizer expects; warn and keep going rather
+            # than abandoning the rest of the directory.
+            print(
+                f"[{name}: unrecognized or old-format payload "
+                f"({type(exc).__name__}: {exc}); skipped]",
+                file=sys.stderr,
+            )
+            continue
+        print(text)
         print()
     return 0
 
