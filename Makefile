@@ -2,8 +2,8 @@
 # no `wheel` package, hence the setup.py fallback; on normal machines
 # `pip install -e .[test]` works directly.
 
-.PHONY: install test bench bench-engine bench-diff harness-quick harness-full \
-    runs-report examples clean
+.PHONY: install test bench bench-engine bench-diff verify verify-deep \
+    harness-quick harness-full runs-report examples clean
 
 # window size for runs-report (make runs-report N=25)
 N ?= 10
@@ -16,6 +16,13 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# schedule-exploration checker for the queue family (docs/verification.md)
+verify:
+	python -m repro.verify --quick --out counterexamples
+
+verify-deep:
+	python -m repro.verify --deep --keep-going --out counterexamples
 
 bench-engine:
 	python tools/bench_engine.py --quick --out BENCH_engine.json

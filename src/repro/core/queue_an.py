@@ -106,6 +106,7 @@ class ArbitraryNQueue(BaseCasQueue):
         phys = self._phys(raw)
         if probe is not None:
             probe.queue_proxy(self.prefix, "acquire", m)
+            probe.queue_reserve(self.prefix, "acquire", front, m)
             probe.queue_watch(self.prefix, raw, probe.now)
 
         while True:
@@ -121,9 +122,12 @@ class ArbitraryNQueue(BaseCasQueue):
 
         dread = MemRead(self.buf_data, phys)
         yield dread
-        yield MemWrite(self.buf_valid, phys, 0)
+        # probe events fire at the flag-clear's issue, strictly before a
+        # wrap-around producer can see the slot released (oracle order).
         if probe is not None:
             probe.queue_grant(self.prefix, raw, probe.now)
+            probe.queue_deliver(self.prefix, raw, dread.result)
+        yield MemWrite(self.buf_valid, phys, 0)
         st.grant(lanes, dread.result)
         stats.custom[K_DEQ_TOKENS] += int(lanes.size)
 
@@ -174,6 +178,7 @@ class ArbitraryNQueue(BaseCasQueue):
         if probe is not None:
             probe.queue_counter(self.prefix, "rear", probe.now, rear + total)
             probe.queue_proxy(self.prefix, "publish", total)
+            probe.queue_reserve(self.prefix, "publish", rear, total)
 
         lane_base = rear + ranks
         max_count = int(counts.max())
@@ -188,6 +193,8 @@ class ArbitraryNQueue(BaseCasQueue):
                     if np.all(vread.result == 0):
                         break
                     stats.custom[K_CAS_ROUNDS] += 1
+            if probe is not None:
+                probe.queue_store(self.prefix, raw, tokens[active, t])
             yield MemWrite(self.buf_data, phys, tokens[active, t])
             yield MemWrite(self.buf_valid, phys, 1)
         stats.custom[K_ENQ_TOKENS] += int(total)

@@ -153,6 +153,14 @@ class BaseCasQueue(DeviceQueue):
                     win_lanes = lanes[won]
                     st.watch(win_lanes, exp[won])
                     if probe is not None:
+                        # the winning tickets of one CAS burst are always
+                        # a contiguous run from the Front value current
+                        # at service time (the atomic unit serializes the
+                        # burst, and each win advances the word by one).
+                        probe.queue_reserve(
+                            self.prefix, "acquire",
+                            int(exp[won][0]), int(won.sum()),
+                        )
                         probe.queue_watch(self.prefix, exp[won], probe.now)
                 if not won.all():
                     # failed speculation: retry next work cycle (counted
@@ -179,9 +187,13 @@ class BaseCasQueue(DeviceQueue):
                 got_phys = phys[ready]
                 dread = MemRead(self.buf_data, got_phys)
                 yield dread
-                yield MemWrite(self.buf_valid, got_phys, 0)
+                # probe events fire at the flag-clear's issue, strictly
+                # before a wrap-around producer can see the slot
+                # released (oracle order).
                 if probe is not None:
                     probe.queue_grant(self.prefix, raw[ready], probe.now)
+                    probe.queue_deliver(self.prefix, raw[ready], dread.result)
+                yield MemWrite(self.buf_valid, got_phys, 0)
                 st.unwatch(got_lanes)
                 st.grant(got_lanes, dread.result)
                 stats.custom[K_DEQ_TOKENS] += int(got_lanes.size)
@@ -263,6 +275,12 @@ class BaseCasQueue(DeviceQueue):
             win_lanes = lanes[won]
             raw = exp[won]
             phys = self._phys(raw)
+            if probe is not None:
+                # as in acquire: a burst's winning Rear tickets form one
+                # contiguous run starting at the serviced Rear value.
+                probe.queue_reserve(
+                    self.prefix, "publish", int(raw[0]), int(raw.size)
+                )
             if self.circular:
                 # wait for previous-generation consumers to release the
                 # physical slots before overwriting them.
@@ -273,6 +291,8 @@ class BaseCasQueue(DeviceQueue):
                         break
                     stats.custom[K_CAS_ROUNDS] += 1
             toks = tokens[win_lanes, placed[win_lanes]]
+            if probe is not None:
+                probe.queue_store(self.prefix, raw, toks)
             yield MemWrite(self.buf_data, phys, toks)
             yield MemWrite(self.buf_valid, phys, 1)
             placed[win_lanes] += 1

@@ -87,6 +87,7 @@ class RetryFreeQueue(DeviceQueue):
             if probe is not None:
                 probe.queue_counter(self.prefix, "front", probe.now, base + total)
                 probe.queue_proxy(self.prefix, "acquire", total)
+                probe.queue_reserve(self.prefix, "acquire", base, total)
                 probe.queue_watch(self.prefix, base + ranks[lanes], probe.now)
 
         # --- Listing 2: data-arrival poll for every watching lane ------
@@ -126,10 +127,14 @@ class RetryFreeQueue(DeviceQueue):
         got_lanes = lanes[arrived]
         tokens = res[arrived]
         # pick up the token and put the sentinel back so the slot can be
-        # reused when the queue is configured circular (§4.2).
-        yield MemWrite(self.buf_data, phys[arrived], DNA)
+        # reused when the queue is configured circular (§4.2).  The
+        # probe events fire at the restore write's issue, i.e. strictly
+        # before any later wrap-around producer can observe the restored
+        # sentinel — the ordering the verification oracle relies on.
         if probe is not None:
             probe.queue_grant(self.prefix, st.slot[got_lanes], probe.now)
+            probe.queue_deliver(self.prefix, st.slot[got_lanes], tokens)
+        yield MemWrite(self.buf_data, phys[arrived], DNA)
         st.unwatch(got_lanes)
         st.grant(got_lanes, tokens)
         custom[K_DEQ_TOKENS] += int(got_lanes.size)
@@ -161,6 +166,7 @@ class RetryFreeQueue(DeviceQueue):
         if probe is not None:
             probe.queue_counter(self.prefix, "rear", probe.now, base + total)
             probe.queue_proxy(self.prefix, "publish", total)
+            probe.queue_reserve(self.prefix, "publish", base, total)
 
         # --- lines 24-27: lock-step copy, one sub-iteration per token
         # rank within the busiest lane.  Each iteration checks the target
@@ -187,5 +193,7 @@ class RetryFreeQueue(DeviceQueue):
                     "(Listing 3 line 25)"
                 )
             vals = tokens[active, t]
+            if probe is not None:
+                probe.queue_store(self.prefix, raw, vals)
             yield MemWrite(self.buf_data, phys, vals)
         stats.custom[K_ENQ_TOKENS] += int(total)

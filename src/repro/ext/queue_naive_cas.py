@@ -73,6 +73,7 @@ class NaiveCasQueue(BaseCasQueue):
                     lane = np.flatnonzero(attempting)[winners[:1]]
                     st.watch(lane, np.array([front], dtype=np.int64))
                     if probe is not None:
+                        probe.queue_reserve(self.prefix, "acquire", front, 1)
                         probe.queue_watch(
                             self.prefix,
                             np.array([front], dtype=np.int64),
@@ -99,8 +100,9 @@ class NaiveCasQueue(BaseCasQueue):
                 got_phys = phys[ready]
                 dread = MemRead(self.buf_data, got_phys)
                 yield dread
-                yield MemWrite(self.buf_valid, got_phys, 0)
                 if probe is not None:
                     probe.queue_grant(self.prefix, raw[ready], probe.now)
+                    probe.queue_deliver(self.prefix, raw[ready], dread.result)
+                yield MemWrite(self.buf_valid, got_phys, 0)
                 st.unwatch(got_lanes)
                 st.grant(got_lanes, dread.result)

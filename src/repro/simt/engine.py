@@ -243,6 +243,19 @@ PROBE_FACTORY: Optional[Callable[[], Optional[object]]] = None
 #: dependency on the observability package.
 METRICS_SINK: Optional[Callable[[DeviceSpec, int, SimStats], None]] = None
 
+#: opt-in schedule-exploration hook: when set, every launch that was not
+#: given an explicit ``controller`` asks this zero-arg factory for one
+#: (it may return None to leave that launch uncontrolled).  A schedule
+#: controller perturbs *which* ready wavefront a CU issues from — see
+#: :class:`repro.verify.schedule.ScheduleController` — letting a
+#: verification driver explore interleavings the deterministic engine
+#: would never produce on its own.  Unlike probes, a controller is
+#: *active*: a controlled launch may simulate different cycles/stats
+#: than an uncontrolled one (that is its purpose).  With no controller,
+#: the issue path is the unmodified deterministic popleft, bit-identical
+#: to builds that predate the hook (pinned by the determinism tests).
+CONTROLLER_FACTORY: Optional[Callable[[], Optional[object]]] = None
+
 
 def _resolve_op_kind(cls: type, op: Op) -> int:
     """Classify an op subclass the slow way and memoize the answer."""
@@ -301,6 +314,7 @@ class Engine:
         max_cycles: int = 20_000_000_000,
         charge_launch_overhead: bool = False,
         probe: Optional[object] = None,
+        controller: Optional[object] = None,
     ) -> LaunchResult:
         """Run ``kernel`` on ``n_wavefronts`` wavefronts until all exit.
 
@@ -319,6 +333,17 @@ class Engine:
         are passive: a probed launch simulates bit-identically to an
         unprobed one.  When no explicit probe is given and
         :data:`PROBE_FACTORY` is installed, the factory supplies one.
+
+        ``controller`` attaches a schedule-exploration hook for this
+        launch only (see :data:`CONTROLLER_FACTORY`).  Whenever a CU is
+        about to issue, the controller's ``pick(now, cid, ready)`` picks
+        the index of the ready wavefront to issue from, or returns a
+        negative value to *hold* the CU for one cycle (the engine
+        re-polls it at ``now + 1``; the ``max_cycles`` watchdog bounds a
+        controller that holds forever).  Controllers perturb issue order
+        only — memory semantics, atomic serialization, and cost charging
+        are untouched, so every controlled execution is one the
+        simulated hardware could legally produce.
         """
         if n_wavefronts <= 0:
             raise LaunchConfigError(
@@ -340,6 +365,11 @@ class Engine:
         if probing:
             probe.now = 0
             probe.launch_begin(device, n_wavefronts)
+        if controller is None and CONTROLLER_FACTORY is not None:
+            controller = CONTROLLER_FACTORY()
+        controlled = controller is not None
+        if controlled:
+            controller.launch_begin(device, n_wavefronts)
         # per-launch atomic-unit occupancy: never shared across launches
         # (each launch restarts the simulated clock at zero).
         atomics = AtomicSystem(device, memory, stats, probe=probe)
@@ -443,7 +473,22 @@ class Engine:
                 return
             ready = cu.ready
             while ready:
-                wf = ready.popleft()
+                if controlled:
+                    k = controller.pick(now, cu.cid, ready)
+                    if k < 0:
+                        # hold: leave the ready set intact and re-poll
+                        # this CU one cycle later.  A controller that
+                        # holds forever runs into the max_cycles
+                        # watchdog instead of hanging the process.
+                        heappush(heap, (now + 1, next_seq(), _EV_CU_FREE, cu))
+                        return
+                    if k:
+                        wf = ready[k]
+                        del ready[k]
+                    else:
+                        wf = ready.popleft()
+                else:
+                    wf = ready.popleft()
                 if probing:
                     # expose the simulated clock to kernel-side layers
                     # (queues, schedulers, tracers) for event stamping.

@@ -130,6 +130,34 @@ class Probe:
         matching :meth:`queue_watch`; the difference is the dna-wait)."""
 
     # ------------------------------------------------------------------
+    # queue introspection callbacks (verification oracle)
+    # ------------------------------------------------------------------
+    # These three expose the queue's *logical* operation history — every
+    # successful control-word reservation and every token that moves
+    # through a slot — so an invariant oracle (repro.verify) can replay
+    # the history against a sequential specification.  They fire inside
+    # the queues' existing ``if probe is not None`` gates, so unprobed
+    # launches pay nothing and probed launches stay bit-identical.
+
+    def queue_reserve(
+        self, prefix: str, direction: str, base: int, count: int
+    ) -> None:
+        """A reservation on a control word succeeded: ``count`` raw slots
+        starting at ``base`` were claimed (``direction`` is ``"acquire"``
+        for Front / dequeue-side, ``"publish"`` for Rear / enqueue-side).
+        Emitted once per *successful* advance for every variant — after
+        the AFA for RF/AN, after the winning CAS for AN, and per winning
+        CAS burst for BASE/NAIVE."""
+
+    def queue_store(self, prefix: str, slots, values) -> None:
+        """Token ``values`` were written into raw ``slots`` (enqueue-side
+        data movement; aligned arrays)."""
+
+    def queue_deliver(self, prefix: str, slots, tokens) -> None:
+        """Raw ``slots`` handed ``tokens`` to dequeuing lanes (aligned
+        arrays; the value-carrying companion of :meth:`queue_grant`)."""
+
+    # ------------------------------------------------------------------
     # scheduler callbacks
     # ------------------------------------------------------------------
     def sched_tokens(

@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro.verify``.
+
+Subcommands
+-----------
+``explore`` (default)
+    Run the ``--quick`` (PR gate) or ``--deep`` (nightly) schedule
+    exploration.  On a finding, the counterexample is shrunk and
+    written as a JSON artifact; exit code 1.
+``replay FILE``
+    Re-run a counterexample artifact.  Exit 1 if the failure still
+    reproduces (the bug is present), 0 if it no longer does.
+``selftest``
+    Plant every known bug and confirm the oracle catches it.  Exit 2
+    on an insensitive checker.
+
+Exit codes: 0 = verified clean, 1 = counterexample found / reproduced,
+2 = checker insensitivity or usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from .runner import Report, deep_plan, quick_plan, run_plan, selftest
+from .scenario import ALL_VARIANTS, Scenario, run_scenario
+from .shrink import (
+    counterexample_dict,
+    load_counterexample,
+    shrink,
+    write_counterexample,
+)
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Schedule-exploration linearizability checker "
+        "for the concurrent-queue family.",
+    )
+    sub = p.add_subparsers(dest="cmd")
+
+    ex = sub.add_parser("explore", help="run the exploration plan")
+    _explore_args(ex)
+    # `explore` is the default subcommand: accept its flags at top level
+    _explore_args(p)
+
+    rp = sub.add_parser("replay", help="re-run a counterexample artifact")
+    rp.add_argument("file", help="counterexample JSON file")
+
+    st = sub.add_parser("selftest", help="verify the checker catches "
+                        "planted bugs")
+    st.add_argument("--deep", action="store_true",
+                    help="larger schedule sweeps for race-dependent plants")
+    return p
+
+
+def _explore_args(p: argparse.ArgumentParser) -> None:
+    budget = p.add_mutually_exclusive_group()
+    budget.add_argument("--quick", action="store_true",
+                        help="PR budget: a few hundred scenarios (default)")
+    budget.add_argument("--deep", action="store_true",
+                        help="nightly budget: ~10x quick")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed for the schedule PRNGs")
+    p.add_argument("--variant", action="append", choices=ALL_VARIANTS,
+                   help="restrict to these variants (repeatable)")
+    p.add_argument("--max-scenarios", type=int, default=None,
+                   help="cap the plan (debugging aid)")
+    p.add_argument("--keep-going", action="store_true",
+                   help="run the whole plan instead of stopping at the "
+                   "first finding")
+    p.add_argument("--out", default=".",
+                   help="directory for counterexample artifacts")
+    p.add_argument("--no-selftest", action="store_true",
+                   help="skip the planted-bug selftest")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print every scenario as it runs")
+
+
+def _run_selftest(deep: bool) -> bool:
+    t0 = time.monotonic()
+    results = selftest(deep=deep)
+    ok = True
+    for r in results:
+        mark = "caught" if r.caught else "MISSED"
+        via = f" via {r.invariant}" if r.caught else (
+            f" (tripped {r.invariant} instead)" if r.invariant else ""
+        )
+        print(f"  selftest {r.plant:<18} {mark}{via} "
+              f"[{r.runs} run(s), expects one of {list(r.expected)}]")
+        ok &= r.caught
+    print(f"  selftest: {'PASS' if ok else 'FAIL'} "
+          f"({time.monotonic() - t0:.1f}s)")
+    return ok
+
+
+def _cmd_explore(args) -> int:
+    deep = bool(args.deep)
+    plan = deep_plan(args.seed) if deep else quick_plan(args.seed)
+    if args.variant:
+        wanted = set(args.variant)
+        plan = [sc for sc in plan if sc.variant in wanted]
+    label = "deep" if deep else "quick"
+
+    if not args.no_selftest:
+        print(f"[verify] selftest ({'deep' if deep else 'quick'} sweeps)")
+        if not _run_selftest(deep):
+            print("[verify] checker is INSENSITIVE to planted bugs — "
+                  "aborting (a green run would be meaningless)")
+            return 2
+
+    print(f"[verify] exploring {len(plan)} scenarios ({label} plan, "
+          f"seed {args.seed})")
+    progress = None
+    if args.verbose:
+        def progress(i, total, sc):
+            print(f"  [{i + 1}/{total}] {sc.label()}")
+    rep: Report = run_plan(
+        plan,
+        keep_going=args.keep_going,
+        max_scenarios=args.max_scenarios,
+        progress=progress,
+    )
+    print(f"[verify] {rep.n_ok}/{rep.n_run} scenarios passed, "
+          f"{rep.events} oracle events, {rep.elapsed:.1f}s")
+    if rep.ok:
+        print("[verify] PASS: no invariant violations found")
+        return 0
+
+    os.makedirs(args.out, exist_ok=True)
+    code = 1
+    for i, failure in enumerate(rep.failures):
+        print(f"[verify] FINDING {i + 1}: [{failure.invariant}] "
+              f"{failure.detail}")
+        print(f"[verify] shrinking "
+              f"{Scenario.from_dict(failure.scenario).label()} ...")
+        sc, out, runs = shrink(failure)
+        payload = counterexample_dict(failure, sc, out, runs)
+        path = os.path.join(
+            args.out, f"counterexample-{failure.invariant}-{i + 1}.json"
+        )
+        write_counterexample(path, payload)
+        print(f"[verify]   shrunk to {sc.label()} in {runs} runs")
+        print(f"[verify]   artifact: {path}")
+        print(f"[verify]   replay:   python -m repro.verify replay {path}")
+    return code
+
+
+def _cmd_replay(args) -> int:
+    try:
+        sc, expected = load_counterexample(args.file)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"[verify] cannot load counterexample: {exc}", file=sys.stderr)
+        return 2
+    print(f"[verify] replaying {sc.label()} "
+          f"(expected invariant: {expected})")
+    out = run_scenario(sc)
+    if out.ok:
+        print("[verify] does NOT reproduce: scenario passed")
+        return 0
+    same = out.invariant == expected
+    print(f"[verify] REPRODUCED{'':s}: [{out.invariant}] {out.detail}"
+          + ("" if same else f" (file expected {expected})"))
+    return 1
+
+
+def _cmd_selftest(args) -> int:
+    return 0 if _run_selftest(bool(args.deep)) else 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    cmd = args.cmd or "explore"
+    if cmd == "explore":
+        return _cmd_explore(args)
+    if cmd == "replay":
+        return _cmd_replay(args)
+    if cmd == "selftest":
+        return _cmd_selftest(args)
+    return 2  # pragma: no cover - argparse guards this

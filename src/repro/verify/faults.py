@@ -1,0 +1,395 @@
+"""Planted queue bugs: the checker's own test fixtures.
+
+A verification harness that has never caught anything proves nothing —
+maybe the invariants are vacuous, maybe the probe hooks miss the window
+where the bug lives.  Each class here is a queue variant with one
+deliberate, realistic concurrency bug (the kind a port to real hardware
+could introduce), and ``python -m repro.verify selftest`` asserts the
+oracle actually catches every one of them.  The probe instrumentation in
+the planted queues stays *honest*: it reports what the sabotaged code
+really does, never what correct code would have done — the oracle must
+catch the bug from the observed history, not from a confession.
+
+=====================  ==========  ===========================================
+plant                  variant     bug / expected detection
+=====================  ==========  ===========================================
+``skip-dna-restore``   RF/AN       consumer forgets to restore the ``dna``
+                                   sentinel after taking its token
+                                   (Listing 2's write-back); caught at
+                                   quiescence by the ``dna-not-restored``
+                                   memory audit (non-circular) or as a
+                                   spurious queue-full / ``wrap-overwrite``
+                                   when circular.
+``over-reserve``       RF/AN       proxy fetch-adds ``total + 1`` — reserves
+                                   one slot more than the wavefront's hungry
+                                   count; caught immediately by
+                                   ``watch-reservation-mismatch``.
+``lost-store``         RF/AN       publisher drops one token's slot write;
+                                   the scheduler wedges (the task is counted
+                                   in-flight but its token never lands) and
+                                   the oracle localizes the wedge to the
+                                   reserved-but-never-stored slot
+                                   (``reservation-unfilled``).
+``valid-before-data``  BASE        enqueuer sets the slot's valid flag
+                                   *before* writing the data — the classic
+                                   publication-ordering bug.  Only fails
+                                   under schedules that delay the data store
+                                   past a consumer's poll: caught as
+                                   ``deliver-unwritten-slot`` under
+                                   adversarial exploration, silent under the
+                                   engine's native order.
+=====================  ==========  ===========================================
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.core.constants import DNA, FRONT, REAR
+from repro.core.queue_api import (
+    K_ARRIVAL_CHECKS,
+    K_CAS_ROUNDS,
+    K_DEQ_REQUESTS,
+    K_DEQ_TOKENS,
+    K_ENQ_TOKENS,
+    K_PROXY_ATOMICS,
+)
+from repro.core.queue_base_cas import BaseCasQueue
+from repro.core.queue_rfan import RetryFreeQueue
+from repro.simt import (
+    Abort,
+    AtomicKind,
+    AtomicRMW,
+    KernelContext,
+    LocalOp,
+    MemRead,
+    MemWrite,
+    Op,
+)
+from repro.simt.engine import transactions_for
+from repro.simt.lanes import rank_within, segmented_rank
+from repro.core.state import WavefrontQueueState
+
+
+class SkipDnaRestoreQueue(RetryFreeQueue):
+    """RF/AN whose consumers never restore the ``dna`` sentinel."""
+
+    def acquire(
+        self, ctx: KernelContext, st: WavefrontQueueState
+    ) -> Generator[Op, Op, None]:
+        custom = ctx.stats.custom
+        probe = self._probe(ctx)
+        n_hungry = st.n_hungry
+        if n_hungry:
+            hungry = st.hungry_mask()
+            custom[K_DEQ_REQUESTS] += n_hungry
+            ranks, total = rank_within(hungry)
+            yield LocalOp(ctx.device.lds_op_cycles)
+            op = AtomicRMW(self.buf_ctrl, FRONT, AtomicKind.ADD, total)
+            yield op
+            custom[K_PROXY_ATOMICS] += 1
+            base = int(op.old[0])
+            lanes = np.flatnonzero(hungry)
+            st.watch(lanes, base + ranks[lanes])
+            if probe is not None:
+                probe.queue_counter(self.prefix, "front", probe.now, base + total)
+                probe.queue_proxy(self.prefix, "acquire", total)
+                probe.queue_reserve(self.prefix, "acquire", base, total)
+                probe.queue_watch(self.prefix, base + ranks[lanes], probe.now)
+
+        if st.n_watching == 0:
+            return
+        if st.cache is None:
+            watching = st.slot >= 0
+            raw = st.slot[watching]
+            inb = self._in_bounds(raw)
+            lanes = np.flatnonzero(watching)[inb]
+            phys = np.asarray(self._phys(raw[inb]), dtype=np.int64)
+            trans = transactions_for(phys) if phys.size else 0
+            read = MemRead(self.buf_data, phys, trans=trans, prechecked=True)
+            st.cache = (lanes, phys, read)
+        lanes, phys, read = st.cache
+        if lanes.size == 0:
+            return
+        yield read
+        custom[K_ARRIVAL_CHECKS] += int(lanes.size)
+        res = read.result
+        if int(res.max()) == DNA:
+            return
+        arrived = res != DNA
+        got_lanes = lanes[arrived]
+        tokens = res[arrived]
+        # BUG: the sentinel write-back (Listing 2's `slot = dna`) is
+        # missing — the token is taken but the slot still looks full.
+        if probe is not None:
+            probe.queue_grant(self.prefix, st.slot[got_lanes], probe.now)
+            probe.queue_deliver(self.prefix, st.slot[got_lanes], tokens)
+        st.unwatch(got_lanes)
+        st.grant(got_lanes, tokens)
+        custom[K_DEQ_TOKENS] += int(got_lanes.size)
+
+
+class OverReserveQueue(RetryFreeQueue):
+    """RF/AN whose proxy reserves one slot more than it needs."""
+
+    def acquire(
+        self, ctx: KernelContext, st: WavefrontQueueState
+    ) -> Generator[Op, Op, None]:
+        custom = ctx.stats.custom
+        probe = self._probe(ctx)
+        n_hungry = st.n_hungry
+        if n_hungry:
+            hungry = st.hungry_mask()
+            custom[K_DEQ_REQUESTS] += n_hungry
+            ranks, total = rank_within(hungry)
+            yield LocalOp(ctx.device.lds_op_cycles)
+            # BUG: off-by-one in the aggregated count — the proxy claims
+            # total + 1 slots but only `total` lanes park on them.
+            op = AtomicRMW(self.buf_ctrl, FRONT, AtomicKind.ADD, total + 1)
+            yield op
+            custom[K_PROXY_ATOMICS] += 1
+            base = int(op.old[0])
+            lanes = np.flatnonzero(hungry)
+            st.watch(lanes, base + ranks[lanes])
+            if probe is not None:
+                probe.queue_counter(
+                    self.prefix, "front", probe.now, base + total + 1
+                )
+                probe.queue_proxy(self.prefix, "acquire", total + 1)
+                probe.queue_reserve(self.prefix, "acquire", base, total + 1)
+                probe.queue_watch(self.prefix, base + ranks[lanes], probe.now)
+        # hand-off unchanged
+        yield from self._poll_arrivals(ctx, st)
+
+    def _poll_arrivals(
+        self, ctx: KernelContext, st: WavefrontQueueState
+    ) -> Generator[Op, Op, None]:
+        custom = ctx.stats.custom
+        probe = self._probe(ctx)
+        if st.n_watching == 0:
+            return
+        if st.cache is None:
+            watching = st.slot >= 0
+            raw = st.slot[watching]
+            inb = self._in_bounds(raw)
+            lanes = np.flatnonzero(watching)[inb]
+            phys = np.asarray(self._phys(raw[inb]), dtype=np.int64)
+            trans = transactions_for(phys) if phys.size else 0
+            read = MemRead(self.buf_data, phys, trans=trans, prechecked=True)
+            st.cache = (lanes, phys, read)
+        lanes, phys, read = st.cache
+        if lanes.size == 0:
+            return
+        yield read
+        custom[K_ARRIVAL_CHECKS] += int(lanes.size)
+        res = read.result
+        if int(res.max()) == DNA:
+            return
+        arrived = res != DNA
+        got_lanes = lanes[arrived]
+        tokens = res[arrived]
+        if probe is not None:
+            probe.queue_grant(self.prefix, st.slot[got_lanes], probe.now)
+            probe.queue_deliver(self.prefix, st.slot[got_lanes], tokens)
+        yield MemWrite(self.buf_data, phys[arrived], DNA)
+        st.unwatch(got_lanes)
+        st.grant(got_lanes, tokens)
+        custom[K_DEQ_TOKENS] += int(got_lanes.size)
+
+
+class LostStoreQueue(RetryFreeQueue):
+    """RF/AN that silently drops the first token store of the launch."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._dropped = False
+
+    def publish(
+        self,
+        ctx: KernelContext,
+        st: WavefrontQueueState,
+        counts: np.ndarray,
+        tokens: np.ndarray,
+    ) -> Generator[Op, Op, None]:
+        stats = ctx.stats
+        dev = ctx.device
+        counts = np.asarray(counts, dtype=np.int64)
+        has_new = counts > 0
+        if not has_new.any():
+            return
+        ranks, total = segmented_rank(has_new, counts)
+        yield LocalOp(dev.lds_op_cycles)
+        op = AtomicRMW(self.buf_ctrl, REAR, AtomicKind.ADD, total)
+        yield op
+        stats.custom[K_PROXY_ATOMICS] += 1
+        base = int(op.old[0])
+        probe = self._probe(ctx)
+        if probe is not None:
+            probe.queue_counter(self.prefix, "rear", probe.now, base + total)
+            probe.queue_proxy(self.prefix, "publish", total)
+            probe.queue_reserve(self.prefix, "publish", base, total)
+
+        max_count = int(counts.max())
+        lane_base = base + ranks
+        for t in range(max_count):
+            active = counts > t
+            raw = lane_base[active] + t
+            oob = ~self._in_bounds(raw)
+            if oob.any():
+                yield Abort(
+                    f"queue full: raw index {int(raw[oob][0])} beyond "
+                    f"capacity {self.capacity}"
+                )
+            phys = self._phys(raw)
+            check = MemRead(self.buf_data, phys)
+            yield check
+            if np.any(check.result != DNA):
+                yield Abort(
+                    "queue full: target slot not data-not-arrived "
+                    "(Listing 3 line 25)"
+                )
+            vals = tokens[active, t]
+            keep = np.ones(raw.size, dtype=bool)
+            if not self._dropped:
+                # BUG: the first store of the launch never reaches
+                # memory (a masked-out lane, a lost write, a bad
+                # predicate) — the reservation stays forever empty.
+                self._dropped = True
+                keep[-1] = False
+            if keep.any():
+                if probe is not None:
+                    probe.queue_store(self.prefix, raw[keep], vals[keep])
+                yield MemWrite(self.buf_data, np.asarray(phys)[keep], vals[keep])
+        stats.custom[K_ENQ_TOKENS] += int(total)
+
+
+class ValidBeforeDataQueue(BaseCasQueue):
+    """BASE that publishes the valid flag before the data write.
+
+    The classic publication-ordering bug: under most schedules the data
+    store lands long before any consumer polls the flag, and nothing is
+    observably wrong — only a schedule that *delays* the enqueuer between
+    the two stores lets a consumer read a slot whose flag says ready but
+    whose data never arrived.  This is the plant that justifies schedule
+    exploration: the engine's native order never catches it.
+    """
+
+    def publish(
+        self,
+        ctx: KernelContext,
+        st: WavefrontQueueState,
+        counts: np.ndarray,
+        tokens: np.ndarray,
+    ) -> Generator[Op, Op, None]:
+        stats = ctx.stats
+        probe = self._probe(ctx)
+        counts = np.asarray(counts, dtype=np.int64)
+        if not (counts > 0).any():
+            return
+        placed = np.zeros_like(counts)
+        first_round = True
+        while True:
+            pending = counts > placed
+            if not pending.any():
+                break
+            if not first_round:
+                stats.custom[K_CAS_ROUNDS] += 1
+            first_round = False
+            ctrl = self._read_ctrl()
+            yield ctrl
+            front, rear = int(ctrl.result[0]), int(ctrl.result[1])
+            if probe is not None:
+                probe.queue_counter(self.prefix, "front", probe.now, front)
+                probe.queue_counter(self.prefix, "rear", probe.now, rear)
+            ranks, n_round = rank_within(pending)
+            if self._is_full(front, rear, n_round):
+                yield Abort(
+                    f"queue full: rear={rear} front={front} "
+                    f"need={n_round} capacity={self.capacity}"
+                )
+            lanes = np.flatnonzero(pending)
+            exp = rear + ranks[lanes]
+            op = AtomicRMW(
+                self.buf_ctrl,
+                np.full(lanes.size, REAR, dtype=np.int64),
+                AtomicKind.CAS,
+                exp,
+                exp + 1,
+            )
+            yield op
+            won = op.success
+            if not won.any():
+                continue
+            win_lanes = lanes[won]
+            raw = exp[won]
+            phys = self._phys(raw)
+            if probe is not None:
+                probe.queue_reserve(
+                    self.prefix, "publish", int(raw[0]), int(raw.size)
+                )
+            if self.circular:
+                while True:
+                    vread = MemRead(self.buf_valid, phys)
+                    yield vread
+                    if not (vread.result == 1).any():
+                        break
+                    stats.custom[K_CAS_ROUNDS] += 1
+            toks = tokens[win_lanes, placed[win_lanes]]
+            # BUG: flag first, data second — consumers that poll inside
+            # the window read a slot whose data has not arrived.
+            yield MemWrite(self.buf_valid, phys, 1)
+            if probe is not None:
+                probe.queue_store(self.prefix, raw, toks)
+            yield MemWrite(self.buf_data, phys, toks)
+            placed[win_lanes] += 1
+            stats.custom[K_ENQ_TOKENS] += int(win_lanes.size)
+
+
+#: plant name -> (queue class, base variant, acceptable invariant names,
+#: whether detection requires adversarial schedule exploration).
+PLANTS = {
+    "skip-dna-restore": {
+        "cls": SkipDnaRestoreQueue,
+        "variant": "RF/AN",
+        "invariants": {
+            # non-circular: the quiescence memory audit; circular: the
+            # un-restored slot either blocks a producer (spurious full),
+            # collides with a wrapping store, or hands its stale token
+            # to a consumer a generation late.
+            "dna-not-restored", "wrap-overwrite", "unexpected-abort",
+            "deliver-unwritten-slot",
+        },
+        "needs_schedule": False,
+    },
+    "over-reserve": {
+        "cls": OverReserveQueue,
+        "variant": "RF/AN",
+        "invariants": {"watch-reservation-mismatch"},
+        "needs_schedule": False,
+    },
+    "lost-store": {
+        "cls": LostStoreQueue,
+        "variant": "RF/AN",
+        "invariants": {"reservation-unfilled", "token-lost"},
+        "needs_schedule": False,
+    },
+    "valid-before-data": {
+        "cls": ValidBeforeDataQueue,
+        "variant": "BASE",
+        "invariants": {"deliver-unwritten-slot", "token-corrupted"},
+        "needs_schedule": True,
+    },
+}
+
+
+def make_planted_queue(plant: str, capacity: int, circular: bool = False):
+    """Instantiate the sabotaged queue for ``plant``."""
+    try:
+        spec = PLANTS[plant]
+    except KeyError:
+        raise ValueError(
+            f"unknown plant {plant!r}; have {sorted(PLANTS)}"
+        ) from None
+    return spec["cls"](capacity, circular=circular)

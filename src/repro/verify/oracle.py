@@ -1,0 +1,434 @@
+"""The invariant oracle: a sequential spec replay of the queue history.
+
+The oracle is a passive :class:`~repro.simt.probe.Probe` that receives
+the queue's *logical* operation stream — reservations on Front/Rear,
+token stores, token deliveries — and validates every event, as it
+happens, against a sequential **FIFO-with-reservation** specification:
+
+* reservations on each control word partition the raw index space:
+  no two reservations ever overlap (a duplicated range), and at
+  quiescence the reserved ranges tile ``[0, high)`` exactly (a
+  permanent gap is a lost range);
+* a reservation's watch set covers exactly the slots it claimed
+  (the proxy reservation is contiguous and sized to the active mask);
+* for variants without the retry-free property, ``front <= rear`` in
+  every consistent control-word snapshot, and no dequeue reservation
+  overruns the enqueue-side high-water mark;
+* a slot is stored at most once, only after it was enqueue-reserved,
+  in bounds for monotonic queues, and — for circular queues — only
+  after its previous-generation occupant was delivered (wrap safety);
+* a slot delivers exactly the token that was stored into it, at most
+  once, and only after a dequeue-side reservation covered it;
+* at quiescence nothing is lost or duplicated: stored and delivered
+  slot sets coincide, leftover parked slots lie beyond the enqueued
+  range, the control words equal the reservation totals, and the slot
+  array / valid flags are back in their pristine (``dna`` / 0) state.
+
+What the callback stream does and does not order
+------------------------------------------------
+A wavefront's callbacks run when the engine *advances its generator* —
+i.e. at the issue event of its next op — so callbacks between two
+yields are adjacent in the stream and one wavefront's callbacks always
+appear in program order.  Cross-wavefront, however, the stream is NOT
+ordered by atomic service time: a schedule controller (or plain CU
+contention) can delay a wavefront's resume arbitrarily, so the
+wavefront that won a reservation *first* may report it *last*.  Every
+check here is therefore phrased to be sound under that skew, using only
+(a) per-wavefront program order, and (b) causality through memory: a
+value read must have been written first, and the write's callback fires
+at the write's issue, which precedes its memory effect.  That is why
+reservations are interval-accounted rather than required to arrive in
+sequence, and why the dequeue-overrun bound uses the claiming
+wavefront's own sampled Rear (emitted earlier in its program order)
+rather than the enqueue-side high-water mark alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.constants import DNA, FRONT, REAR
+from repro.simt.probe import Probe
+
+
+class VerificationError(AssertionError):
+    """An invariant of the queue specification was violated.
+
+    Attributes
+    ----------
+    invariant:
+        Short machine-readable name of the violated invariant (used by
+        the shrinker to confirm a reduced scenario fails the same way).
+    detail:
+        Human-readable description with the offending values.
+    """
+
+    def __init__(self, invariant: str, detail: str):
+        self.invariant = invariant
+        self.detail = detail
+        super().__init__(f"[{invariant}] {detail}")
+
+
+class InvariantOracle(Probe):
+    """Checks one queue's operation history against the sequential spec.
+
+    Construct with the queue under test, feed host-side seed tokens via
+    :meth:`note_seed`, attach as the launch ``probe``, and call
+    :meth:`finish` after a normally-completed launch.  Any violation
+    raises :class:`VerificationError` at the exact event (mid-launch)
+    or at quiescence.
+    """
+
+    def __init__(self, queue):
+        self.queue = queue
+        self.prefix = queue.prefix
+        self.capacity = int(queue.capacity)
+        self.circular = bool(queue.circular)
+        self.variant = queue.variant
+        self.retry_free = bool(queue.retry_free)
+        #: raw slot -> token written there (host seed + device stores).
+        self.stored: Dict[int, int] = {}
+        #: raw slot -> token handed to a dequeuing lane.
+        self.delivered: Dict[int, int] = {}
+        #: raw slot -> cycle it was parked on (currently watched).
+        self.watched: Dict[int, int] = {}
+        #: raw slots covered by some enqueue reservation.
+        self.enq_reserved: set = set()
+        #: raw slots covered by some dequeue reservation.
+        self.deq_reserved: set = set()
+        #: enqueue-side reservation high-water mark (spec Rear).
+        self.enq_next = 0
+        #: dequeue-side reservation high-water mark (spec Front).
+        self.deq_next = 0
+        #: pending acquire reservation awaiting its watch set.
+        self._pending_acquire: Optional[tuple] = None
+        #: last counter sample, for consistent front/rear pair checks.
+        self._last_counter: Optional[tuple] = None
+        #: highest Rear value ever *sampled* (a sound lower bound on the
+        #: true Rear: every non-retry-free dequeue reservation is
+        #: preceded, in its own generator, by the rear sample that
+        #: justified it, so cross-word callback skew cannot fake this).
+        self._rear_seen = 0
+        #: total events checked (reported by the runner).
+        self.events = 0
+
+    # ------------------------------------------------------------------
+    # host-side wiring
+    # ------------------------------------------------------------------
+    def note_seed(self, tokens) -> None:
+        """Record host-seeded tokens (slots ``[0, len)`` pre-stored)."""
+        for i, t in enumerate(np.asarray(tokens, dtype=np.int64)):
+            self.stored[int(i)] = int(t)
+            self.enq_reserved.add(int(i))
+        self.enq_next = len(self.stored)
+
+    def _fail(self, invariant: str, detail: str) -> None:
+        raise VerificationError(
+            invariant, f"{self.variant} queue {self.prefix!r}: {detail}"
+        )
+
+    # ------------------------------------------------------------------
+    # probe callbacks
+    # ------------------------------------------------------------------
+    def queue_register(self, prefix: str, capacity: int, variant: str) -> None:
+        if prefix != self.prefix:
+            return
+        if capacity != self.capacity:
+            self._fail(
+                "register-mismatch",
+                f"registered capacity {capacity} != configured {self.capacity}",
+            )
+
+    def queue_counter(self, prefix, name, cycle, value) -> None:
+        if prefix != self.prefix:
+            return
+        self.events += 1
+        if value < 0:
+            self._fail("counter-negative", f"{name} sampled negative: {value}")
+        # front <= rear on consistent snapshots: the non-retry-free
+        # variants sample both words from ONE coalesced read and report
+        # them back-to-back within a single generator resume, so an
+        # adjacent (front, rear) pair is a consistent snapshot.  RF/AN
+        # never emits such pairs (its Front legally overruns Rear while
+        # hungry lanes park on future slots).
+        last = self._last_counter
+        if (
+            not self.retry_free
+            and name == "rear"
+            and last is not None
+            and last[0] == "front"
+        ):
+            if last[1] > value:
+                self._fail(
+                    "front-exceeds-rear",
+                    f"snapshot front={last[1]} > rear={value} at cycle {cycle}",
+                )
+        self._last_counter = (name, value)
+        if name == "rear" and value > self._rear_seen:
+            self._rear_seen = int(value)
+
+    def queue_reserve(self, prefix, direction, base, count) -> None:
+        if prefix != self.prefix:
+            return
+        self.events += 1
+        base = int(base)
+        count = int(count)
+        if count <= 0:
+            self._fail(
+                "reserve-empty", f"{direction} reservation of {count} slots"
+            )
+        if direction == "acquire":
+            if not self.retry_free and base + count > max(
+                self._rear_seen, self.enq_next
+            ):
+                self._fail(
+                    "deq-overrun",
+                    f"dequeue reserved slots [{base}, {base + count}) beyond "
+                    f"any sampled Rear ({self._rear_seen}) without the "
+                    "retry-free property",
+                )
+            taken = self.deq_reserved
+            for s in range(base, base + count):
+                if s in taken:
+                    self._fail(
+                        "deq-reservation-overlap",
+                        f"slot {s} dequeue-reserved twice (range "
+                        f"[{base}, {base + count}) overlaps an earlier "
+                        "reservation)",
+                    )
+                taken.add(s)
+            if base + count > self.deq_next:
+                self.deq_next = base + count
+            self._pending_acquire = (base, count)
+        elif direction == "publish":
+            taken = self.enq_reserved
+            for s in range(base, base + count):
+                if s in taken:
+                    self._fail(
+                        "enq-reservation-overlap",
+                        f"slot {s} enqueue-reserved twice (range "
+                        f"[{base}, {base + count}) overlaps an earlier "
+                        "reservation)",
+                    )
+                taken.add(s)
+            if base + count > self.enq_next:
+                self.enq_next = base + count
+        else:  # pragma: no cover - defensive
+            self._fail("reserve-direction", f"unknown direction {direction!r}")
+
+    def queue_watch(self, prefix, slots, cycle) -> None:
+        if prefix != self.prefix:
+            return
+        self.events += 1
+        arr = np.asarray(slots, dtype=np.int64).reshape(-1)
+        pending = self._pending_acquire
+        self._pending_acquire = None
+        if pending is not None:
+            base, count = pending
+            expect = np.arange(base, base + count, dtype=np.int64)
+            if arr.size != count or not np.array_equal(np.sort(arr), expect):
+                self._fail(
+                    "watch-reservation-mismatch",
+                    f"reservation [{base}, {base + count}) but lanes parked "
+                    f"on {np.sort(arr).tolist()} (proxy reservation not "
+                    "contiguous or not sized to the active mask)",
+                )
+        for s in arr:
+            s = int(s)
+            if s in self.watched:
+                self._fail(
+                    "slot-watched-twice",
+                    f"slot {s} parked by two dequeuers concurrently "
+                    "(over-reservation)",
+                )
+            if s in self.delivered:
+                self._fail(
+                    "watch-consumed-slot",
+                    f"slot {s} re-parked after its token was delivered",
+                )
+            if s not in self.deq_reserved:
+                self._fail(
+                    "watch-unreserved-slot",
+                    f"slot {s} parked without a dequeue reservation",
+                )
+            self.watched[s] = int(cycle)
+
+    def queue_store(self, prefix, slots, values) -> None:
+        if prefix != self.prefix:
+            return
+        self.events += 1
+        arr = np.asarray(slots, dtype=np.int64).reshape(-1)
+        vals = np.asarray(values, dtype=np.int64).reshape(-1)
+        if vals.size != arr.size:
+            vals = np.broadcast_to(vals, arr.shape)
+        for s, v in zip(arr, vals):
+            s, v = int(s), int(v)
+            if v == DNA:
+                self._fail(
+                    "store-sentinel",
+                    f"slot {s}: the dna sentinel was enqueued as a token",
+                )
+            if s not in self.enq_reserved:
+                self._fail(
+                    "store-unreserved-slot",
+                    f"slot {s} written without an enqueue reservation",
+                )
+            if s in self.stored:
+                self._fail(
+                    "slot-stored-twice",
+                    f"slot {s} written twice (had {self.stored[s]}, "
+                    f"now {v}): entry duplicated or overwritten",
+                )
+            if not self.circular and s >= self.capacity:
+                self._fail(
+                    "store-beyond-capacity",
+                    f"slot {s} stored beyond capacity {self.capacity}: "
+                    "the queue-full abort failed to fire",
+                )
+            if self.circular:
+                prior = s - self.capacity
+                if prior >= 0 and prior not in self.delivered:
+                    self._fail(
+                        "wrap-overwrite",
+                        f"slot {s} reuses physical slot "
+                        f"{s % self.capacity} whose previous occupant "
+                        f"(raw {prior}) was never delivered",
+                    )
+            self.stored[s] = v
+
+    def queue_deliver(self, prefix, slots, tokens) -> None:
+        if prefix != self.prefix:
+            return
+        self.events += 1
+        arr = np.asarray(slots, dtype=np.int64).reshape(-1)
+        toks = np.asarray(tokens, dtype=np.int64).reshape(-1)
+        for s, t in zip(arr, toks):
+            s, t = int(s), int(t)
+            if s in self.delivered:
+                self._fail(
+                    "slot-delivered-twice",
+                    f"slot {s} delivered twice ({self.delivered[s]} then "
+                    f"{t}): entry duplicated",
+                )
+            if s not in self.deq_reserved:
+                self._fail(
+                    "deliver-unreserved-slot",
+                    f"slot {s} delivered without a dequeue reservation",
+                )
+            want = self.stored.get(s)
+            if want is None:
+                self._fail(
+                    "deliver-unwritten-slot",
+                    f"slot {s} delivered token {t} but nothing was ever "
+                    "stored there (sentinel/data race: a dna or stale "
+                    "value was handed out as a token)",
+                )
+            if t != want:
+                self._fail(
+                    "token-corrupted",
+                    f"slot {s} delivered {t} but {want} was stored",
+                )
+            self.delivered[s] = t
+            self.watched.pop(s, None)
+
+    # ------------------------------------------------------------------
+    # quiescence
+    # ------------------------------------------------------------------
+    def finish(self, memory=None) -> None:
+        """Check conservation and pristine state after a drained run.
+
+        Call only after a launch that completed normally (done flag
+        raised, no abort): every enqueued token must have been consumed.
+        """
+        if not self.retry_free and self.deq_next > self.enq_next:
+            self._fail(
+                "deq-overrun",
+                f"final dequeue high-water {self.deq_next} exceeds enqueue "
+                f"high-water {self.enq_next} without the retry-free property",
+            )
+        # the reserved ranges must tile [0, high) at quiescence — a
+        # permanent hole means a slot range was lost (transient holes
+        # during the run are just cross-wavefront reporting skew).
+        if len(self.enq_reserved) != self.enq_next:
+            missing = next(
+                s for s in range(self.enq_next) if s not in self.enq_reserved
+            )
+            self._fail(
+                "enq-reservation-gap",
+                f"enqueue reservations do not tile [0, {self.enq_next}): "
+                f"slot {missing} was never reserved (lost range)",
+            )
+        if len(self.deq_reserved) != self.deq_next:
+            missing = next(
+                s for s in range(self.deq_next) if s not in self.deq_reserved
+            )
+            self._fail(
+                "deq-reservation-gap",
+                f"dequeue reservations do not tile [0, {self.deq_next}): "
+                f"slot {missing} was never reserved (lost range)",
+            )
+        lost = sorted(set(self.stored) - set(self.delivered))
+        if lost:
+            self._fail(
+                "token-lost",
+                f"{len(lost)} stored token(s) never delivered, e.g. slot "
+                f"{lost[0]} holding {self.stored[lost[0]]}",
+            )
+        if len(self.stored) != self.enq_next:
+            self._fail(
+                "reservation-unfilled",
+                f"{self.enq_next} slots enqueue-reserved but only "
+                f"{len(self.stored)} stored",
+            )
+        for s in self.watched:
+            if s < self.enq_next:
+                self._fail(
+                    "parked-on-enqueued-slot",
+                    f"run finished while a lane was parked on slot {s}, "
+                    f"which lies inside the enqueued range "
+                    f"[0, {self.enq_next})",
+                )
+        if memory is not None:
+            ctrl = memory[self.queue.buf_ctrl]
+            if int(ctrl[REAR]) != self.enq_next:
+                self._fail(
+                    "rear-mismatch",
+                    f"final Rear={int(ctrl[REAR])} but "
+                    f"{self.enq_next} slots were reserved",
+                )
+            if int(ctrl[FRONT]) != self.deq_next:
+                self._fail(
+                    "front-mismatch",
+                    f"final Front={int(ctrl[FRONT])} but "
+                    f"{self.deq_next} slots were reserved",
+                )
+            data = memory[self.queue.buf_data]
+            stale = np.flatnonzero(data != DNA)
+            if self.retry_free and stale.size:
+                self._fail(
+                    "dna-not-restored",
+                    f"{stale.size} slot(s) not restored to the dna "
+                    f"sentinel at quiescence, e.g. physical slot "
+                    f"{int(stale[0])} holding {int(data[stale[0]])}",
+                )
+            valid_name = getattr(self.queue, "buf_valid", None)
+            if valid_name is not None:
+                valid = memory[valid_name]
+                up = np.flatnonzero(valid != 0)
+                if up.size:
+                    self._fail(
+                        "valid-not-cleared",
+                        f"{up.size} valid flag(s) still set at "
+                        f"quiescence, e.g. physical slot {int(up[0])}",
+                    )
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One-line progress digest (used to diagnose hung runs)."""
+        return (
+            f"enq_reserved={self.enq_next} stored={len(self.stored)} "
+            f"deq_reserved={self.deq_next} delivered={len(self.delivered)} "
+            f"parked={len(self.watched)} events={self.events}"
+        )

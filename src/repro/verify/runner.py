@@ -1,0 +1,247 @@
+"""Exploration plans and the verification run loop.
+
+Two budgets, mirroring how the checker is wired into CI:
+
+* :func:`quick_plan` — the PR gate: a couple hundred scenarios (every
+  variant x workload x schedule family, seeded-random plus the targeted
+  adversaries, circular wrap pressure, a deliberate queue-full) sized
+  to finish well inside 90 s on one core.
+* :func:`deep_plan` — the nightly sweep: the same families at ~10x the
+  seed count, larger scales and more launch geometries.
+
+:func:`run_plan` executes scenarios until the first failure (or all of
+them with ``keep_going``), and :func:`selftest` plants known bugs to
+prove the oracle can actually catch them — a checker whose selftest
+fails is *insensitive* and its green runs are meaningless.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .faults import PLANTS
+from .scenario import ALL_VARIANTS, Outcome, Scenario, run_scenario
+
+#: random-schedule shape used across plans: bursts must comfortably
+#: exceed the memory latencies (16/40 cycles) to open real race windows.
+_RANDOM = {"kind": "random", "hold_prob": 0.15, "burst": 48}
+
+
+def _random(seed: int, **over) -> dict:
+    d = dict(_RANDOM)
+    d["seed"] = int(seed)
+    d.update(over)
+    return d
+
+
+def quick_plan(base_seed: int = 0) -> List[Scenario]:
+    """The PR-budget plan: >= 200 schedules across all four variants."""
+    plan: List[Scenario] = []
+    for variant in ALL_VARIANTS:
+        # engine-native order, both workloads
+        plan.append(Scenario(variant=variant, workload="countdown", scale=12))
+        plan.append(Scenario(variant=variant, workload="fanout", scale=63))
+        # seeded-random exploration
+        for k in range(20):
+            plan.append(Scenario(
+                variant=variant, workload="countdown", scale=12,
+                schedule=_random(base_seed + k),
+            ))
+        for k in range(15):
+            plan.append(Scenario(
+                variant=variant, workload="fanout", scale=63,
+                schedule=_random(base_seed + 100 + k),
+            ))
+        # circular wrap-around pressure (tight capacity)
+        for k in range(6):
+            plan.append(Scenario(
+                variant=variant, workload="countdown", scale=24,
+                circular=True, capacity=60,
+                schedule=_random(base_seed + 200 + k),
+            ))
+        # delay-the-proxy adversary, every wavefront in turn
+        for tgt in range(6):
+            plan.append(Scenario(
+                variant=variant, workload="countdown", scale=12,
+                schedule={"kind": "delay", "target": tgt, "patience": 96},
+            ))
+        # starve each CU with two different window shapes
+        for cid in (0, 1):
+            for period, duty in ((512, 256), (256, 128)):
+                plan.append(Scenario(
+                    variant=variant, workload="countdown", scale=12,
+                    schedule={"kind": "starve", "cid": cid,
+                              "period": period, "duty": duty},
+                ))
+        # deliberate undersizing: the queue-full abort must fire
+        plan.append(Scenario(
+            variant=variant, workload="countdown", scale=20,
+            capacity=30, expect_full=True,
+        ))
+    return plan
+
+
+def deep_plan(base_seed: int = 0) -> List[Scenario]:
+    """The nightly-budget plan: ~10x quick, larger scales/geometries."""
+    plan: List[Scenario] = []
+    for variant in ALL_VARIANTS:
+        for workload, scales in (
+            ("countdown", (12, 30)),
+            ("fanout", (63, 255)),
+        ):
+            for scale in scales:
+                plan.append(Scenario(
+                    variant=variant, workload=workload, scale=scale))
+                for n_wf in (2, 4, 6, 8):
+                    for k in range(25):
+                        plan.append(Scenario(
+                            variant=variant, workload=workload, scale=scale,
+                            n_wavefronts=n_wf,
+                            schedule=_random(
+                                base_seed + 1000 * n_wf + k,
+                                hold_prob=0.1 + 0.05 * (k % 3),
+                                burst=24 * (1 + k % 3),
+                            ),
+                        ))
+        for k in range(40):
+            plan.append(Scenario(
+                variant=variant, workload="countdown", scale=24,
+                circular=True, capacity=60,
+                schedule=_random(base_seed + 5000 + k),
+            ))
+        for tgt in range(8):
+            for patience in (48, 96, 192):
+                plan.append(Scenario(
+                    variant=variant, workload="countdown", scale=20,
+                    n_wavefronts=8,
+                    schedule={"kind": "delay", "target": tgt,
+                              "patience": patience},
+                ))
+        for cid in (0, 1):
+            for period, duty in ((512, 256), (256, 128), (1024, 768)):
+                plan.append(Scenario(
+                    variant=variant, workload="fanout", scale=127,
+                    schedule={"kind": "starve", "cid": cid,
+                              "period": period, "duty": duty},
+                ))
+        plan.append(Scenario(
+            variant=variant, workload="countdown", scale=20,
+            capacity=30, expect_full=True,
+        ))
+        plan.append(Scenario(
+            variant=variant, workload="fanout", scale=127,
+            capacity=60, expect_full=True,
+        ))
+    return plan
+
+
+@dataclass
+class Report:
+    """Aggregate result of one exploration run."""
+
+    n_run: int = 0
+    n_ok: int = 0
+    events: int = 0
+    elapsed: float = 0.0
+    failures: List[Outcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def run_plan(
+    plan: List[Scenario],
+    keep_going: bool = False,
+    max_scenarios: Optional[int] = None,
+    progress: Optional[Callable[[int, int, Scenario], None]] = None,
+) -> Report:
+    """Run scenarios in order; stop at the first failure by default."""
+    if max_scenarios is not None:
+        plan = plan[:max_scenarios]
+    rep = Report()
+    t0 = time.monotonic()
+    total = len(plan)
+    for i, sc in enumerate(plan):
+        if progress is not None:
+            progress(i, total, sc)
+        out = run_scenario(sc)
+        rep.n_run += 1
+        rep.events += out.events
+        if out.ok:
+            rep.n_ok += 1
+        else:
+            rep.failures.append(out)
+            if not keep_going:
+                break
+    rep.elapsed = time.monotonic() - t0
+    return rep
+
+
+#: plant -> scenarios guaranteed to expose it (deterministic plants use
+#: one native-order run; schedule-dependent plants sweep random seeds).
+def _selftest_scenarios(plant: str, deep: bool) -> List[Scenario]:
+    spec = PLANTS[plant]
+    variant = spec["variant"]
+    if not spec["needs_schedule"]:
+        sc = Scenario(
+            plant=plant, variant=variant, workload="countdown", scale=12,
+            max_work_cycles=3_000,
+        )
+        out = [sc]
+        if plant == "skip-dna-restore":
+            # also exposed as a wrap-around hazard when circular
+            out.append(Scenario(
+                plant=plant, variant=variant, workload="countdown",
+                scale=20, circular=True, capacity=56, max_work_cycles=3_000,
+            ))
+        return out
+    n = 60 if deep else 40
+    return [
+        Scenario(
+            plant=plant, variant=variant, workload="countdown", scale=12,
+            schedule=_random(k), max_work_cycles=3_000,
+        )
+        for k in range(n)
+    ]
+
+
+@dataclass
+class SelftestResult:
+    plant: str
+    caught: bool
+    invariant: Optional[str]
+    runs: int
+    expected: tuple
+    detail: str = ""
+
+
+def selftest(deep: bool = False) -> List[SelftestResult]:
+    """Plant every known bug and confirm the oracle catches it.
+
+    Schedule-dependent plants count as caught if *any* scenario in
+    their sweep trips an expected invariant; deterministic plants must
+    be caught by their single scenario.
+    """
+    results = []
+    for plant, spec in sorted(PLANTS.items()):
+        expected = tuple(sorted(spec["invariants"]))
+        caught = False
+        invariant = None
+        detail = ""
+        scenarios = _selftest_scenarios(plant, deep)
+        for sc in scenarios:
+            out = run_scenario(sc)
+            if not out.ok and out.invariant in spec["invariants"]:
+                caught, invariant, detail = True, out.invariant, out.detail
+                break
+            if not out.ok and invariant is None:
+                # failed, but on an unexpected invariant: remember it
+                invariant, detail = out.invariant, out.detail
+        results.append(SelftestResult(
+            plant=plant, caught=caught, invariant=invariant,
+            runs=len(scenarios), expected=expected, detail=detail,
+        ))
+    return results

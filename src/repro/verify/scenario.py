@@ -1,0 +1,217 @@
+"""Scenario = one verified launch: (variant, workload, schedule, sizing).
+
+A :class:`Scenario` is the JSON-serializable unit of exploration: it
+fully determines one engine launch — queue variant (or planted bug),
+workload and scale, launch geometry, capacity regime (including circular
+wrap-around and deliberate undersizing), and the schedule-controller
+spec.  :func:`run_scenario` executes it on :data:`~repro.simt.TESTGPU`
+with an :class:`~repro.verify.oracle.InvariantOracle` attached and folds
+everything that can happen — clean completion, invariant violation,
+expected or unexpected queue-full abort, scheduler wedge, engine
+timeout — into an :class:`Outcome`.
+
+Because a scenario round-trips through ``to_dict``/``from_dict``, any
+failure can be shipped as a JSON counterexample and replayed bit-for-bit
+with ``python -m repro.verify replay`` (the engine is deterministic
+given the scenario, so replay *is* reproduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from repro.core import SchedulerControl, make_queue, persistent_kernel
+from repro.core.scheduler import K_TASKS_DONE
+from repro.simt import TESTGPU, Engine
+from repro.simt.errors import KernelAbort, SimulationTimeout
+
+from . import workloads
+from .faults import make_planted_queue
+from .oracle import InvariantOracle, VerificationError
+from .schedule import build_controller
+
+#: variants explored by default: the three shipping queues + the naive
+#: ablation from repro.ext.
+ALL_VARIANTS = ("RF/AN", "AN", "BASE", "NAIVE")
+
+
+@dataclass
+class Scenario:
+    """One fully-determined verification launch (JSON-serializable)."""
+
+    variant: str = "RF/AN"
+    workload: str = "countdown"
+    scale: int = 12
+    n_wavefronts: int = 6
+    capacity: Optional[int] = None      # None: auto-size (never full)
+    circular: bool = False
+    schedule: Optional[dict] = None     # see schedule.build_controller
+    plant: Optional[str] = None         # planted bug (selftest only)
+    expect_full: bool = False           # scenario *must* abort queue-full
+    max_work_cycles: int = 20_000
+    max_cycles: int = 10_000_000
+
+    def resolved_capacity(self) -> int:
+        if self.capacity is not None:
+            return int(self.capacity)
+        total = workloads.max_enqueues(self.workload, self.scale)
+        if not self.circular:
+            # monotonic: one raw slot per token ever enqueued.
+            return total
+        # circular: must exceed in-flight + monitored entries (§4.2) —
+        # every resident lane may park on a slot while the workload's
+        # frontier is in the queue.
+        lanes = self.n_wavefronts * TESTGPU.wavefront_size
+        return lanes + min(total, self.scale + 4) + 8
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Scenario":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in d.items() if k in known})
+
+    def label(self) -> str:
+        bits = [self.variant, self.workload, f"s{self.scale}",
+                f"w{self.n_wavefronts}"]
+        if self.circular:
+            bits.append("circ")
+        if self.plant:
+            bits.append(f"plant={self.plant}")
+        if self.expect_full:
+            bits.append("full")
+        sched = (self.schedule or {}).get("kind", "none")
+        if sched != "none":
+            seed = (self.schedule or {}).get("seed")
+            bits.append(f"{sched}" + (f"#{seed}" if seed is not None else ""))
+        return "/".join(bits)
+
+
+@dataclass
+class Outcome:
+    """What one scenario run produced."""
+
+    ok: bool
+    invariant: Optional[str] = None
+    detail: str = ""
+    cycles: int = 0
+    tasks_completed: int = 0
+    events: int = 0
+    scenario: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _build_queue(sc: Scenario, capacity: int):
+    if sc.plant is not None:
+        return make_planted_queue(sc.plant, capacity, circular=sc.circular)
+    if sc.variant == "NAIVE":
+        from repro.ext.queue_naive_cas import NaiveCasQueue
+
+        return NaiveCasQueue(capacity, circular=sc.circular)
+    return make_queue(sc.variant, capacity=capacity, circular=sc.circular)
+
+
+def run_scenario(sc: Scenario) -> Outcome:
+    """Execute one scenario under the invariant oracle.
+
+    Never raises for a *finding* — any violation, wedge, or unexpected
+    abort comes back as a failed :class:`Outcome` so the runner can
+    shrink and serialize it.  Programming errors still propagate.
+    """
+    capacity = sc.resolved_capacity()
+    worker, seeds, expected = workloads.build(sc.workload, sc.scale)
+    queue = _build_queue(sc, capacity)
+    eng = Engine(TESTGPU)
+    sched = SchedulerControl()
+    queue.allocate(eng.memory)
+    sched.allocate(eng.memory)
+    queue.seed(eng.memory, seeds)
+    sched.seed(eng.memory, len(seeds))
+
+    oracle = InvariantOracle(queue)
+    oracle.note_seed(seeds)
+    controller = build_controller(sc.schedule)
+    kern = persistent_kernel(queue, worker, sched)
+
+    def failed(invariant: str, detail: str, res=None) -> Outcome:
+        return Outcome(
+            ok=False,
+            invariant=invariant,
+            detail=detail,
+            cycles=getattr(res, "cycles", 0),
+            tasks_completed=(
+                int(res.stats.custom.get(K_TASKS_DONE, 0)) if res else 0
+            ),
+            events=oracle.events,
+            scenario=sc.to_dict(),
+        )
+
+    try:
+        res = eng.launch(
+            kern,
+            sc.n_wavefronts,
+            params={"max_work_cycles": sc.max_work_cycles},
+            max_cycles=sc.max_cycles,
+            probe=oracle,
+            controller=controller,
+        )
+    except VerificationError as exc:
+        return failed(exc.invariant, exc.detail)
+    except KernelAbort as exc:
+        if sc.expect_full and "queue full" in str(exc):
+            return Outcome(
+                ok=True, detail=f"aborted as expected: {exc}",
+                events=oracle.events, scenario=sc.to_dict(),
+            )
+        return failed(
+            "unexpected-abort", f"{exc} | {oracle.summary()}"
+        )
+    except (SimulationTimeout, RuntimeError) as exc:
+        # scheduler wedge or engine watchdog: let the oracle's
+        # quiescence audit localize the wedge if it can.
+        try:
+            oracle.finish(None)
+        except VerificationError as verr:
+            return failed(
+                verr.invariant, f"{verr.detail} | after wedge: {exc}"
+            )
+        return failed("hang", f"{exc} | {oracle.summary()}")
+
+    if sc.expect_full:
+        return failed(
+            "missed-queue-full",
+            f"capacity {capacity} < total enqueues but the launch "
+            f"completed without a queue-full abort | {oracle.summary()}",
+        )
+
+    try:
+        oracle.finish(eng.memory)
+    except VerificationError as exc:
+        return failed(exc.invariant, exc.detail, res)
+
+    tasks = int(res.stats.custom.get(K_TASKS_DONE, 0))
+    if tasks != expected:
+        return failed(
+            "task-count-mismatch",
+            f"completed {tasks} tasks, workload defines {expected}",
+            res,
+        )
+    n_delivered = len(oracle.delivered)
+    if n_delivered != expected:
+        return failed(
+            "delivery-count-mismatch",
+            f"queue delivered {n_delivered} tokens, workload moves "
+            f"{expected} | {oracle.summary()}",
+            res,
+        )
+    return Outcome(
+        ok=True,
+        cycles=res.cycles,
+        tasks_completed=tasks,
+        events=oracle.events,
+        scenario=sc.to_dict(),
+    )

@@ -1,0 +1,126 @@
+"""Greedy counterexample shrinking + replayable JSON artifacts.
+
+When exploration finds a failing scenario, the raw counterexample is
+usually bigger than the bug: more wavefronts, a larger workload, a
+noisier schedule than the violation needs.  :func:`shrink` re-runs
+systematically smaller variants and keeps any reduction that still
+trips the *same invariant* — the classic greedy delta-debugging loop,
+bounded by a run budget.  Because the engine is deterministic given a
+scenario, a shrunk scenario is not a "probably still fails" guess: the
+reduced run in hand *is* the counterexample.
+
+:func:`write_counterexample` serializes the result as JSON with enough
+context to reproduce (`python -m repro.verify replay <file>`) and to
+see at a glance what broke.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Tuple
+
+from .scenario import Outcome, Scenario, run_scenario
+
+SCHEMA = "repro.verify.counterexample/v1"
+
+
+def _candidates(sc: Scenario) -> List[Scenario]:
+    """Single-step reductions of ``sc``, most aggressive first."""
+    out: List[Scenario] = []
+
+    def variant(**over) -> Scenario:
+        d = sc.to_dict()
+        d.update(over)
+        return Scenario.from_dict(d)
+
+    # shrink the workload
+    for frac in (4, 2):
+        if sc.scale // frac >= 1:
+            out.append(variant(scale=sc.scale // frac))
+    if sc.scale > 1:
+        out.append(variant(scale=sc.scale - 1))
+    # shrink the launch
+    for n in (2, sc.n_wavefronts // 2, sc.n_wavefronts - 1):
+        if 1 <= n < sc.n_wavefronts:
+            out.append(variant(n_wavefronts=n))
+    # simplify the schedule
+    if sc.schedule is not None:
+        out.append(variant(schedule=None))
+        kind = sc.schedule.get("kind")
+        if kind == "random":
+            burst = int(sc.schedule.get("burst", 48))
+            if burst > 8:
+                out.append(variant(
+                    schedule={**sc.schedule, "burst": burst // 2}))
+        if kind == "delay":
+            patience = int(sc.schedule.get("patience", 64))
+            if patience > 8:
+                out.append(variant(
+                    schedule={**sc.schedule, "patience": patience // 2}))
+    # drop circularity (keeps capacity; the wrap bug may be a plain bug)
+    if sc.circular:
+        out.append(variant(circular=False, capacity=None))
+    return out
+
+
+def shrink(
+    failure: Outcome, budget: int = 60
+) -> Tuple[Scenario, Outcome, int]:
+    """Greedily minimize a failing scenario, preserving its invariant.
+
+    Returns ``(scenario, outcome, runs_used)`` — the smallest scenario
+    found that still fails with ``failure.invariant``, its (fresh)
+    outcome, and how many verification runs the search spent.
+    """
+    best_sc = Scenario.from_dict(failure.scenario)
+    best_out = failure
+    runs = 0
+    improved = True
+    while improved and runs < budget:
+        improved = False
+        for cand in _candidates(best_sc):
+            if runs >= budget:
+                break
+            out = run_scenario(cand)
+            runs += 1
+            if not out.ok and out.invariant == failure.invariant:
+                best_sc, best_out = cand, out
+                improved = True
+                break  # restart reductions from the smaller scenario
+    return best_sc, best_out, runs
+
+
+def counterexample_dict(
+    original: Outcome,
+    shrunk_sc: Scenario,
+    shrunk_out: Outcome,
+    shrink_runs: int,
+) -> dict:
+    return {
+        "schema": SCHEMA,
+        "invariant": shrunk_out.invariant,
+        "detail": shrunk_out.detail,
+        "scenario": shrunk_sc.to_dict(),
+        "original_scenario": original.scenario,
+        "original_detail": original.detail,
+        "shrink_runs": shrink_runs,
+        "replay": "python -m repro.verify replay <this-file>",
+    }
+
+
+def write_counterexample(path: str, payload: dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def load_counterexample(path: str) -> Tuple[Scenario, Optional[str]]:
+    """Load a counterexample file; returns (scenario, expected invariant)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: not a {SCHEMA} file (schema="
+            f"{payload.get('schema')!r})"
+        )
+    return Scenario.from_dict(payload["scenario"]), payload.get("invariant")

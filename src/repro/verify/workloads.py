@@ -1,0 +1,100 @@
+"""Deterministic irregular workloads used by the verification scenarios.
+
+These mirror the toy workloads of the scheduler integration tests —
+small, exactly countable task graphs — because the checker needs a
+*ground truth*: for every scenario the total number of tasks, and hence
+the exact number of tokens that must flow through the queue, is known in
+closed form.  The oracle then checks conservation (every enqueued token
+delivered exactly once) against that number.
+
+* ``countdown(scale)`` — seeds ``[scale, scale-1, scale-2]`` (clipped at
+  0); token ``v`` spawns ``v-1`` while positive.  Long dependent chains:
+  low parallelism, sustained queue traffic, total ``sum(seed_i + 1)``.
+* ``fanout(scale)`` — seed ``[0]``; token ``v`` spawns ``2v+1``/``2v+2``
+  below ``scale``.  A binary tree: bursty arbitrary-n publishes, wide
+  parallelism, total ``scale``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.core import WorkCycleResult
+from repro.simt import Compute
+
+
+class CountdownWorker:
+    """Token ``v`` spawns ``v - 1`` while positive (chain workload)."""
+
+    def make_state(self, ctx) -> object:
+        return None
+
+    def work_cycle(
+        self, ctx, wstate, st
+    ) -> Iterator[object]:
+        active = st.has_token
+        yield Compute(4)
+        toks = st.token.copy()
+        counts = np.where(active & (toks > 0), 1, 0).astype(np.int64)
+        new = np.maximum(toks - 1, 0).reshape(-1, 1)
+        return WorkCycleResult(  # type: ignore[return-value]
+            completed=active.copy(), new_counts=counts, new_tokens=new
+        )
+
+
+class FanoutWorker:
+    """Token ``v`` spawns ``2v+1`` and ``2v+2`` below ``n`` (tree)."""
+
+    def __init__(self, n: int):
+        self.n = int(n)
+
+    def make_state(self, ctx) -> object:
+        return None
+
+    def work_cycle(
+        self, ctx, wstate, st
+    ) -> Iterator[object]:
+        active = st.has_token
+        yield Compute(4)
+        wf = st.wavefront_size
+        counts = np.zeros(wf, dtype=np.int64)
+        new = np.zeros((wf, 2), dtype=np.int64)
+        for lane in np.flatnonzero(active):
+            v = int(st.token[lane])
+            kids = [c for c in (2 * v + 1, 2 * v + 2) if c < self.n]
+            counts[lane] = len(kids)
+            for j, c in enumerate(kids):
+                new[lane, j] = c
+        return WorkCycleResult(  # type: ignore[return-value]
+            completed=active.copy(), new_counts=counts, new_tokens=new
+        )
+
+
+WORKLOADS = ("countdown", "fanout")
+
+
+def build(name: str, scale: int) -> Tuple[object, list, int]:
+    """Return ``(worker, seed_tokens, expected_total_tasks)``.
+
+    ``expected_total_tasks`` is the exact number of tasks the scheduler
+    must complete — and therefore the exact number of tokens that must
+    pass through the queue (seeds included).
+    """
+    scale = int(scale)
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    if name == "countdown":
+        seeds = [max(scale - k, 0) for k in range(3)]
+        return CountdownWorker(), seeds, sum(v + 1 for v in seeds)
+    if name == "fanout":
+        return FanoutWorker(scale), [0], scale
+    raise ValueError(f"unknown workload: {name!r}")
+
+
+def max_enqueues(name: str, scale: int) -> int:
+    """Total tokens ever enqueued (= expected tasks): sizes non-circular
+    capacity so a scenario is full-free by construction."""
+    _, _, total = build(name, scale)
+    return total

@@ -137,3 +137,76 @@ class TestHostCorruptionVisibility:
         run.costs[7] = 0
         with pytest.raises(AssertionError, match="vertex 7"):
             run.verify(g, 0)
+
+
+class TestOracleCatchesInjectedQueueFaults:
+    """Faults injected into the queue protocol itself (repro.verify).
+
+    The planted queues corrupt specific protocol steps — the arbitrary-n
+    proxy reservation while it is in flight, the store leg of a publish
+    reservation, the DNA-restore that makes wrap-around safe — and the
+    invariant oracle must convict each one with a diagnosable invariant,
+    not a downstream hang or silent wrong answer.
+    """
+
+    def test_fault_during_inflight_proxy_reservation(self):
+        """The proxy AFAs Front by n+1 but parks only n lanes: an
+        in-flight arbitrary-n reservation that claims more than the
+        active mask.  The oracle matches the watch set against the
+        reservation the proxy announced."""
+        from repro.verify.faults import PLANTS
+        from repro.verify.scenario import Scenario, run_scenario
+
+        out = run_scenario(Scenario(
+            plant="over-reserve", variant="RF/AN", scale=12,
+            max_work_cycles=3_000,
+        ))
+        assert not out.ok
+        assert out.invariant == "watch-reservation-mismatch"
+        assert out.invariant in PLANTS["over-reserve"]["invariants"]
+
+    def test_fault_in_the_store_leg_of_a_publish_reservation(self):
+        """A lane's token store is dropped after its slot was reserved:
+        at quiescence the reservation is unfilled (or, if a consumer got
+        there first, the token is lost)."""
+        from repro.verify.faults import PLANTS
+        from repro.verify.scenario import Scenario, run_scenario
+
+        out = run_scenario(Scenario(
+            plant="lost-store", variant="RF/AN", scale=12,
+            max_work_cycles=3_000,
+        ))
+        assert not out.ok
+        assert out.invariant in PLANTS["lost-store"]["invariants"]
+
+    def test_fault_during_wraparound_dna_restore(self):
+        """Skipping the DNA restore on acquire breaks the invariant that
+        makes circular reuse safe: once Rear wraps, a producer either
+        sees the stale token (spurious queue-full) or the oracle sees a
+        physical slot reused before its occupant was delivered."""
+        from repro.verify.faults import PLANTS
+        from repro.verify.scenario import Scenario, run_scenario
+
+        out = run_scenario(Scenario(
+            plant="skip-dna-restore", variant="RF/AN", workload="countdown",
+            scale=20, circular=True, capacity=56, max_work_cycles=3_000,
+        ))
+        assert not out.ok
+        assert out.invariant in PLANTS["skip-dna-restore"]["invariants"]
+
+    def test_publication_order_fault_needs_an_adversarial_schedule(self):
+        """Writing the valid flag before the data word is only visible
+        when a schedule stretches the window between the two stores —
+        the case that justifies schedule exploration (seed pinned from
+        the selftest sweep)."""
+        from repro.verify.faults import PLANTS
+        from repro.verify.scenario import Scenario, run_scenario
+
+        sc = Scenario(plant="valid-before-data", variant="BASE", scale=12,
+                      max_work_cycles=3_000)
+        assert run_scenario(sc).ok  # invisible in native order
+        sc.schedule = {"kind": "random", "seed": 4,
+                       "hold_prob": 0.15, "burst": 48}
+        out = run_scenario(sc)
+        assert not out.ok
+        assert out.invariant in PLANTS["valid-before-data"]["invariants"]

@@ -161,6 +161,32 @@ def test_metrics_session_does_not_perturb_or_leak():
     )
 
 
+@pytest.mark.parametrize("variant", ["BASE", "AN", "RF/AN"])
+def test_controlled_fifo_run_is_bit_identical_to_uncontrolled(variant):
+    # the schedule-controller hook (repro.verify) rides the issue
+    # selection point; with an engine-order controller installed the
+    # hook must be bit-invisible: same cycles, counters, and costs.
+    import repro.simt.engine as engine_mod
+    from repro.verify.schedule import FifoController
+
+    spec = dataset("Synthetic")
+    g = spec.build(spec.default_scale * 0.25)
+    plain = run_persistent_bfs(
+        g, spec.source, variant, TESTGPU, 4, verify=False
+    )
+    assert engine_mod.CONTROLLER_FACTORY is None
+    try:
+        engine_mod.CONTROLLER_FACTORY = FifoController
+        controlled = run_persistent_bfs(
+            g, spec.source, variant, TESTGPU, 4, verify=False
+        )
+    finally:
+        engine_mod.CONTROLLER_FACTORY = None
+    assert plain.cycles == controlled.cycles
+    assert plain.stats.snapshot() == controlled.stats.snapshot()
+    assert np.array_equal(plain.costs, controlled.costs)
+
+
 def test_draining_thousands_of_exiting_wavefronts_is_iterative():
     # one CU, every wavefront exits on its first resume: the seed's
     # recursive issue-on-StopIteration would exceed the recursion limit.

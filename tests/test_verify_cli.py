@@ -1,0 +1,144 @@
+"""CLI contract for ``python -m repro.verify``.
+
+The exit-code protocol is what CI consumes: 0 = verified clean,
+1 = counterexample found / reproduced, 2 = checker insensitivity or a
+usage problem.  These tests call :func:`repro.verify.cli.main` directly
+with argv lists — same code path as the module entry point, no
+subprocess overhead.
+"""
+
+import json
+
+import pytest
+
+from repro.verify.cli import main
+from repro.verify.scenario import Scenario, run_scenario
+from repro.verify.shrink import (
+    SCHEMA,
+    counterexample_dict,
+    load_counterexample,
+    shrink,
+    write_counterexample,
+)
+
+
+class TestExplore:
+    def test_quick_subset_passes(self, capsys):
+        rc = main(["--quick", "--max-scenarios", "8", "--no-selftest"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "8/8 scenarios passed" in out
+        assert "PASS" in out
+
+    def test_explore_subcommand_matches_top_level(self, capsys):
+        rc = main(["explore", "--max-scenarios", "4", "--no-selftest"])
+        assert rc == 0
+        assert "4/4 scenarios passed" in capsys.readouterr().out
+
+    def test_variant_filter_restricts_the_plan(self, capsys):
+        rc = main([
+            "--quick", "--variant", "RF/AN", "--max-scenarios", "6",
+            "--no-selftest", "-v",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "] RF/AN/" in out  # verbose lines show scenario labels
+        for other in ("] AN/", "] BASE/", "] NAIVE/"):
+            assert other not in out
+
+
+class TestSelftest:
+    def test_selftest_passes_and_reports_every_plant(self, capsys):
+        rc = main(["selftest"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for plant in ("skip-dna-restore", "over-reserve", "lost-store",
+                      "valid-before-data"):
+            assert f"selftest {plant}" in out
+            assert "MISSED" not in out
+        assert "selftest: PASS" in out
+
+
+def _failing_artifact(tmp_path):
+    """Shrink a planted failure into a replayable artifact on disk."""
+    sc = Scenario(plant="over-reserve", variant="RF/AN", scale=12,
+                  max_work_cycles=3_000)
+    failure = run_scenario(sc)
+    assert not failure.ok
+    shrunk_sc, shrunk_out, runs = shrink(failure)
+    path = tmp_path / "counterexample.json"
+    write_counterexample(
+        str(path), counterexample_dict(failure, shrunk_sc, shrunk_out, runs)
+    )
+    return path, failure
+
+
+class TestReplay:
+    def test_replay_reproduces_a_real_counterexample(self, tmp_path, capsys):
+        path, failure = _failing_artifact(tmp_path)
+        rc = main(["replay", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "REPRODUCED" in out
+        assert failure.invariant in out
+
+    def test_replay_of_a_fixed_bug_exits_zero(self, tmp_path, capsys):
+        # same artifact shape, but the scenario is clean (the "bug" is
+        # gone): replay must report non-reproduction.
+        clean = Scenario(variant="RF/AN", scale=8)
+        payload = {
+            "schema": SCHEMA,
+            "invariant": "slot-stored-twice",
+            "detail": "synthetic",
+            "scenario": clean.to_dict(),
+            "original_scenario": clean.to_dict(),
+            "original_detail": "synthetic",
+            "shrink_runs": 0,
+            "replay": "python -m repro.verify replay <this-file>",
+        }
+        path = tmp_path / "fixed.json"
+        write_counterexample(str(path), payload)
+        rc = main(["replay", str(path)])
+        assert rc == 0
+        assert "does NOT reproduce" in capsys.readouterr().out
+
+    def test_replay_rejects_wrong_schema(self, tmp_path, capsys):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"schema": "something/else"}))
+        rc = main(["replay", str(path)])
+        assert rc == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_replay_missing_file_exits_two(self, tmp_path, capsys):
+        rc = main(["replay", str(tmp_path / "nope.json")])
+        assert rc == 2
+
+
+class TestShrinker:
+    def test_shrink_reduces_and_preserves_the_invariant(self):
+        sc = Scenario(plant="over-reserve", variant="RF/AN", scale=12,
+                      n_wavefronts=6, max_work_cycles=3_000)
+        failure = run_scenario(sc)
+        assert not failure.ok
+        shrunk_sc, shrunk_out, runs = shrink(failure, budget=40)
+        assert runs <= 40
+        assert shrunk_out.invariant == failure.invariant
+        assert (shrunk_sc.scale, shrunk_sc.n_wavefronts) <= (
+            sc.scale, sc.n_wavefronts
+        )
+        # and the shrunk scenario really does still fail on a fresh run
+        fresh = run_scenario(shrunk_sc)
+        assert not fresh.ok
+        assert fresh.invariant == failure.invariant
+
+    def test_artifact_round_trips_through_loader(self, tmp_path):
+        path, failure = _failing_artifact(tmp_path)
+        sc, expected = load_counterexample(str(path))
+        assert expected == failure.invariant
+        assert isinstance(sc, Scenario)
+
+    def test_loader_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope", "scenario": {}}))
+        with pytest.raises(ValueError, match="not a"):
+            load_counterexample(str(path))
