@@ -2,8 +2,8 @@
 # no `wheel` package, hence the setup.py fallback; on normal machines
 # `pip install -e .[test]` works directly.
 
-.PHONY: install test bench bench-engine bench-diff verify verify-deep \
-    harness-quick harness-full runs-report examples clean
+.PHONY: install test test-fast test-slow bench bench-engine bench-diff \
+    verify verify-deep harness-quick harness-full runs-report examples clean
 
 # window size for runs-report (make runs-report N=25)
 N ?= 10
@@ -13,6 +13,14 @@ install:
 
 test:
 	pytest tests/
+
+# the CI shards (marker registry in pyproject): fast unit/differential
+# tests vs the multi-minute end-to-end bit-identity guards
+test-fast:
+	pytest tests/ -m "not slow"
+
+test-slow:
+	pytest tests/ -m slow
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -19,7 +19,7 @@ its cost strictly improves), the final costs equal true BFS depths for
 from __future__ import annotations
 
 from types import SimpleNamespace
-from typing import Generator, Optional
+from typing import Callable, Generator, Optional
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from repro.core import (
     WorkCycleResult,
     make_queue,
     persistent_kernel,
+    sharded_persistent_kernel,
 )
 from repro.graphs import CSRGraph
 from repro.simt import (
@@ -134,6 +135,7 @@ def run_persistent_bfs(
     max_cycles: int = 20_000_000_000,
     verify: bool = False,
     probe: Optional[object] = None,
+    queue_factory: Optional[Callable[[int], DeviceQueue]] = None,
 ) -> BFSRun:
     """Simulate a persistent-thread BFS with the given queue variant.
 
@@ -141,6 +143,11 @@ def run_persistent_bfs(
     abort is reported to the host, which "can retry the kernel with a
     larger queue" — we double capacity (up to eight times) before giving
     up.
+
+    ``queue_factory`` overrides queue construction: called with the
+    capacity, it must return a :class:`~repro.core.DeviceQueue` (e.g. a
+    :class:`~repro.core.ShardedQueue`; the sharded persistent kernel is
+    selected automatically).  ``variant`` then only labels the run.
     """
     attempts = 0
     cap = capacity or bfs_queue_capacity(graph, device, n_workgroups)
@@ -159,6 +166,7 @@ def run_persistent_bfs(
                 max_cycles,
                 verify,
                 probe,
+                queue_factory,
             )
         except KernelAbort as exc:
             if not grow_on_full or attempts > 8:
@@ -178,17 +186,26 @@ def _run_once(
     max_cycles: int,
     verify: bool,
     probe: Optional[object] = None,
+    queue_factory: Optional[Callable[[int], DeviceQueue]] = None,
 ) -> BFSRun:
     engine = Engine(device)
     alloc_graph_buffers(engine.memory, graph, source)
-    queue = make_queue(variant, capacity, circular=circular)
+    if queue_factory is not None:
+        queue = queue_factory(capacity)
+    else:
+        queue = make_queue(variant, capacity, circular=circular)
     sched = SchedulerControl()
     queue.allocate(engine.memory)
     sched.allocate(engine.memory)
     queue.seed(engine.memory, [source])
     sched.seed(engine.memory, 1)
 
-    kernel = persistent_kernel(
+    make_kernel = (
+        sharded_persistent_kernel
+        if getattr(queue, "n_shards", 1) > 1
+        else persistent_kernel
+    )
+    kernel = make_kernel(
         queue, BFSWorker(), sched, subtasks_per_cycle=subtasks_per_cycle
     )
     result = engine.launch(kernel, n_workgroups, max_cycles=max_cycles, probe=probe)

@@ -32,11 +32,13 @@ from .queue_an import ArbitraryNQueue
 from .queue_api import DeviceQueue, QueueFull
 from .queue_base_cas import BaseCasQueue
 from .queue_rfan import RetryFreeQueue
+from .queue_sharded import ShardedQueue
 from .scheduler import (
     SchedulerControl,
     WorkCycleResult,
     Worker,
     persistent_kernel,
+    sharded_persistent_kernel,
 )
 from .state import WavefrontQueueState
 
@@ -82,9 +84,11 @@ __all__ = [
     "RFANProducer",
     "RetryFreeQueue",
     "SchedulerControl",
+    "ShardedQueue",
     "WavefrontQueueState",
     "WorkCycleResult",
     "Worker",
     "make_queue",
     "persistent_kernel",
+    "sharded_persistent_kernel",
 ]

@@ -50,6 +50,11 @@ K_IDLE_CYCLES = "scheduler.idle_lane_cycles"
 K_TASKS_DONE = "scheduler.tasks_completed"
 
 
+def sched_shard_key(shard: int, name: str) -> str:
+    """Per-home-shard scheduler counter key (``scheduler.shard<i>.*``)."""
+    return f"scheduler.shard{shard}.{name}"
+
+
 @dataclass
 class WorkCycleResult:
     """What a worker did in one work cycle.
@@ -239,3 +244,111 @@ def persistent_kernel(
                     )
 
     return kernel
+
+
+def sharded_persistent_kernel(
+    queue: DeviceQueue,
+    worker: Worker,
+    sched: SchedulerControl,
+    subtasks_per_cycle: int = DEFAULT_SUBTASKS_PER_CYCLE,
+    aggregate_termination: Optional[bool] = None,
+):
+    """Shard-aware persistent kernel for a :class:`~repro.core.queue_sharded.ShardedQueue`.
+
+    Same work-cycle structure as :func:`persistent_kernel`, with two
+    shard-specific changes:
+
+    * **Fused termination accounting.**  The baseline kernel pays two
+      fetch-adds on the global in-flight counter per productive work
+      cycle (``+n_new`` before publish, ``-n_done`` after).  Here both
+      are folded into a single ``+(n_new - n_done)`` fetch-add issued
+      *before* publish, halving traffic on the scheduler's hot word —
+      the one word queue sharding cannot split.  This is safe: the fused
+      delta still counts discoveries no later than their tokens become
+      visible, so the counter reaching zero proves ``n_new == 0`` for
+      the observing wavefront (its own discoveries are included in
+      ``remaining``) and no task anywhere is running, queued, or about
+      to be queued.
+    * **Per-home-shard counters.**  ``scheduler.shard<i>.work_cycles`` /
+      ``idle_lane_cycles`` / ``tasks_completed`` expose cross-shard load
+      imbalance in every run's metrics without any probe attached.
+
+    For a single-shard queue this *returns* :func:`persistent_kernel`'s
+    kernel unchanged, keeping the shards=1 configuration bit-identical
+    to the bare inner variant (same op stream, no extra counter keys).
+    """
+    n_shards = int(getattr(queue, "n_shards", 1))
+    if n_shards <= 1:
+        return persistent_kernel(
+            queue, worker, sched, subtasks_per_cycle, aggregate_termination
+        )
+
+    def kernel(ctx: KernelContext) -> Generator[Op, Op, None]:
+        ctx.params.setdefault("subtasks_per_cycle", subtasks_per_cycle)
+        stats = ctx.stats
+        wf_size = ctx.device.wavefront_size
+        st = WavefrontQueueState(wf_size)
+        wstate = worker.make_state(ctx)
+        max_cycles: Optional[int] = ctx.params.get("max_work_cycles")  # type: ignore[assignment]
+        cycles = 0
+
+        home = ctx.wf_id % n_shards
+        custom = stats.custom
+        k_cycles = sched_shard_key(home, "work_cycles")
+        k_idle = sched_shard_key(home, "idle_lane_cycles")
+        k_done = sched_shard_key(home, "tasks_completed")
+
+        done_idx = np.array([DONE], dtype=np.int64)
+        dread = MemRead(sched.buf_ctrl, done_idx, trans=1, prechecked=True)
+        while True:
+            yield dread
+            if int(dread.result[0]):
+                break
+            cycles += 1
+            custom[K_WORK_CYCLES] += 1
+            custom[k_cycles] += 1
+            if max_cycles is not None and cycles > max_cycles:
+                raise RuntimeError(
+                    f"wavefront {ctx.wf_id} exceeded max_work_cycles="
+                    f"{max_cycles}; termination protocol stuck?"
+                )
+
+            yield from queue.acquire(ctx, st)
+            idle = wf_size - st.n_token
+            custom[K_IDLE_CYCLES] += idle
+            custom[k_idle] += idle
+            probe = ctx.probe
+            if probe is not None:
+                probe.sched_tokens(probe.now, ctx.wf_id, st.n_token, wf_size)
+            if st.n_token == 0:
+                continue
+
+            res = yield from worker.work_cycle(ctx, wstate, st)
+            n_new = int(res.new_counts.sum())
+            n_done = int(res.completed.sum())
+
+            # fused accounting: one fetch-add covers +new and -done, and
+            # must land before the new tokens become visible (publish).
+            delta = n_new - n_done
+            if n_new or n_done:
+                op = AtomicRMW(sched.buf_ctrl, PENDING, AtomicKind.ADD, delta)
+                yield op
+                remaining = int(op.old[0]) + delta
+                if n_new:
+                    yield from queue.publish(
+                        ctx, st, res.new_counts, res.new_tokens
+                    )
+                if n_done:
+                    st.complete(np.flatnonzero(res.completed))
+                    custom[K_TASKS_DONE] += n_done
+                    custom[k_done] += n_done
+                if remaining == 0:
+                    yield MemWrite(sched.buf_ctrl, DONE, 1)
+                elif remaining < 0:
+                    raise RuntimeError(
+                        "in-flight counter went negative: a task was "
+                        "completed twice or never accounted"
+                    )
+
+    return kernel
+

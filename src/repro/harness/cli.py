@@ -63,7 +63,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment",
         nargs="?",
         help=(
-            "experiment id (fig1, tab1..tab6, fig3..fig5) or 'all'; "
+            "experiment id (fig1, tab1..tab6, fig3..fig5, sharding) "
+            "or 'all'; "
             "or a subcommand: 'profile' (single profiled runs) / "
             "'runs' (query the run ledger) — see '<subcommand> --help'"
         ),

@@ -24,7 +24,7 @@ from repro.graphs import (
     paper_dataset_names,
     saturation_levels,
 )
-from repro.simt import FIJI, SPECTRE, paper_workgroups
+from repro.simt import FIJI, SPECTRE, SimulationTimeout, paper_workgroups
 
 from .config import VARIANTS, HarnessConfig
 from .paper_data import (
@@ -441,6 +441,140 @@ def run_tab6(cfg: HarnessConfig) -> ExperimentResult:
     return ExperimentResult("tab6", title, text, data)
 
 
+# ----------------------------------------------------------------------
+# Sharding ablation (beyond the paper): multi-queue + work stealing
+# ----------------------------------------------------------------------
+def run_sharding(cfg: HarnessConfig) -> ExperimentResult:
+    """Sharding ablation: shards x steal vs the single RF/AN queue.
+
+    Runs the persistent BFS with :class:`~repro.core.ShardedQueue` over
+    ``shards in {1, 2, 4, n_cus} x steal {off, on}`` against the
+    single-queue RF/AN baseline, on the saturating Synthetic plateau and
+    the power-law soc-LiveJournal1 stand-in.  The regime is deliberately
+    queue-bound: Fiji at 8 wavefronts/CU (twice the paper's occupancy)
+    with ``subtasks_per_cycle=1``, so scheduler/queue hot words — not
+    memory latency — pace the run.  Synthetic always runs at full
+    harness scale: its plateau must exceed the resident lane count or
+    the run is frontier-limited and the ablation measures nothing.
+
+    The ``shards=1`` row is the equivalence pin: it must be
+    *bit-identical* to the RF/AN baseline (same cycles, same stats).
+    Stranded configurations (no stealing at high shard counts leaves
+    most of the machine idle forever) are capped at 3x the baseline's
+    cycles and reported as censored rather than simulated to the end.
+    """
+    title = "Sharding ablation — sharded RF/AN + work stealing vs one queue"
+    dev = FIJI
+    wg = 2 * paper_workgroups(dev)  # 8 wavefronts/CU: queue-bound
+    sub = 1
+    quantum, spin = 32, 1
+    shard_counts = [1, 2, 4, dev.n_cus]
+    rows = []
+    data: Dict[str, Dict] = {
+        "device": dev.name, "workgroups": wg, "subtasks_per_cycle": sub,
+        "steal_quantum": quantum, "spin_threshold": spin,
+        "cells": {}, "baseline": {},
+    }
+
+    def sharded_factory(n_shards: int, steal: bool):
+        def make(capacity: int):
+            from repro.core import ShardedQueue
+
+            per = (
+                capacity if n_shards == 1
+                else capacity // n_shards + max(64, 16 * quantum)
+            )
+            return ShardedQueue(
+                per, n_shards=n_shards, steal=steal,
+                steal_quantum=quantum, spin_threshold=spin,
+            )
+        return make
+
+    for name in ("Synthetic", "soc-LiveJournal1"):
+        if name == "Synthetic":
+            extra = 8.0 if cfg.quick else 1.0  # undo the quick shrink
+        else:
+            extra = 0.5 if cfg.quick else 0.25  # as fig4 scales sweeps
+        g = cfg.build(name, extra_factor=extra)
+        src = cfg.source(name)
+        base = run_persistent_bfs(
+            g, src, "RF/AN", dev, wg, verify=cfg.verify,
+            subtasks_per_cycle=sub, max_cycles=cfg.max_cycles,
+        )
+        data["baseline"][name] = {
+            "cycles": base.cycles,
+            "snapshot": {k: int(v) for k, v in
+                         sorted(base.stats.snapshot().items())
+                         if isinstance(v, (int, float))},
+        }
+        rows.append([name, "RF/AN", 1, "-", base.cycles, "1.000x",
+                     0, 0, "-", "-"])
+        cap_cycles = min(cfg.max_cycles, 3 * base.cycles)
+        for n_shards in shard_counts:
+            for steal in ((False,) if n_shards == 1 else (False, True)):
+                try:
+                    run = run_persistent_bfs(
+                        g, src, "SHARDED", dev, wg, verify=cfg.verify,
+                        subtasks_per_cycle=sub, max_cycles=cap_cycles,
+                        queue_factory=sharded_factory(n_shards, steal),
+                    )
+                except SimulationTimeout:
+                    rows.append([name, "SHARDED", n_shards,
+                                 "on" if steal else "off",
+                                 f">{cap_cycles}",
+                                 f"<{base.cycles / cap_cycles:.2f}x",
+                                 "-", "-", "-", "stranded"])
+                    data["cells"][f"{name}|sh{n_shards}|steal{int(steal)}"] = {
+                        "cycles": None, "censored_at": cap_cycles,
+                    }
+                    continue
+                c = run.stats.custom
+                hits = int(c.get("queue.steal_hits", 0))
+                stolen = int(c.get("queue.stolen_tokens", 0))
+                shard_tasks = [
+                    int(c.get(f"scheduler.shard{i}.tasks_completed", 0))
+                    for i in range(n_shards)
+                ]
+                total_tasks = sum(shard_tasks)
+                imbalance = (
+                    round(max(shard_tasks) * n_shards / total_tasks, 2)
+                    if n_shards > 1 and total_tasks else 1.0
+                )
+                bit_identical = ""
+                if n_shards == 1:
+                    same = (
+                        run.cycles == base.cycles
+                        and run.stats.snapshot() == base.stats.snapshot()
+                    )
+                    bit_identical = "yes" if same else "NO (DRIFT)"
+                speedup = base.cycles / run.cycles
+                rows.append([
+                    name, "SHARDED", n_shards, "on" if steal else "off",
+                    run.cycles, f"{speedup:.3f}x", hits, stolen,
+                    imbalance if n_shards > 1 else "-",
+                    bit_identical or "-",
+                ])
+                data["cells"][f"{name}|sh{n_shards}|steal{int(steal)}"] = {
+                    "cycles": run.cycles,
+                    "speedup": speedup,
+                    "steal_hits": hits,
+                    "stolen_tokens": stolen,
+                    "shard_tasks": shard_tasks,
+                    "imbalance": imbalance,
+                    "bit_identical_to_rfan": (
+                        bit_identical == "yes" if n_shards == 1 else None
+                    ),
+                }
+    text = render_table(
+        ["Dataset", "Queue", "Shards", "Steal", "Cycles", "Speedup",
+         "Steals", "Stolen", "Imbal", "Pin"],
+        rows,
+        title=f"{title} ({dev.name}, {wg} WGs, "
+        f"subtasks/cycle={sub}, quantum={quantum})",
+    )
+    return ExperimentResult("sharding", title, text, data)
+
+
 #: experiment id -> runner, in paper order.
 EXPERIMENTS = {
     "fig1": run_fig1,
@@ -453,6 +587,8 @@ EXPERIMENTS = {
     "fig5": run_fig5,
     "tab5": run_tab5,
     "tab6": run_tab6,
+    # beyond the paper: sharded multi-queue + work-stealing ablation
+    "sharding": run_sharding,
 }
 
 

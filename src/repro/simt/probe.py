@@ -157,6 +157,18 @@ class Probe:
         """Raw ``slots`` handed ``tokens`` to dequeuing lanes (aligned
         arrays; the value-carrying companion of :meth:`queue_grant`)."""
 
+    def queue_steal(
+        self, src_prefix: str, dst_prefix: str, src_slots, dst_base: int,
+        tokens,
+    ) -> None:
+        """A work-stealing transfer moved ``tokens`` from raw
+        ``src_slots`` of the ``src_prefix`` queue into ``len(tokens)``
+        slots starting at raw ``dst_base`` of the ``dst_prefix`` queue
+        (sharded scheduling, :mod:`repro.core.queue_sharded`).  Emitted
+        by the thief after its destination-side reservation and before
+        the matching ``queue_deliver`` on the source, so a multi-queue
+        oracle can tell a cross-shard transfer from a lane delivery."""
+
     # ------------------------------------------------------------------
     # scheduler callbacks
     # ------------------------------------------------------------------

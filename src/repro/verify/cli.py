@@ -26,7 +26,7 @@ import time
 from typing import List, Optional
 
 from .runner import Report, deep_plan, quick_plan, run_plan, selftest
-from .scenario import ALL_VARIANTS, Scenario, run_scenario
+from .scenario import CLI_VARIANTS, Scenario, run_scenario
 from .shrink import (
     counterexample_dict,
     load_counterexample,
@@ -66,7 +66,7 @@ def _explore_args(p: argparse.ArgumentParser) -> None:
                         help="nightly budget: ~10x quick")
     p.add_argument("--seed", type=int, default=0,
                    help="base seed for the schedule PRNGs")
-    p.add_argument("--variant", action="append", choices=ALL_VARIANTS,
+    p.add_argument("--variant", action="append", choices=CLI_VARIANTS,
                    help="restrict to these variants (repeatable)")
     p.add_argument("--max-scenarios", type=int, default=None,
                    help="cap the plan (debugging aid)")

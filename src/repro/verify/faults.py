@@ -38,6 +38,16 @@ plant                  variant     bug / expected detection
                                    ``deliver-unwritten-slot`` under
                                    adversarial exploration, silent under the
                                    engine's native order.
+``steal-double-        SHARDED     the thief republishes one stolen batch
+deliver``                          twice (a re-executed transfer loop);
+                                   caught by the multi-queue oracle at the
+                                   second transfer announcement
+                                   (``steal-double-transfer``).
+``steal-lost-task``    SHARDED     the thief drops the last stolen token's
+                                   home-side store; the scheduler wedges and
+                                   the multi-queue oracle localizes the
+                                   transfer that never landed
+                                   (``steal-transfer-incomplete``).
 =====================  ==========  ===========================================
 """
 
@@ -58,6 +68,7 @@ from repro.core.queue_api import (
 )
 from repro.core.queue_base_cas import BaseCasQueue
 from repro.core.queue_rfan import RetryFreeQueue
+from repro.core.queue_sharded import ShardedQueue
 from repro.simt import (
     Abort,
     AtomicKind,
@@ -347,8 +358,67 @@ class ValidBeforeDataQueue(BaseCasQueue):
             stats.custom[K_ENQ_TOKENS] += int(win_lanes.size)
 
 
+class StealDoubleDeliverQueue(ShardedQueue):
+    """Sharded queue whose thief republishes one stolen batch twice.
+
+    A re-executed transfer loop (the thief retries after a perceived
+    failure that actually succeeded — classic CAS-result mishandling):
+    the same source slots are announced, and their tokens stored at
+    home, a second time.  The instrumentation stays honest — it reports
+    the duplicated transfer exactly as the code performs it — and the
+    multi-queue oracle must convict from the announcement alone.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._doubled = False
+
+    def _republish(self, ctx, h, v, src_raw, src_phys, tokens):
+        yield from super()._republish(ctx, h, v, src_raw, src_phys, tokens)
+        if not self._doubled:
+            self._doubled = True
+            # BUG: the transfer loop runs again for the same batch.
+            yield from super()._republish(
+                ctx, h, v, src_raw, src_phys, tokens
+            )
+
+
+class StealLostTaskQueue(ShardedQueue):
+    """Sharded queue whose thief drops one stolen token's home store.
+
+    The destination-side reservation happens (the home Rear moved), the
+    victim-side slot was consumed and restored, but the last token of
+    the first transferred batch never lands at home — a masked-out lane
+    or lost write in the republish loop.  The token is gone; the
+    scheduler wedges on the in-flight counter.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._dropped = False
+
+    def _store_batch(self, ctx, h, dst_raw, dst_phys, tokens):
+        if not self._dropped and tokens.size:
+            self._dropped = True
+            keep = np.ones(tokens.size, dtype=bool)
+            keep[-1] = False
+            if keep.any():
+                yield from super()._store_batch(
+                    ctx, h, dst_raw[keep], dst_phys[keep], tokens[keep]
+                )
+            return
+        yield from super()._store_batch(ctx, h, dst_raw, dst_phys, tokens)
+
+
+#: sharded-plant construction: two shards, eager stealing, so the steal
+#: path fires deterministically under the selftest's fanout scenario.
+_SHARDED_KW = {
+    "n_shards": 2, "steal": True, "steal_quantum": 4, "spin_threshold": 1,
+}
+
 #: plant name -> (queue class, base variant, acceptable invariant names,
-#: whether detection requires adversarial schedule exploration).
+#: whether detection requires adversarial schedule exploration,
+#: optional constructor kwargs).
 PLANTS = {
     "skip-dna-restore": {
         "cls": SkipDnaRestoreQueue,
@@ -381,6 +451,25 @@ PLANTS = {
         "invariants": {"deliver-unwritten-slot", "token-corrupted"},
         "needs_schedule": True,
     },
+    "steal-double-deliver": {
+        "cls": StealDoubleDeliverQueue,
+        "variant": "SHARDED",
+        "invariants": {"steal-double-transfer"},
+        "needs_schedule": False,
+        "kwargs": dict(_SHARDED_KW),
+    },
+    "steal-lost-task": {
+        "cls": StealLostTaskQueue,
+        "variant": "SHARDED",
+        # the transfer-completeness audit localizes it; the per-shard
+        # conservation audits would also trip on the same hole.
+        "invariants": {
+            "steal-transfer-incomplete", "reservation-unfilled",
+            "token-lost",
+        },
+        "needs_schedule": False,
+        "kwargs": dict(_SHARDED_KW),
+    },
 }
 
 
@@ -392,4 +481,4 @@ def make_planted_queue(plant: str, capacity: int, circular: bool = False):
         raise ValueError(
             f"unknown plant {plant!r}; have {sorted(PLANTS)}"
         ) from None
-    return spec["cls"](capacity, circular=circular)
+    return spec["cls"](capacity, circular=circular, **spec.get("kwargs", {}))

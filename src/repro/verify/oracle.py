@@ -45,7 +45,8 @@ rather than the enqueue-side high-water mark alone.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from collections import Counter
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -425,6 +426,17 @@ class InvariantOracle(Probe):
                     )
 
     # ------------------------------------------------------------------
+    @property
+    def n_lane_delivered(self) -> int:
+        """Tokens handed to dequeuing lanes (single queue: all of them)."""
+        return len(self.delivered)
+
+    def delivered_token_counts(self) -> Counter:
+        """Multiset of token values handed to lanes (differential tests
+        compare this across variants: same workload, same multiset)."""
+        return Counter(self.delivered.values())
+
+    # ------------------------------------------------------------------
     def summary(self) -> str:
         """One-line progress digest (used to diagnose hung runs)."""
         return (
@@ -432,3 +444,201 @@ class InvariantOracle(Probe):
             f"deq_reserved={self.deq_next} delivered={len(self.delivered)} "
             f"parked={len(self.watched)} events={self.events}"
         )
+
+
+class MultiQueueOracle(Probe):
+    """The sharded-queue specification: per-shard FIFO + transfer legality.
+
+    Wraps one :class:`InvariantOracle` per shard of a
+    :class:`~repro.core.queue_sharded.ShardedQueue` — every per-shard
+    invariant of the sequential spec keeps holding verbatim inside each
+    shard — and layers the cross-shard rules of the steal protocol on
+    top:
+
+    * a transfer may only move slots the thief dequeue-reserved at the
+      victim (``steal-unreserved-slot``), carrying exactly the tokens
+      stored there (``steal-token-mismatch``), and no source slot is
+      ever transferred twice (``steal-double-transfer``);
+    * every announced transfer must land: the destination slots it
+      reserved receive exactly the transferred tokens by quiescence
+      (``steal-transfer-incomplete`` / ``steal-transfer-corrupted``);
+    * conservation across shards: transfers cancel out, so the tokens
+      delivered to *lanes* (per-shard deliveries minus transfer
+      consumptions) equal the workload's ground truth — exposed via
+      :attr:`n_lane_delivered` / :meth:`delivered_token_counts`, which
+      the scenario runner checks against the expected totals.
+
+    The per-shard ordering argument is unchanged from
+    :class:`InvariantOracle`: a thief announces ``queue_steal``
+    *between* its destination-side reservation and the victim-side
+    delivery, all inside one generator resume, so the transfer
+    classification can never race with the events it classifies.
+    """
+
+    def __init__(self, queue):
+        self.queue = queue
+        self.shards: Dict[str, InvariantOracle] = {
+            sh.prefix: InvariantOracle(sh) for sh in queue.shards
+        }
+        #: (src_prefix, src_raw_slot) ever transferred out.
+        self._transferred: Set[Tuple[str, int]] = set()
+        #: (dst_prefix, dst_raw_slot) -> token expected to land there.
+        self._expected_store: Dict[Tuple[str, int], int] = {}
+        #: multiset of tokens currently announced as transfers (their
+        #: victim-side delivery is a transfer, not a lane consumption).
+        self._transfer_tokens: Counter = Counter()
+        #: cross-shard transfer events checked here (not in sub-oracles).
+        self._own_events = 0
+
+    # -- bookkeeping shared with the scenario runner -------------------
+    @property
+    def events(self) -> int:
+        return self._own_events + sum(o.events for o in self.shards.values())
+
+    @property
+    def n_lane_delivered(self) -> int:
+        total = sum(len(o.delivered) for o in self.shards.values())
+        return total - len(self._transferred)
+
+    def delivered_token_counts(self) -> Counter:
+        counts: Counter = Counter()
+        for o in self.shards.values():
+            counts.update(o.delivered.values())
+        counts.subtract(self._transfer_tokens)
+        return +counts
+
+    def note_seed(self, tokens) -> None:
+        """Split the host seed round-robin, exactly as
+        :meth:`repro.core.queue_sharded.ShardedQueue.seed` does."""
+        toks = list(tokens)
+        n = len(self.queue.shards)
+        for i, sh in enumerate(self.queue.shards):
+            self.shards[sh.prefix].note_seed(toks[i::n])
+
+    def _fail(self, invariant: str, detail: str) -> None:
+        raise VerificationError(
+            invariant, f"SHARDED queue {self.queue.prefix!r}: {detail}"
+        )
+
+    # -- per-shard event dispatch --------------------------------------
+    def queue_register(self, prefix, capacity, variant) -> None:
+        o = self.shards.get(prefix)
+        if o is not None:
+            o.queue_register(prefix, capacity, variant)
+
+    def queue_counter(self, prefix, name, cycle, value) -> None:
+        o = self.shards.get(prefix)
+        if o is not None:
+            o.queue_counter(prefix, name, cycle, value)
+
+    def queue_reserve(self, prefix, direction, base, count) -> None:
+        o = self.shards.get(prefix)
+        if o is not None:
+            o.queue_reserve(prefix, direction, base, count)
+
+    def queue_watch(self, prefix, slots, cycle) -> None:
+        o = self.shards.get(prefix)
+        if o is not None:
+            o.queue_watch(prefix, slots, cycle)
+
+    def queue_store(self, prefix, slots, values) -> None:
+        o = self.shards.get(prefix)
+        if o is not None:
+            o.queue_store(prefix, slots, values)
+
+    def queue_deliver(self, prefix, slots, tokens) -> None:
+        o = self.shards.get(prefix)
+        if o is not None:
+            o.queue_deliver(prefix, slots, tokens)
+
+    # -- the cross-shard rules -----------------------------------------
+    def queue_steal(
+        self, src_prefix, dst_prefix, src_slots, dst_base, tokens
+    ) -> None:
+        self._own_events += 1
+        src = self.shards.get(src_prefix)
+        dst = self.shards.get(dst_prefix)
+        if src is None or dst is None:
+            self._fail(
+                "steal-unknown-shard",
+                f"transfer between {src_prefix!r} and {dst_prefix!r}, at "
+                f"least one of which is not a shard of this queue",
+            )
+        if src_prefix == dst_prefix:
+            self._fail(
+                "steal-self-transfer",
+                f"shard {src_prefix!r} announced a transfer to itself",
+            )
+        arr = np.asarray(src_slots, dtype=np.int64).reshape(-1)
+        toks = np.asarray(tokens, dtype=np.int64).reshape(-1)
+        if toks.size != arr.size:
+            self._fail(
+                "steal-shape-mismatch",
+                f"{arr.size} source slots but {toks.size} tokens",
+            )
+        dst_base = int(dst_base)
+        for i, (s, t) in enumerate(zip(arr, toks)):
+            s, t = int(s), int(t)
+            if (src_prefix, s) in self._transferred:
+                self._fail(
+                    "steal-double-transfer",
+                    f"source slot {s} of shard {src_prefix!r} transferred "
+                    "twice: the batch was duplicated",
+                )
+            if s not in src.deq_reserved:
+                self._fail(
+                    "steal-unreserved-slot",
+                    f"source slot {s} of shard {src_prefix!r} transferred "
+                    "without a dequeue-side claim on the victim's Front",
+                )
+            want = src.stored.get(s)
+            if want is None or want != t:
+                self._fail(
+                    "steal-token-mismatch",
+                    f"transfer carries token {t} from slot {s} of shard "
+                    f"{src_prefix!r} but "
+                    + ("nothing" if want is None else f"{want}")
+                    + " was stored there",
+                )
+            self._transferred.add((src_prefix, s))
+            self._transfer_tokens[t] += 1
+            key = (dst_prefix, dst_base + i)
+            if key in self._expected_store:
+                self._fail(
+                    "steal-double-transfer",
+                    f"destination slot {dst_base + i} of shard "
+                    f"{dst_prefix!r} targeted by two transfers",
+                )
+            self._expected_store[key] = t
+
+    # -- quiescence ----------------------------------------------------
+    def finish(self, memory=None) -> None:
+        # transfer completeness first: it localizes a steal-path bug
+        # more precisely than the per-shard conservation audits below.
+        for (dst_prefix, slot), tok in sorted(self._expected_store.items()):
+            got = self.shards[dst_prefix].stored.get(slot)
+            if got is None:
+                self._fail(
+                    "steal-transfer-incomplete",
+                    f"transfer reserved slot {slot} of shard "
+                    f"{dst_prefix!r} for token {tok} but the store never "
+                    "landed (token lost in transit)",
+                )
+            if got != tok:
+                self._fail(
+                    "steal-transfer-corrupted",
+                    f"transfer put {got} into slot {slot} of shard "
+                    f"{dst_prefix!r}, expected {tok}",
+                )
+        for o in self.shards.values():
+            o.finish(memory)
+
+    def summary(self) -> str:
+        parts = [
+            f"{prefix}: {o.summary()}" for prefix, o in self.shards.items()
+        ]
+        parts.append(
+            f"transfers={len(self._transferred)} "
+            f"pending_landings={len(self._expected_store)}"
+        )
+        return " | ".join(parts)

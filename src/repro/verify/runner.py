@@ -80,6 +80,45 @@ def quick_plan(base_seed: int = 0) -> List[Scenario]:
             variant=variant, workload="countdown", scale=20,
             capacity=30, expect_full=True,
         ))
+    plan += _sharded_scenarios(base_seed, deep=False)
+    return plan
+
+
+def _sharded_scenarios(base_seed: int, deep: bool) -> List[Scenario]:
+    """Multi-shard scenarios for the SHARDED composition: steal on/off,
+    native order plus seeded-random schedules (fanout's bursty publishes
+    are what actually opens steal windows)."""
+    plan: List[Scenario] = []
+    n_rand = 12 if deep else 5
+    for steal in (True, False):
+        plan.append(Scenario(
+            variant="SHARDED", workload="fanout", scale=255,
+            shards=2, steal=steal,
+        ))
+        plan.append(Scenario(
+            variant="SHARDED", workload="countdown", scale=12,
+            shards=2, steal=steal,
+        ))
+        for k in range(n_rand):
+            plan.append(Scenario(
+                variant="SHARDED", workload="fanout", scale=255,
+                shards=2, steal=steal,
+                schedule=_random(base_seed + 300 + k),
+            ))
+        for k in range(n_rand // 2):
+            plan.append(Scenario(
+                variant="SHARDED", workload="countdown", scale=12,
+                shards=2, steal=steal,
+                schedule=_random(base_seed + 400 + k),
+            ))
+    if deep:
+        for n_wf in (4, 8):
+            for k in range(10):
+                plan.append(Scenario(
+                    variant="SHARDED", workload="fanout", scale=255,
+                    shards=2, steal=True, n_wavefronts=n_wf,
+                    schedule=_random(base_seed + 500 + 50 * n_wf + k),
+                ))
     return plan
 
 
@@ -134,6 +173,7 @@ def deep_plan(base_seed: int = 0) -> List[Scenario]:
             variant=variant, workload="fanout", scale=127,
             capacity=60, expect_full=True,
         ))
+    plan += _sharded_scenarios(base_seed, deep=True)
     return plan
 
 
@@ -185,6 +225,27 @@ def run_plan(
 def _selftest_scenarios(plant: str, deep: bool) -> List[Scenario]:
     spec = PLANTS[plant]
     variant = spec["variant"]
+    if variant == "SHARDED":
+        # the steal plants need the steal path to fire: fanout's bursty
+        # publishes open surplus windows (rear ahead of the parked
+        # front) at the loaded shard while the other shard's wavefronts
+        # spin empty, so the native order steals deterministically.
+        # Scenario shard fields mirror the plant's constructor kwargs.
+        kw = spec.get("kwargs", {})
+        base = dict(
+            plant=plant, variant=variant, workload="fanout", scale=255,
+            shards=kw.get("n_shards", 2), steal=kw.get("steal", True),
+            steal_quantum=kw.get("steal_quantum", 4),
+            spin_threshold=kw.get("spin_threshold", 1),
+            max_work_cycles=3_000,
+        )
+        out = [Scenario(**base)]
+        if spec["needs_schedule"] or deep:
+            out += [
+                Scenario(**base, schedule=_random(k))
+                for k in range(20 if deep else 10)
+            ]
+        return out
     if not spec["needs_schedule"]:
         sc = Scenario(
             plant=plant, variant=variant, workload="countdown", scale=12,

@@ -21,19 +21,30 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
-from repro.core import SchedulerControl, make_queue, persistent_kernel
+from repro.core import (
+    SchedulerControl,
+    ShardedQueue,
+    make_queue,
+    persistent_kernel,
+    sharded_persistent_kernel,
+)
 from repro.core.scheduler import K_TASKS_DONE
 from repro.simt import TESTGPU, Engine
 from repro.simt.errors import KernelAbort, SimulationTimeout
 
 from . import workloads
 from .faults import make_planted_queue
-from .oracle import InvariantOracle, VerificationError
+from .oracle import InvariantOracle, MultiQueueOracle, VerificationError
 from .schedule import build_controller
 
 #: variants explored by default: the three shipping queues + the naive
 #: ablation from repro.ext.
 ALL_VARIANTS = ("RF/AN", "AN", "BASE", "NAIVE")
+
+#: variants a scenario may name: the default family + the sharded
+#: composition (explored via dedicated multi-shard scenarios rather
+#: than the whole per-variant family — at ``shards=1`` it is RF/AN).
+CLI_VARIANTS = ALL_VARIANTS + ("SHARDED",)
 
 
 @dataclass
@@ -51,19 +62,32 @@ class Scenario:
     expect_full: bool = False           # scenario *must* abort queue-full
     max_work_cycles: int = 20_000
     max_cycles: int = 10_000_000
+    # sharded composition (variant "SHARDED"; ignored otherwise)
+    shards: int = 1
+    steal: bool = True
+    steal_quantum: int = 4
+    spin_threshold: int = 1
 
     def resolved_capacity(self) -> int:
         if self.capacity is not None:
             return int(self.capacity)
         total = workloads.max_enqueues(self.workload, self.scale)
         if not self.circular:
-            # monotonic: one raw slot per token ever enqueued.
+            # monotonic: one raw slot per token ever enqueued.  Sharded:
+            # capacity is *per shard* — in the worst case one shard sees
+            # every publish, and every cross-shard transfer additionally
+            # consumes fresh raw slots at its destination.
+            if self.shards > 1:
+                return total + max(64, 16 * self.steal_quantum)
             return total
         # circular: must exceed in-flight + monitored entries (§4.2) —
         # every resident lane may park on a slot while the workload's
         # frontier is in the queue.
         lanes = self.n_wavefronts * TESTGPU.wavefront_size
-        return lanes + min(total, self.scale + 4) + 8
+        cap = lanes + min(total, self.scale + 4) + 8
+        if self.shards > 1:
+            cap += 16 * self.steal_quantum
+        return cap
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -76,6 +100,10 @@ class Scenario:
     def label(self) -> str:
         bits = [self.variant, self.workload, f"s{self.scale}",
                 f"w{self.n_wavefronts}"]
+        if self.shards > 1:
+            bits.append(
+                f"sh{self.shards}" + ("+steal" if self.steal else "")
+            )
         if self.circular:
             bits.append("circ")
         if self.plant:
@@ -100,6 +128,10 @@ class Outcome:
     tasks_completed: int = 0
     events: int = 0
     scenario: dict = field(default_factory=dict)
+    #: multiset of tokens delivered to lanes ({token: count}; clean runs
+    #: only) — the differential queue-family suite compares this across
+    #: variants.
+    delivered_counts: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -112,6 +144,15 @@ def _build_queue(sc: Scenario, capacity: int):
         from repro.ext.queue_naive_cas import NaiveCasQueue
 
         return NaiveCasQueue(capacity, circular=sc.circular)
+    if sc.variant == "SHARDED":
+        return ShardedQueue(
+            capacity,
+            circular=sc.circular,
+            n_shards=sc.shards,
+            steal=sc.steal,
+            steal_quantum=sc.steal_quantum,
+            spin_threshold=sc.spin_threshold,
+        )
     return make_queue(sc.variant, capacity=capacity, circular=sc.circular)
 
 
@@ -132,10 +173,17 @@ def run_scenario(sc: Scenario) -> Outcome:
     queue.seed(eng.memory, seeds)
     sched.seed(eng.memory, len(seeds))
 
-    oracle = InvariantOracle(queue)
+    if getattr(queue, "n_shards", 1) > 1:
+        oracle = MultiQueueOracle(queue)
+        kern = sharded_persistent_kernel(queue, worker, sched)
+    else:
+        # a single-shard ShardedQueue is spec-identical to its inner
+        # variant, so the plain sequential oracle applies verbatim.
+        inner = queue.shards[0] if isinstance(queue, ShardedQueue) else queue
+        oracle = InvariantOracle(inner)
+        kern = persistent_kernel(queue, worker, sched)
     oracle.note_seed(seeds)
     controller = build_controller(sc.schedule)
-    kern = persistent_kernel(queue, worker, sched)
 
     def failed(invariant: str, detail: str, res=None) -> Outcome:
         return Outcome(
@@ -200,12 +248,12 @@ def run_scenario(sc: Scenario) -> Outcome:
             f"completed {tasks} tasks, workload defines {expected}",
             res,
         )
-    n_delivered = len(oracle.delivered)
+    n_delivered = oracle.n_lane_delivered
     if n_delivered != expected:
         return failed(
             "delivery-count-mismatch",
-            f"queue delivered {n_delivered} tokens, workload moves "
-            f"{expected} | {oracle.summary()}",
+            f"queue delivered {n_delivered} tokens to lanes, workload "
+            f"moves {expected} | {oracle.summary()}",
             res,
         )
     return Outcome(
@@ -214,4 +262,7 @@ def run_scenario(sc: Scenario) -> Outcome:
         tasks_completed=tasks,
         events=oracle.events,
         scenario=sc.to_dict(),
+        delivered_counts={
+            int(t): int(c) for t, c in oracle.delivered_token_counts().items()
+        },
     )

@@ -57,6 +57,14 @@ def _candidates(sc: Scenario) -> List[Scenario]:
             if patience > 8:
                 out.append(variant(
                     schedule={**sc.schedule, "patience": patience // 2}))
+    # simplify the sharded composition: fewer shards, stealing off (a
+    # sharded failure that survives shards=1 is an inner-variant bug)
+    if sc.shards > 1:
+        out.append(variant(shards=1))
+        if sc.shards > 2:
+            out.append(variant(shards=2))
+        if sc.steal:
+            out.append(variant(steal=False))
     # drop circularity (keeps capacity; the wrap bug may be a plain bug)
     if sc.circular:
         out.append(variant(circular=False, capacity=None))

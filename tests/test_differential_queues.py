@@ -1,0 +1,172 @@
+"""Differential testing across the whole queue family.
+
+A hypothesis-style seeded driver: a pinned PRNG generates workload /
+launch-geometry / schedule configurations, and every configuration is
+run through **all five** queue implementations — ``RF/AN``, ``AN``,
+``BASE``, ``NAIVE``, and ``SHARDED(shards=1)``.  The workloads are
+deterministic task graphs, so regardless of dequeue order every correct
+queue must deliver exactly the same *multiset* of tokens; each run also
+passes through the full invariant oracle (per-variant FIFO windows,
+reservation accounting, conservation).
+
+Disagreement handling mirrors ``python -m repro.verify``: the failing
+scenario is greedily shrunk (oracle findings) or serialized as-is
+(cross-variant disagreements) into a replayable counterexample artifact,
+and the assertion message carries its path —
+``python -m repro.verify replay <file>`` reproduces the run.
+
+Everything is seeded; the suite is deterministic and fast enough for the
+PR-gate test shard (no ``slow`` marker).
+"""
+
+import os
+import random
+import tempfile
+
+import pytest
+
+from repro.verify.scenario import Outcome, Scenario, run_scenario
+from repro.verify.shrink import (
+    SCHEMA,
+    counterexample_dict,
+    shrink,
+    write_counterexample,
+)
+
+#: the queue family under differential test.  SHARDED is pinned to its
+#: single-shard configuration here: the multi-shard compositions get
+#: their own oracle (MultiQueueOracle) and exploration plan.
+FAMILY = ("RF/AN", "AN", "BASE", "NAIVE", "SHARDED")
+
+SEED = 0xD1FF
+N_CONFIGS = 12
+
+
+def _configs(seed: int, n: int):
+    """Seeded deterministic configuration generator."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        workload = rng.choice(("countdown", "fanout"))
+        scale = (
+            rng.choice((6, 12, 24))
+            if workload == "countdown"
+            else rng.choice((31, 63, 127))
+        )
+        n_wf = rng.choice((2, 4, 6))
+        if rng.random() < 0.25:
+            schedule = None  # engine-native order
+        else:
+            schedule = {
+                "kind": "random",
+                "seed": rng.randrange(10_000),
+                "hold_prob": rng.choice((0.1, 0.15, 0.25)),
+                "burst": rng.choice((24, 48, 96)),
+            }
+        out.append((workload, scale, n_wf, schedule))
+    return out
+
+
+def _scenario(variant, workload, scale, n_wf, schedule) -> Scenario:
+    return Scenario(
+        variant=variant, workload=workload, scale=scale,
+        n_wavefronts=n_wf, schedule=schedule, max_work_cycles=5_000,
+    )
+
+
+def _dump_oracle_finding(out: Outcome) -> str:
+    """Shrink an oracle finding and write the replayable artifact."""
+    sc, shrunk, runs = shrink(out, budget=30)
+    d = tempfile.mkdtemp(prefix="queue-diff-")
+    path = os.path.join(d, f"counterexample-{shrunk.invariant}.json")
+    write_counterexample(path, counterexample_dict(out, sc, shrunk, runs))
+    return path
+
+
+def _dump_disagreement(sc: Scenario, detail: str) -> str:
+    """Serialize a cross-variant disagreement as a replayable artifact.
+
+    There is no single oracle invariant to shrink against — the run
+    itself verified clean — so the scenario is written unshrunken under
+    a synthetic invariant name.
+    """
+    d = tempfile.mkdtemp(prefix="queue-diff-")
+    path = os.path.join(d, "counterexample-differential-disagreement.json")
+    write_counterexample(path, {
+        "schema": SCHEMA,
+        "invariant": "differential-disagreement",
+        "detail": detail,
+        "scenario": sc.to_dict(),
+        "original_scenario": sc.to_dict(),
+        "original_detail": detail,
+        "shrink_runs": 0,
+        "replay": "python -m repro.verify replay <this-file>",
+    })
+    return path
+
+
+@pytest.mark.parametrize(
+    "workload,scale,n_wf,schedule",
+    _configs(SEED, N_CONFIGS),
+    ids=[f"cfg{i}" for i in range(N_CONFIGS)],
+)
+def test_queue_family_delivers_identical_multisets(
+    workload, scale, n_wf, schedule
+):
+    reference = None
+    ref_variant = None
+    for variant in FAMILY:
+        sc = _scenario(variant, workload, scale, n_wf, schedule)
+        out = run_scenario(sc)
+        if not out.ok:
+            path = _dump_oracle_finding(out)
+            pytest.fail(
+                f"{variant} failed its own invariants on {sc.label()}: "
+                f"[{out.invariant}] {out.detail}\n  artifact: {path}"
+            )
+        assert out.delivered_counts, (
+            f"{variant} delivered nothing on {sc.label()}"
+        )
+        if reference is None:
+            reference, ref_variant = out.delivered_counts, variant
+        elif out.delivered_counts != reference:
+            only_ref = {
+                t: c for t, c in reference.items()
+                if out.delivered_counts.get(t) != c
+            }
+            only_here = {
+                t: c for t, c in out.delivered_counts.items()
+                if reference.get(t) != c
+            }
+            detail = (
+                f"{variant} disagrees with {ref_variant} on "
+                f"{sc.label()}: {ref_variant} only {only_ref}, "
+                f"{variant} only {only_here}"
+            )
+            path = _dump_disagreement(sc, detail)
+            pytest.fail(f"{detail}\n  artifact: {path}")
+
+
+def test_config_generator_is_pinned():
+    # the whole point is reproducibility: the seeded generator must
+    # produce the same plan forever (update this pin only deliberately,
+    # in the same change that re-seeds the sweep).
+    first = _configs(SEED, N_CONFIGS)
+    again = _configs(SEED, N_CONFIGS)
+    assert first == again
+    workloads = [c[0] for c in first]
+    assert "countdown" in workloads and "fanout" in workloads
+    natives = [c for c in first if c[3] is None]
+    assert natives, "plan must include at least one native-order config"
+
+
+def test_disagreement_artifact_is_replayable():
+    # the dump path must produce a file `python -m repro.verify replay`
+    # accepts — guard the schema contract the driver relies on.
+    from repro.verify.shrink import load_counterexample
+
+    sc = _scenario("RF/AN", "countdown", 6, 2, None)
+    path = _dump_disagreement(sc, "synthetic check")
+    loaded, invariant = load_counterexample(path)
+    assert loaded == sc
+    assert invariant == "differential-disagreement"

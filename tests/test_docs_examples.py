@@ -15,6 +15,10 @@ from repro import simt
 from repro.core import SchedulerControl, WorkCycleResult, make_queue, persistent_kernel
 from repro.simt import AtomicKind, AtomicRMW, Compute
 
+# the quickstart example simulates a full harness-scale BFS launch —
+# multi-second; ride the slow CI shard with the other end-to-end runs.
+pytestmark = pytest.mark.slow
+
 REPO = Path(__file__).resolve().parents[1]
 
 

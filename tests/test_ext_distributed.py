@@ -1,0 +1,129 @@
+"""Coverage for the distributed-queues extension's less-travelled paths.
+
+``tests/test_ext_queues.py`` pins the happy paths (home dequeue,
+stealing, seeding); these tests exercise what it leaves dark: the
+donation mechanism, constructor/seed validation, circular layouts,
+steal-cursor rotation, and the queue-full abort surfacing through the
+scheduler.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import QueueFull, SchedulerControl, persistent_kernel
+from repro.ext import DistributedWorkQueues
+from repro.ext.distributed import K_DONATIONS, K_STEALS
+from repro.simt import Engine, KernelAbort
+
+from test_core_scheduler import CountdownWorker, FanoutWorker
+
+
+def run_with_queue(q, worker, seeds, testgpu, n_wf=6):
+    eng = Engine(testgpu)
+    sched = SchedulerControl()
+    q.allocate(eng.memory)
+    sched.allocate(eng.memory)
+    q.seed(eng.memory, seeds)
+    sched.seed(eng.memory, len(seeds))
+    kern = persistent_kernel(q, worker, sched)
+    res = eng.launch(kern, n_wf, params={"max_work_cycles": 500_000})
+    return eng, sched, res
+
+
+class TestDonation:
+    def test_burst_publishes_are_donated(self, testgpu):
+        # fanout's binary-tree bursts exceed a threshold of 1 whenever a
+        # wavefront publishes two children in one batch; the excess must
+        # land on the neighbour queue and be counted.
+        q = DistributedWorkQueues(
+            capacity=8192, n_queues=3, donate_threshold=1
+        )
+        eng, sched, res = run_with_queue(
+            q, FanoutWorker(1023), [0], testgpu, n_wf=6
+        )
+        assert res.stats.custom["scheduler.tasks_completed"] == 1023
+        assert res.stats.custom[K_DONATIONS] > 0
+        assert sched.is_done(eng.memory)
+
+    def test_donation_spreads_load_across_queues(self, testgpu):
+        # with a single seeded home queue and no donation, the other
+        # queues only fill via stealing; donation must put tokens there
+        # directly — observable as rear > 0 on a neighbour queue.
+        q = DistributedWorkQueues(
+            capacity=8192, n_queues=2, donate_threshold=1
+        )
+        eng, _, res = run_with_queue(
+            q, FanoutWorker(255), [0], testgpu, n_wf=2
+        )
+        rears = [int(eng.memory[q._ctrl(i)][1]) for i in range(2)]
+        assert min(rears) > 0
+        assert res.stats.custom[K_DONATIONS] > 0
+
+    def test_single_queue_never_donates(self, testgpu):
+        q = DistributedWorkQueues(
+            capacity=8192, n_queues=1, donate_threshold=1
+        )
+        _, _, res = run_with_queue(q, FanoutWorker(255), [0], testgpu)
+        assert res.stats.custom.get(K_DONATIONS, 0) == 0
+
+    def test_invalid_donate_threshold(self):
+        with pytest.raises(ValueError):
+            DistributedWorkQueues(capacity=8, n_queues=2, donate_threshold=0)
+        with pytest.raises(ValueError):
+            DistributedWorkQueues(capacity=8, n_queues=2, donate_threshold=-3)
+
+
+class TestValidationAndLayout:
+    def test_seed_overflow_raises_queue_full(self, testgpu):
+        eng = Engine(testgpu)
+        q = DistributedWorkQueues(capacity=2, n_queues=2)
+        q.allocate(eng.memory)
+        with pytest.raises(QueueFull):
+            q.seed(eng.memory, [1, 2, 3, 4, 5])
+
+    def test_seed_rejects_negative_tokens(self, testgpu):
+        eng = Engine(testgpu)
+        q = DistributedWorkQueues(capacity=8, n_queues=2)
+        q.allocate(eng.memory)
+        with pytest.raises(ValueError):
+            q.seed(eng.memory, [1, -2])
+
+    def test_circular_layout_completes_countdown(self, testgpu):
+        # tight circular rings force physical-slot wrap-around in every
+        # queue; the run must still complete exactly.
+        q = DistributedWorkQueues(capacity=48, n_queues=2, circular=True)
+        eng, sched, res = run_with_queue(
+            q, CountdownWorker(), [12, 9, 5], testgpu
+        )
+        assert res.stats.custom["scheduler.tasks_completed"] == 12 + 9 + 5 + 3
+        assert sched.is_done(eng.memory)
+
+    def test_queue_full_aborts_launch(self, testgpu):
+        # undersized non-circular queues must surface the full condition
+        # as a kernel abort, not silently drop tokens.
+        q = DistributedWorkQueues(capacity=6, n_queues=2)
+        eng = Engine(testgpu)
+        sched = SchedulerControl()
+        q.allocate(eng.memory)
+        sched.allocate(eng.memory)
+        q.seed(eng.memory, [30, 30, 30, 30])
+        sched.seed(eng.memory, 4)
+        kern = persistent_kernel(q, CountdownWorker(), sched)
+        with pytest.raises(KernelAbort):
+            eng.launch(kern, 6, params={"max_work_cycles": 500_000})
+
+
+class TestStealRotation:
+    def test_steal_attempts_cover_multiple_victims(self, testgpu):
+        # with 4 queues and only queue 0 seeded, a starved wavefront's
+        # round-robin cursor must rotate across victims rather than
+        # re-probing one; stealing more than once proves rotation since
+        # each work cycle probes a different victim.
+        q = DistributedWorkQueues(capacity=8192, n_queues=4)
+        _, _, res = run_with_queue(
+            q, FanoutWorker(2047), [0], testgpu, n_wf=8
+        )
+        assert res.stats.custom["scheduler.tasks_completed"] == 2047
+        assert res.stats.custom[K_STEALS] > res.stats.custom.get(
+            "queue.steal_hits", 0
+        )

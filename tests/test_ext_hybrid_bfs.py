@@ -70,3 +70,48 @@ class TestDirectionSwitching:
         hybrid = run_hybrid_bfs(g, 0, testgpu, verify=True)
         rfan = run_persistent_bfs(g, 0, "RF/AN", testgpu, 8, verify=True)
         assert rfan.cycles < hybrid.cycles
+
+
+class TestEdgesAndPlumbing:
+    """The driver's less-travelled paths: degenerate graphs, the
+    default-workgroups branch, and switching *back* to top-down."""
+
+    def test_edgeless_graph_single_level(self, testgpu):
+        # no edges at all: the reversed graph is empty too (the 1-word
+        # in-sources fallback allocation), and a 1-vertex frontier on a
+        # 4-vertex graph already exceeds the default switch fraction,
+        # so this single level runs the *bottom-up* kernel over an
+        # empty in-edge list.  One level, only the source reached.
+        g = CSRGraph.from_edges(4, [])
+        run = run_hybrid_bfs(g, 2, testgpu, verify=True)
+        assert run.costs.tolist() == [-1, -1, 0, -1]
+        assert run.extra["modes"] == ["bu"]
+        assert run.extra["levels"] == 1
+
+    def test_single_vertex(self, testgpu):
+        run = run_hybrid_bfs(CSRGraph.from_edges(1, []), 0, testgpu)
+        assert run.costs.tolist() == [0]
+
+    def test_default_workgroups_is_device_max(self, testgpu):
+        run = run_hybrid_bfs(path_graph(6), 0, testgpu, verify=True)
+        assert run.n_workgroups == testgpu.max_resident_wavefronts
+
+    def test_switches_back_to_topdown_when_frontier_shrinks(self, testgpu):
+        # a star with a tail: the hub explosion crosses the switch
+        # threshold (bottom-up), then the frontier collapses onto the
+        # tail path and the driver must flip back to top-down.
+        edges = [(0, v) for v in range(1, 12)]
+        edges += [(11, 12), (12, 13), (13, 14)]
+        g = CSRGraph.from_edges(15, edges)
+        run = run_hybrid_bfs(
+            g, 0, testgpu, switch_fraction=0.5, verify=True
+        )
+        modes = run.extra["modes"]
+        assert "bu" in modes
+        assert modes.index("bu") < len(modes) - 1
+        assert modes[-1] == "td"
+        assert run.costs[14] == 4
+
+    def test_mode_log_matches_level_count(self, testgpu):
+        run = run_hybrid_bfs(path_graph(9), 0, testgpu, verify=True)
+        assert len(run.extra["modes"]) == run.extra["levels"]

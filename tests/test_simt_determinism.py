@@ -18,6 +18,11 @@ import numpy as np
 import pytest
 
 from repro.bfs import run_persistent_bfs
+
+# every test here re-simulates full BFS launches two or three times to
+# compare them bit-for-bit — by far the costliest file in the suite, so
+# it rides the slow CI shard (pytest -m slow).
+pytestmark = pytest.mark.slow
 from repro.graphs import dataset
 from repro.simt import (
     Compute,
@@ -185,6 +190,37 @@ def test_controlled_fifo_run_is_bit_identical_to_uncontrolled(variant):
     assert plain.cycles == controlled.cycles
     assert plain.stats.snapshot() == controlled.stats.snapshot()
     assert np.array_equal(plain.costs, controlled.costs)
+
+
+def test_sharded_single_shard_is_bit_identical_to_rfan():
+    # the sharded composition at shards=1 must be a pure pass-through:
+    # same cycles, same stats snapshot, same metric items, same costs as
+    # the bare RF/AN queue under the plain persistent kernel — the
+    # equivalence pin that keeps every existing RF/AN number valid.
+    from repro.bfs.common import bfs_queue_capacity
+    from repro.core import ShardedQueue
+
+    spec = dataset("Synthetic")
+    g = spec.build(spec.default_scale * 0.25)
+    plain = run_persistent_bfs(
+        g, spec.source, "RF/AN", TESTGPU, 4, verify=False
+    )
+    cap = bfs_queue_capacity(g, TESTGPU, 4)
+    sharded = run_persistent_bfs(
+        g, spec.source, "SHARDED", TESTGPU, 4, verify=False,
+        queue_factory=lambda c: ShardedQueue(c, n_shards=1, steal=False),
+        capacity=cap,
+    )
+    assert sharded.cycles == plain.cycles
+    assert sharded.stats.snapshot() == plain.stats.snapshot()
+    assert sorted(sharded.stats.metric_items()) == sorted(
+        plain.stats.metric_items()
+    )
+    assert np.array_equal(sharded.costs, plain.costs)
+    # no steal/shard counter keys may leak into the single-shard config
+    assert not any(
+        "steal" in k or "shard" in k for k in sharded.stats.custom
+    )
 
 
 def test_draining_thousands_of_exiting_wavefronts_is_iterative():

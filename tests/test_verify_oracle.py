@@ -19,6 +19,7 @@ import pytest
 from repro.core.constants import DNA
 from repro.verify.faults import PLANTS
 from repro.verify.oracle import InvariantOracle, VerificationError
+from repro.verify.runner import _selftest_scenarios
 from repro.verify.scenario import ALL_VARIANTS, Scenario, run_scenario
 
 
@@ -300,11 +301,10 @@ class TestPlantedBugs:
         [p for p, spec in sorted(PLANTS.items()) if not spec["needs_schedule"]],
     )
     def test_deterministic_plants_are_caught(self, plant):
+        # the runner knows which workload/geometry exposes each plant
+        # (e.g. the steal plants need fanout bursts on a 2-shard queue)
         spec = PLANTS[plant]
-        out = run_scenario(Scenario(
-            plant=plant, variant=spec["variant"], scale=12,
-            max_work_cycles=3_000,
-        ))
+        out = run_scenario(_selftest_scenarios(plant, deep=False)[0])
         assert not out.ok, f"oracle is blind to planted bug {plant}"
         assert out.invariant in spec["invariants"], out.detail
 

@@ -1,0 +1,130 @@
+"""Unit tests for the checker's ground-truth workloads.
+
+The verification layer leans on ``repro.verify.workloads`` for one hard
+guarantee: the *exact* number of tasks each scenario generates is known
+in closed form, so the oracle can check conservation against it.  These
+tests pin that arithmetic and each worker's spawn rules directly —
+independent of the scheduler/queue machinery that usually drives them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import WavefrontQueueState
+from repro.simt import TESTGPU
+from repro.verify.workloads import (
+    WORKLOADS,
+    CountdownWorker,
+    FanoutWorker,
+    build,
+    max_enqueues,
+)
+
+
+class _Ctx:
+    """Minimal kernel-context stand-in for driving a worker directly."""
+
+    device = TESTGPU
+    params = {"subtasks_per_cycle": 4}
+
+
+def _drive(worker, tokens):
+    """Run one work cycle with the given per-lane tokens; returns result."""
+    wf = TESTGPU.wavefront_size
+    st = WavefrontQueueState(wf)
+    st.grant(np.arange(len(tokens)), np.asarray(tokens, dtype=np.int64))
+    gen = worker.work_cycle(_Ctx(), worker.make_state(_Ctx()), st)
+    try:
+        op = next(gen)
+        while True:
+            op = gen.send(op)
+    except StopIteration as stop:
+        return stop.value
+
+
+class TestBuild:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_total_matches_max_enqueues(self, name):
+        for scale in (1, 5, 12, 63):
+            _, seeds, total = build(name, scale)
+            assert max_enqueues(name, scale) == total
+            assert len(seeds) >= 1
+
+    def test_countdown_closed_form(self):
+        _, seeds, total = build("countdown", 12)
+        assert seeds == [12, 11, 10]
+        assert total == 13 + 12 + 11
+
+    def test_countdown_clips_small_scales_at_zero(self):
+        _, seeds, total = build("countdown", 1)
+        assert seeds == [1, 0, 0]
+        assert total == 2 + 1 + 1
+
+    def test_fanout_total_is_tree_size(self):
+        _, seeds, total = build("fanout", 63)
+        assert seeds == [0]
+        assert total == 63
+
+    @pytest.mark.parametrize("scale", [0, -1])
+    def test_invalid_scale_rejected(self, scale):
+        with pytest.raises(ValueError):
+            build("countdown", scale)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            build("mystery", 4)
+
+
+class TestCountdownWorker:
+    def test_positive_tokens_spawn_decrement(self):
+        res = _drive(CountdownWorker(), [5, 3])
+        assert res.completed[:2].all()
+        assert res.new_counts[:2].tolist() == [1, 1]
+        assert res.new_tokens[0, 0] == 4
+        assert res.new_tokens[1, 0] == 2
+
+    def test_zero_token_spawns_nothing(self):
+        res = _drive(CountdownWorker(), [0])
+        assert res.completed[0]
+        assert res.new_counts[0] == 0
+
+    def test_chain_length_equals_closed_form(self):
+        # follow one chain to exhaustion: v spawns v-1 ... spawns 0,
+        # v+1 tasks total — the closed form build() sums over seeds.
+        v, tasks = 7, 0
+        cur = [v]
+        while cur:
+            res = _drive(CountdownWorker(), cur)
+            tasks += len(cur)
+            k = int(res.new_counts[0])
+            cur = [int(res.new_tokens[0, 0])] if k else []
+        assert tasks == v + 1
+
+
+class TestFanoutWorker:
+    def test_children_below_scale_only(self):
+        res = _drive(FanoutWorker(6), [1, 2])
+        # token 1 -> children 3, 4; token 2 -> children 5 (6 clipped)
+        assert res.new_counts[:2].tolist() == [2, 1]
+        assert sorted(res.new_tokens[0, :2].tolist()) == [3, 4]
+        assert res.new_tokens[1, 0] == 5
+
+    def test_leaf_spawns_nothing(self):
+        res = _drive(FanoutWorker(3), [1])
+        assert res.completed[0]
+        assert res.new_counts[0] == 0
+
+    def test_full_tree_enumeration_matches_total(self):
+        n = 31
+        worker = FanoutWorker(n)
+        frontier, seen = [0], 0
+        while frontier:
+            batch, frontier = frontier[:TESTGPU.wavefront_size], frontier[
+                TESTGPU.wavefront_size:
+            ]
+            res = _drive(worker, batch)
+            seen += len(batch)
+            for lane in range(len(batch)):
+                for j in range(int(res.new_counts[lane])):
+                    frontier.append(int(res.new_tokens[lane, j]))
+        assert seen == n == max_enqueues("fanout", n)
