@@ -66,10 +66,12 @@ class RetryFreeQueue(DeviceQueue):
         self, ctx: KernelContext, st: WavefrontQueueState
     ) -> Generator[Op, Op, None]:
         custom = ctx.stats.custom
-        probe = self._probe(ctx)
+        probe = ctx.probe
+        if probe is not None:
+            probe.queue_register(self.prefix, self.capacity, self.variant)
 
         # --- Listing 1: slot reservation for newly hungry lanes --------
-        n_hungry = st.n_hungry
+        n_hungry = st.wavefront_size - st.n_token - st.n_watching
         if n_hungry:
             hungry = st.hungry_mask()
             custom[K_DEQ_REQUESTS] += n_hungry
@@ -98,23 +100,35 @@ class RetryFreeQueue(DeviceQueue):
         # result the engine refills at each completion — are cached
         # between polls: this poll runs every work cycle of every starved
         # wavefront.
-        if st.cache is None:
+        cache = st.cache
+        if cache is None:
             watching = st.slot >= 0
             raw = st.slot[watching]
             inb = self._in_bounds(raw)
             lanes = np.flatnonzero(watching)[inb]
             phys = np.asarray(self._phys(raw[inb]), dtype=np.int64)
+            # frozen: the watch set never changes while this op is cached
+            # (MemRead hot-loop contract), which also lets the engine
+            # reuse its span across re-issues.
+            phys.setflags(write=False)
             trans = transactions_for(phys) if phys.size else 0
             read = MemRead(self.buf_data, phys, trans=trans, prechecked=True)
-            st.cache = (lanes, phys, read)
-        lanes, phys, read = st.cache
-        n_lanes = lanes.size
+            st.cache = cache = (lanes, phys, read, int(lanes.size))
+        lanes, phys, read, n_lanes = cache
         if n_lanes == 0:
             # all monitored slots are beyond queue bounds; no data will
             # ever arrive there (kernel is winding down).
             return
         yield read
-        custom[K_ARRIVAL_CHECKS] += int(n_lanes)
+        custom[K_ARRIVAL_CHECKS] += n_lanes
+        if not read.fresh:
+            # the engine elided the re-sample: no store hit the slot
+            # array since the previous poll, and a cached poll op only
+            # survives polls that granted nothing — so the previous
+            # verdict (no arrivals) still holds without any reduction.
+            if probe is not None:
+                probe.queue_instant(self.prefix, "empty_poll", probe.now, n_lanes)
+            return
         res = read.result
         # task tokens are non-negative and DNA is the smallest sentinel,
         # so max(slots) == DNA means no data arrived: one reduction in the

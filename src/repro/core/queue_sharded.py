@@ -204,6 +204,12 @@ class ShardedQueue(DeviceQueue):
         #: reset at every allocate() so one queue object can serve
         #: successive launches.
         self._wf: Dict[int, dict] = {}
+        #: per-shard counter keys, precomputed so the per-work-cycle hot
+        #: path never pays an f-string format.
+        self._k_granted = [shard_key(i, "granted") for i in range(self.n_shards)]
+        self._k_enqueued = [shard_key(i, "enqueued") for i in range(self.n_shards)]
+        self._k_steal_out = [shard_key(i, "steal_out") for i in range(self.n_shards)]
+        self._k_steal_in = [shard_key(i, "steal_in") for i in range(self.n_shards)]
 
     # ------------------------------------------------------------------
     # host side
@@ -262,21 +268,23 @@ class ShardedQueue(DeviceQueue):
         if self.n_shards == 1:
             yield from self.shards[0].acquire(ctx, st)
             return
-        home = self._home(ctx)
+        home = ctx.wf_id % self.n_shards
         before = st.n_token
         yield from self.shards[home].acquire(ctx, st)
         got = st.n_token - before
-        custom = ctx.stats.custom
         if got:
-            custom[shard_key(home, "granted")] += got
+            ctx.stats.custom[self._k_granted[home]] += got
         if not self.steal or st.n_watching == 0:
             return
-        wf = self._wf_state(ctx)
+        wf = self._wf.get(ctx.wf_id)
+        if wf is None:
+            wf = self._wf_state(ctx)
         if got:
             wf["spin"] = 0
             return
-        wf["spin"] += 1
-        if wf["spin"] <= self.spin_threshold:
+        spin = wf["spin"] + 1
+        wf["spin"] = spin
+        if spin <= self.spin_threshold:
             return
         yield from self._steal(ctx, home, wf)
 
@@ -290,11 +298,11 @@ class ShardedQueue(DeviceQueue):
         if self.n_shards == 1:
             yield from self.shards[0].publish(ctx, st, counts, tokens)
             return
-        home = self._home(ctx)
+        home = ctx.wf_id % self.n_shards
         total = int(np.maximum(np.asarray(counts, dtype=np.int64), 0).sum())
         yield from self.shards[home].publish(ctx, st, counts, tokens)
         if total:
-            ctx.stats.custom[shard_key(home, "enqueued")] += total
+            ctx.stats.custom[self._k_enqueued[home]] += total
 
     # ------------------------------------------------------------------
     # the steal path
@@ -346,10 +354,18 @@ class ShardedQueue(DeviceQueue):
         #    until all m tokens arrived.
         src_raw = np.arange(front, front + m, dtype=np.int64)
         src_phys = np.asarray(v._phys(src_raw), dtype=np.int64)
-        read = MemRead(v.buf_data, src_phys)
+        # frozen + prechecked: the claimed range never changes across poll
+        # iterations, so the engine may cache its span and elide re-samples
+        # while the victim's slot array is untouched.
+        src_phys.setflags(write=False)
+        read = MemRead(v.buf_data, src_phys, prechecked=True)
         while True:
             yield read
             custom[K_ARRIVAL_CHECKS] += m
+            if not read.fresh:
+                # elided re-sample: nothing stored since the previous
+                # poll, which still saw an empty slot.
+                continue
             # tokens are non-negative and DNA is the smallest sentinel:
             # min == DNA iff some claimed slot is still empty.
             if int(read.result.min()) != DNA:
@@ -360,8 +376,8 @@ class ShardedQueue(DeviceQueue):
         yield from self._republish(ctx, h, v, src_raw, src_phys, tokens)
         custom[K_STEAL_HITS] += 1
         custom[K_STEAL_TOKENS] += m
-        custom[shard_key(victim_idx, "steal_out")] += m
-        custom[shard_key(home, "steal_in")] += m
+        custom[self._k_steal_out[victim_idx]] += m
+        custom[self._k_steal_in[home]] += m
         wf["spin"] = 0
 
     def _republish(

@@ -169,79 +169,90 @@ def persistent_kernel(
         # one allocation per poll in the simulator's hottest loop.
         dread = MemRead(sched.buf_ctrl, done_idx, trans=1, prechecked=True)
         custom = stats.custom
-        while True:
-            # 1. WorkRemains()? — poll the done flag.
-            yield dread
-            if int(dread.result[0]):
-                break
-            cycles += 1
-            custom[K_WORK_CYCLES] += 1
-            if max_cycles is not None and cycles > max_cycles:
-                raise RuntimeError(
-                    f"wavefront {ctx.wf_id} exceeded max_work_cycles="
-                    f"{max_cycles}; termination protocol stuck?"
-                )
-
-            # 2. GetWorkToken() for hungry lanes.
-            yield from queue.acquire(ctx, st)
-            custom[K_IDLE_CYCLES] += wf_size - st.n_token
-            probe = ctx.probe
-            if probe is not None:
-                probe.sched_tokens(probe.now, ctx.wf_id, st.n_token, wf_size)
-            if st.n_token == 0:
-                continue
-
-            # 3. DoWorkUnit() — one work cycle of uniform sub-tasks.
-            res = yield from worker.work_cycle(ctx, wstate, st)
-            n_new = int(res.new_counts.sum())
-            n_done = int(res.completed.sum())
-
-            # 4. ScheduleNewlyDiscoveredWorkTokens() with termination
-            #    accounting: count new tasks in-flight *before* their
-            #    tokens appear, completions *after*.
-            if n_new:
-                if aggregated:
-                    op = AtomicRMW(
-                        sched.buf_ctrl, PENDING, AtomicKind.ADD, n_new
-                    )
-                    yield op
-                else:
-                    has_new = res.new_counts > 0
-                    k = int(has_new.sum())
-                    op = AtomicRMW(
-                        sched.buf_ctrl,
-                        np.full(k, PENDING, dtype=np.int64),
-                        AtomicKind.ADD,
-                        res.new_counts[has_new],
-                    )
-                    yield op
-                yield from queue.publish(ctx, st, res.new_counts, res.new_tokens)
-
-            if n_done:
-                st.complete(np.flatnonzero(res.completed))
-                stats.custom[K_TASKS_DONE] += n_done
-                if aggregated:
-                    op = AtomicRMW(
-                        sched.buf_ctrl, PENDING, AtomicKind.ADD, -n_done
-                    )
-                    yield op
-                    remaining = int(op.old[0]) - n_done
-                else:
-                    op = AtomicRMW(
-                        sched.buf_ctrl,
-                        np.full(n_done, PENDING, dtype=np.int64),
-                        AtomicKind.ADD,
-                        -1,
-                    )
-                    yield op
-                    remaining = int(op.old.min()) - 1
-                if remaining == 0:
-                    yield MemWrite(sched.buf_ctrl, DONE, 1)
-                elif remaining < 0:
+        probe = ctx.probe
+        # per-cycle counters accumulate in locals and flush in the finally
+        # block (the engine closes kernel generators at launch teardown,
+        # so the flush also runs for aborted or timed-out launches).
+        idle_lanes = 0
+        try:
+            while True:
+                # 1. WorkRemains()? — poll the done flag.  An elided poll
+                # (dread.fresh False) means the control word is untouched
+                # since the previous cycle's check, which saw 0.
+                yield dread
+                if dread.fresh and int(dread.result[0]):
+                    break
+                cycles += 1
+                if max_cycles is not None and cycles > max_cycles:
                     raise RuntimeError(
-                        "in-flight counter went negative: a task was "
-                        "completed twice or never accounted"
+                        f"wavefront {ctx.wf_id} exceeded max_work_cycles="
+                        f"{max_cycles}; termination protocol stuck?"
                     )
+
+                # 2. GetWorkToken() for hungry lanes.
+                yield from queue.acquire(ctx, st)
+                idle_lanes += wf_size - st.n_token
+                if probe is not None:
+                    probe.sched_tokens(probe.now, ctx.wf_id, st.n_token, wf_size)
+                if st.n_token == 0:
+                    continue
+
+                # 3. DoWorkUnit() — one work cycle of uniform sub-tasks.
+                res = yield from worker.work_cycle(ctx, wstate, st)
+                n_new = int(res.new_counts.sum())
+                n_done = int(res.completed.sum())
+
+                # 4. ScheduleNewlyDiscoveredWorkTokens() with termination
+                #    accounting: count new tasks in-flight *before* their
+                #    tokens appear, completions *after*.
+                if n_new:
+                    if aggregated:
+                        op = AtomicRMW(
+                            sched.buf_ctrl, PENDING, AtomicKind.ADD, n_new
+                        )
+                        yield op
+                    else:
+                        has_new = res.new_counts > 0
+                        k = int(has_new.sum())
+                        op = AtomicRMW(
+                            sched.buf_ctrl,
+                            np.full(k, PENDING, dtype=np.int64),
+                            AtomicKind.ADD,
+                            res.new_counts[has_new],
+                        )
+                        yield op
+                    yield from queue.publish(
+                        ctx, st, res.new_counts, res.new_tokens
+                    )
+
+                if n_done:
+                    st.complete(np.flatnonzero(res.completed))
+                    custom[K_TASKS_DONE] += n_done
+                    if aggregated:
+                        op = AtomicRMW(
+                            sched.buf_ctrl, PENDING, AtomicKind.ADD, -n_done
+                        )
+                        yield op
+                        remaining = int(op.old[0]) - n_done
+                    else:
+                        op = AtomicRMW(
+                            sched.buf_ctrl,
+                            np.full(n_done, PENDING, dtype=np.int64),
+                            AtomicKind.ADD,
+                            -1,
+                        )
+                        yield op
+                        remaining = int(op.old.min()) - 1
+                    if remaining == 0:
+                        yield MemWrite(sched.buf_ctrl, DONE, 1)
+                    elif remaining < 0:
+                        raise RuntimeError(
+                            "in-flight counter went negative: a task was "
+                            "completed twice or never accounted"
+                        )
+        finally:
+            custom[K_WORK_CYCLES] = custom.get(K_WORK_CYCLES, 0) + cycles
+            custom[K_IDLE_CYCLES] = custom.get(K_IDLE_CYCLES, 0) + idle_lanes
 
     return kernel
 
@@ -300,55 +311,63 @@ def sharded_persistent_kernel(
 
         done_idx = np.array([DONE], dtype=np.int64)
         dread = MemRead(sched.buf_ctrl, done_idx, trans=1, prechecked=True)
-        while True:
-            yield dread
-            if int(dread.result[0]):
-                break
-            cycles += 1
-            custom[K_WORK_CYCLES] += 1
-            custom[k_cycles] += 1
-            if max_cycles is not None and cycles > max_cycles:
-                raise RuntimeError(
-                    f"wavefront {ctx.wf_id} exceeded max_work_cycles="
-                    f"{max_cycles}; termination protocol stuck?"
-                )
-
-            yield from queue.acquire(ctx, st)
-            idle = wf_size - st.n_token
-            custom[K_IDLE_CYCLES] += idle
-            custom[k_idle] += idle
-            probe = ctx.probe
-            if probe is not None:
-                probe.sched_tokens(probe.now, ctx.wf_id, st.n_token, wf_size)
-            if st.n_token == 0:
-                continue
-
-            res = yield from worker.work_cycle(ctx, wstate, st)
-            n_new = int(res.new_counts.sum())
-            n_done = int(res.completed.sum())
-
-            # fused accounting: one fetch-add covers +new and -done, and
-            # must land before the new tokens become visible (publish).
-            delta = n_new - n_done
-            if n_new or n_done:
-                op = AtomicRMW(sched.buf_ctrl, PENDING, AtomicKind.ADD, delta)
-                yield op
-                remaining = int(op.old[0]) + delta
-                if n_new:
-                    yield from queue.publish(
-                        ctx, st, res.new_counts, res.new_tokens
-                    )
-                if n_done:
-                    st.complete(np.flatnonzero(res.completed))
-                    custom[K_TASKS_DONE] += n_done
-                    custom[k_done] += n_done
-                if remaining == 0:
-                    yield MemWrite(sched.buf_ctrl, DONE, 1)
-                elif remaining < 0:
+        probe = ctx.probe
+        # per-cycle counters accumulate in locals and flush in the finally
+        # block (the engine closes kernel generators at launch teardown,
+        # so the flush also runs for aborted or timed-out launches).
+        idle_lanes = 0
+        try:
+            while True:
+                # An elided poll (dread.fresh False) means the control
+                # word is untouched since the previous check, which saw 0.
+                yield dread
+                if dread.fresh and int(dread.result[0]):
+                    break
+                cycles += 1
+                if max_cycles is not None and cycles > max_cycles:
                     raise RuntimeError(
-                        "in-flight counter went negative: a task was "
-                        "completed twice or never accounted"
+                        f"wavefront {ctx.wf_id} exceeded max_work_cycles="
+                        f"{max_cycles}; termination protocol stuck?"
                     )
+
+                yield from queue.acquire(ctx, st)
+                idle_lanes += wf_size - st.n_token
+                if probe is not None:
+                    probe.sched_tokens(probe.now, ctx.wf_id, st.n_token, wf_size)
+                if st.n_token == 0:
+                    continue
+
+                res = yield from worker.work_cycle(ctx, wstate, st)
+                n_new = int(res.new_counts.sum())
+                n_done = int(res.completed.sum())
+
+                # fused accounting: one fetch-add covers +new and -done, and
+                # must land before the new tokens become visible (publish).
+                delta = n_new - n_done
+                if n_new or n_done:
+                    op = AtomicRMW(sched.buf_ctrl, PENDING, AtomicKind.ADD, delta)
+                    yield op
+                    remaining = int(op.old[0]) + delta
+                    if n_new:
+                        yield from queue.publish(
+                            ctx, st, res.new_counts, res.new_tokens
+                        )
+                    if n_done:
+                        st.complete(np.flatnonzero(res.completed))
+                        custom[K_TASKS_DONE] += n_done
+                        custom[k_done] += n_done
+                    if remaining == 0:
+                        yield MemWrite(sched.buf_ctrl, DONE, 1)
+                    elif remaining < 0:
+                        raise RuntimeError(
+                            "in-flight counter went negative: a task was "
+                            "completed twice or never accounted"
+                        )
+        finally:
+            custom[K_WORK_CYCLES] = custom.get(K_WORK_CYCLES, 0) + cycles
+            custom[k_cycles] = custom.get(k_cycles, 0) + cycles
+            custom[K_IDLE_CYCLES] = custom.get(K_IDLE_CYCLES, 0) + idle_lanes
+            custom[k_idle] = custom.get(k_idle, 0) + idle_lanes
 
     return kernel
 

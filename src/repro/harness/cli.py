@@ -89,9 +89,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help=(
-            "fan independent experiments out over N worker processes "
-            "(default 1: run in-process); reports are byte-identical "
-            "either way"
+            "fan scheduling groups (experiments with overlapping sweeps "
+            "travel together to share a run cache; see docs/performance.md) "
+            "out over N worker processes (default 1: run in-process); "
+            "reports are byte-identical either way"
         ),
     )
     parser.add_argument(

@@ -45,7 +45,7 @@ class HarnessConfig:
         top = paper_workgroups(device)
         if self.quick:
             top = min(top, 56 if device.n_cus > 8 else 16)
-            pts = [1, 4, 16]
+            pts = [1, 16]
         else:
             pts = [1, 2, 4, 8, 16, 32, 64, 128, 224]
         return [p for p in pts if p < top] + [top]

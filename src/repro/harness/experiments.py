@@ -40,6 +40,70 @@ from .results import ExperimentResult
 
 
 # ----------------------------------------------------------------------
+# Per-group run memoization
+# ----------------------------------------------------------------------
+class _GroupCache:
+    """Memo of dataset builds and BFS simulations within one group.
+
+    Simulations are deterministic functions of their configuration, so a
+    repeated ``(graph, source, variant, device, workgroups, subtasks)``
+    cell can reuse the earlier :class:`BFSRun` instead of re-simulating:
+    the quick-mode fig4 sweep is a strict superset of tab3's cells and of
+    fig1/fig5's series, which is most of the harness's wall-clock.
+
+    The cache is scoped to one scheduling group and torn down after it,
+    so sequential and process-parallel runs (where each group may land in
+    a different worker) hit the cache identically — reports *and* merged
+    metrics stay byte-identical across ``--jobs`` values.
+    """
+
+    __slots__ = ("graphs", "runs")
+
+    def __init__(self) -> None:
+        self.graphs: Dict[tuple, object] = {}
+        self.runs: Dict[tuple, object] = {}
+
+
+#: active cache for the scheduling group being run (one per process).
+_cache: Optional[_GroupCache] = None
+
+
+def _graph(cfg: HarnessConfig, name: str, extra_factor: float = 1.0):
+    """``cfg.build`` with per-group sharing of the built dataset."""
+    if _cache is None:
+        return cfg.build(name, extra_factor=extra_factor)
+    key = (name, float(extra_factor))
+    g = _cache.graphs.get(key)
+    if g is None:
+        g = _cache.graphs[key] = cfg.build(name, extra_factor=extra_factor)
+    return g
+
+
+def _bfs(cfg: HarnessConfig, name: str, extra_factor: float, g, src: int,
+         variant: str, dev, wg: int, subtasks_per_cycle: int = 4):
+    """``run_persistent_bfs`` memoized on the full run configuration.
+
+    Only default-queue runs route through here (``queue_factory`` cells
+    are never shared); ``verify``/``max_cycles`` come from ``cfg``, which
+    is fixed for the group, so they need no key slot.
+    """
+    if _cache is None:
+        return run_persistent_bfs(
+            g, src, variant, dev, wg, verify=cfg.verify,
+            subtasks_per_cycle=subtasks_per_cycle, max_cycles=cfg.max_cycles,
+        )
+    key = (name, float(extra_factor), src, variant, dev.name, wg,
+           subtasks_per_cycle)
+    run = _cache.runs.get(key)
+    if run is None:
+        run = _cache.runs[key] = run_persistent_bfs(
+            g, src, variant, dev, wg, verify=cfg.verify,
+            subtasks_per_cycle=subtasks_per_cycle, max_cycles=cfg.max_cycles,
+        )
+    return run
+
+
+# ----------------------------------------------------------------------
 # Tables 1 & 2: dataset statistics
 # ----------------------------------------------------------------------
 def run_tab1(cfg: HarnessConfig) -> ExperimentResult:
@@ -62,7 +126,7 @@ def _dataset_stats_table(cfg, exp_id, title, names, paper) -> ExperimentResult:
     rows = []
     data = {}
     for name in names:
-        g = cfg.build(name)
+        g = _graph(cfg, name)
         s = g.degree_stats()
         pv = paper[name]
         rows.append(
@@ -94,7 +158,7 @@ def run_fig3(cfg: HarnessConfig) -> ExperimentResult:
     fiji_threads = paper_workgroups(FIJI) * FIJI.wavefront_size
     spectre_threads = paper_workgroups(SPECTRE) * SPECTRE.wavefront_size
     for name in paper_dataset_names():
-        g = cfg.build(name)
+        g = _graph(cfg, name)
         prof = level_profile(g, cfg.source(name))
         sat_f = saturation_levels(prof, fiji_threads)
         sat_s = saturation_levels(prof, spectre_threads)
@@ -132,15 +196,12 @@ def run_tab3(cfg: HarnessConfig,
     data: Dict[str, Dict] = {"cells": {}}
     for dev, wg in cfg.device_configs():
         for name in names:
-            g = cfg.build(name)
+            g = _graph(cfg, name)
             src = cfg.source(name)
             times = {}
             stats = {}
             for variant in VARIANTS:
-                run = run_persistent_bfs(
-                    g, src, variant, dev, wg,
-                    verify=cfg.verify, max_cycles=cfg.max_cycles,
-                )
+                run = _bfs(cfg, name, 1.0, g, src, variant, dev, wg)
                 times[variant] = run.seconds
                 stats[variant] = {
                     "cycles": run.cycles,
@@ -210,12 +271,21 @@ def run_fig4(cfg: HarnessConfig,
 
     Datasets run at ``scale_factor`` times their harness scale (the sweep
     multiplies every cell by |WG points| x |variants|); speedups are
-    relative to each variant's own 1-WG time, as in the paper.
+    relative to each variant's own 1-WG time, as in the paper.  Quick
+    mode sweeps the three-dataset subset fig1/fig5 consume (one
+    synthetic, one social, one roadmap — every qualitative regime);
+    tab3 still covers all datasets at the paper geometry, and its cells
+    land in the shared run cache either way.
     """
     title = "Figure 4 — execution time and speedup vs workgroups"
     if scale_factor is None:
         scale_factor = 1.0 if cfg.quick else 0.25
-    names = datasets or paper_dataset_names()
+    if datasets:
+        names = datasets
+    elif cfg.quick:
+        names = ["Synthetic", "soc-LiveJournal1", "USA-road-d.NY"]
+    else:
+        names = paper_dataset_names()
     blocks: List[str] = []
     data: Dict[str, Dict] = {}
     for dev, _ in cfg.device_configs():
@@ -225,15 +295,12 @@ def run_fig4(cfg: HarnessConfig,
             # sweep's top thread count or the saturation experiment
             # degenerates; it keeps its full harness scale.
             factor = 1.0 if name == "Synthetic" else scale_factor
-            g = cfg.build(name, extra_factor=factor)
+            g = _graph(cfg, name, factor)
             src = cfg.source(name)
             times: Dict[str, List[float]] = {v: [] for v in VARIANTS}
             for variant in VARIANTS:
                 for wg in wgs:
-                    run = run_persistent_bfs(
-                        g, src, variant, dev, wg,
-                        verify=cfg.verify, max_cycles=cfg.max_cycles,
-                    )
+                    run = _bfs(cfg, name, factor, g, src, variant, dev, wg)
                     times[variant].append(run.seconds)
             speedups = {
                 v: [times[v][0] / t for t in times[v]] for v in VARIANTS
@@ -272,14 +339,11 @@ def run_fig1(cfg: HarnessConfig,
         scale_factor = 1.0 if cfg.quick else 0.25
     dev = FIJI
     wgs = cfg.wg_sweep(dev)
-    g = cfg.build("Synthetic", extra_factor=scale_factor)
+    g = _graph(cfg, "Synthetic", scale_factor)
     failures = []
     attempts = []
     for wg in wgs:
-        run = run_persistent_bfs(
-            g, 0, "BASE", dev, wg, verify=cfg.verify,
-            max_cycles=cfg.max_cycles,
-        )
+        run = _bfs(cfg, "Synthetic", scale_factor, g, 0, "BASE", dev, wg)
         failures.append(run.stats.cas_failures)
         attempts.append(run.stats.cas_attempts)
     text = "\n\n".join(
@@ -324,16 +388,14 @@ def run_fig5(cfg: HarnessConfig,
         per_ds_ratio: Dict[str, List[float]] = {}
         per_ds_qratio: Dict[str, List[float]] = {}
         for name in names:
-            g = cfg.build(name, extra_factor=scale_factor)
+            g = _graph(cfg, name, scale_factor)
             src = cfg.source(name)
             ratios, qratios = [], []
             for wg in wgs:
                 counts = {}
                 for variant in ("BASE", "RF/AN"):
-                    run = run_persistent_bfs(
-                        g, src, variant, dev, wg,
-                        verify=cfg.verify, max_cycles=cfg.max_cycles,
-                    )
+                    run = _bfs(cfg, name, scale_factor, g, src, variant,
+                               dev, wg)
                     total = run.stats.total_atomic_requests
                     relax = run.stats.atomic_requests.get("min", 0)
                     counts[variant] = (total, total - relax)
@@ -378,14 +440,11 @@ def run_tab5(cfg: HarnessConfig) -> ExperimentResult:
     rows = []
     data = {}
     for name in CHAI_DATASETS:
-        g = cfg.build(name)
+        g = _graph(cfg, name)
         src = cfg.source(name)
         chai = run_chai_bfs(g, src, dev, verify=cfg.verify,
                             max_cycles=cfg.max_cycles)
-        rfan = run_persistent_bfs(
-            g, src, "RF/AN", dev, wg, verify=cfg.verify,
-            max_cycles=cfg.max_cycles,
-        )
+        rfan = _bfs(cfg, name, 1.0, g, src, "RF/AN", dev, wg)
         speedup = chai.seconds / rfan.seconds
         paper = PAPER_TABLE5[name]
         rows.append(
@@ -412,15 +471,12 @@ def run_tab6(cfg: HarnessConfig) -> ExperimentResult:
     rows = []
     data = {}
     for name in RODINIA_DATASETS:
-        g = cfg.build(name)
+        g = _graph(cfg, name)
         src = cfg.source(name)
         for dev, wg in cfg.device_configs():
             rodinia = run_rodinia_bfs(g, src, dev, verify=cfg.verify,
                                       max_cycles=cfg.max_cycles)
-            rfan = run_persistent_bfs(
-                g, src, "RF/AN", dev, wg, verify=cfg.verify,
-                max_cycles=cfg.max_cycles,
-            )
+            rfan = _bfs(cfg, name, 1.0, g, src, "RF/AN", dev, wg)
             speedup = rodinia.seconds / rfan.seconds
             paper = PAPER_TABLE6[(name, dev.name)]
             rows.append(
@@ -453,22 +509,37 @@ def run_sharding(cfg: HarnessConfig) -> ExperimentResult:
     the power-law soc-LiveJournal1 stand-in.  The regime is deliberately
     queue-bound: Fiji at 8 wavefronts/CU (twice the paper's occupancy)
     with ``subtasks_per_cycle=1``, so scheduler/queue hot words — not
-    memory latency — pace the run.  Synthetic always runs at full
-    harness scale: its plateau must exceed the resident lane count or
-    the run is frontier-limited and the ablation measures nothing.
+    memory latency — pace the run.  Synthetic's plateau always exceeds
+    the resident lane count (else the run is frontier-limited and the
+    ablation measures nothing); quick mode halves the plateau to the
+    narrowest still-saturating width, keeps Synthetic only, and drops
+    the intermediate shards=2 point.
 
     The ``shards=1`` row is the equivalence pin: it must be
     *bit-identical* to the RF/AN baseline (same cycles, same stats).
     Stranded configurations (no stealing at high shard counts leaves
-    most of the machine idle forever) are capped at 3x the baseline's
-    cycles and reported as censored rather than simulated to the end.
+    most of the machine idle forever) are capped at a small multiple of
+    the baseline's cycles and reported as censored rather than
+    simulated to the end.
     """
     title = "Sharding ablation — sharded RF/AN + work stealing vs one queue"
     dev = FIJI
     wg = 2 * paper_workgroups(dev)  # 8 wavefronts/CU: queue-bound
     sub = 1
     quantum, spin = 32, 1
-    shard_counts = [1, 2, 4, dev.n_cus]
+    if cfg.quick:
+        # quick mode keeps the ablation's two ends — the shards=1
+        # equivalence pin and the one-shard-per-CU extreme (where the
+        # steal on/off contrast is widest) — on the saturating Synthetic
+        # only, and censors stranded cells earlier; the full grid and
+        # the power-law dataset are full-mode territory.
+        names = ("Synthetic",)
+        shard_counts = [1, dev.n_cus]
+        cap_mult = 2
+    else:
+        names = ("Synthetic", "soc-LiveJournal1")
+        shard_counts = [1, 2, 4, dev.n_cus]
+        cap_mult = 3
     rows = []
     data: Dict[str, Dict] = {
         "device": dev.name, "workgroups": wg, "subtasks_per_cycle": sub,
@@ -490,17 +561,19 @@ def run_sharding(cfg: HarnessConfig) -> ExperimentResult:
             )
         return make
 
-    for name in ("Synthetic", "soc-LiveJournal1"):
+    for name in names:
         if name == "Synthetic":
-            extra = 8.0 if cfg.quick else 1.0  # undo the quick shrink
+            # the plateau must stay wider than the 28,672 resident lanes
+            # (448 WGs x 64): full mode runs the full 65,536-wide
+            # plateau; quick mode halves it (0.125 quick x 4.0 = 32,768
+            # wide) — still saturating, at half the simulation cost.
+            extra = 4.0 if cfg.quick else 1.0
         else:
             extra = 0.5 if cfg.quick else 0.25  # as fig4 scales sweeps
-        g = cfg.build(name, extra_factor=extra)
+        g = _graph(cfg, name, extra)
         src = cfg.source(name)
-        base = run_persistent_bfs(
-            g, src, "RF/AN", dev, wg, verify=cfg.verify,
-            subtasks_per_cycle=sub, max_cycles=cfg.max_cycles,
-        )
+        base = _bfs(cfg, name, extra, g, src, "RF/AN", dev, wg,
+                    subtasks_per_cycle=sub)
         data["baseline"][name] = {
             "cycles": base.cycles,
             "snapshot": {k: int(v) for k, v in
@@ -509,7 +582,7 @@ def run_sharding(cfg: HarnessConfig) -> ExperimentResult:
         }
         rows.append([name, "RF/AN", 1, "-", base.cycles, "1.000x",
                      0, 0, "-", "-"])
-        cap_cycles = min(cfg.max_cycles, 3 * base.cycles)
+        cap_cycles = min(cfg.max_cycles, cap_mult * base.cycles)
         for n_shards in shard_counts:
             for steal in ((False,) if n_shards == 1 else (False, True)):
                 try:
@@ -595,40 +668,65 @@ EXPERIMENTS = {
 # ----------------------------------------------------------------------
 # Multi-experiment driver (sequential or process-parallel)
 # ----------------------------------------------------------------------
+#: experiments whose simulations overlap: the fig4 sweep covers every
+#: tab3 cell and every fig1/fig5 point at quick scale, and tab4 derives
+#: from tab3's runs.  Listed in producer-before-consumer order — fig4
+#: populates the group's run cache, the others mostly hit it.
+SHARED_SWEEP = ("fig4", "fig1", "fig5", "tab3", "tab4")
+
+
 def plan_groups(ids: List[str]) -> List[List[str]]:
     """Partition experiment ids into scheduling groups, preserving order.
 
-    Each group runs in one worker.  ``tab4`` derives from ``tab3``'s
-    simulation runs, so when both are requested they share a group —
-    otherwise a parallel run would simulate tab3 twice.
+    Each group is one dispatch chunk: it runs in a single worker under a
+    shared :class:`_GroupCache`.  Experiments whose simulation cells
+    overlap (``SHARED_SWEEP``) are chunked together — split across
+    workers they would each re-simulate the shared cells, which is most
+    of the harness's wall-clock (and ``tab4`` would re-run all of
+    ``tab3``).  Everything else stays a singleton group so a parallel
+    run keeps enough independent chunks to fan out.
     """
+    shared = [e for e in SHARED_SWEEP if e in ids]
+    if len(shared) < 2:
+        shared = []
     groups: List[List[str]] = []
-    pending = list(ids)
-    while pending:
-        exp_id = pending.pop(0)
-        if exp_id == "tab3" and "tab4" in pending:
-            pending.remove("tab4")
-            groups.append(["tab3", "tab4"])
-        else:
-            groups.append([exp_id])
+    placed = False
+    for exp_id in ids:
+        if exp_id in shared:
+            if not placed:
+                placed = True
+                groups.append(shared)
+            continue
+        groups.append([exp_id])
     return groups
 
 
 def _run_group(cfg: HarnessConfig, group: List[str]) -> List[ExperimentResult]:
-    """Run one scheduling group in-process (top-level: must pickle)."""
+    """Run one scheduling group in-process (top-level: must pickle).
+
+    The whole group shares one :class:`_GroupCache`, torn down at the
+    end: the cache must never outlive its group or sequential and
+    parallel runs would hit it differently and their merged metrics
+    would diverge.
+    """
+    global _cache
     out: List[ExperimentResult] = []
     shared_tab3: Optional[ExperimentResult] = None
-    for exp_id in group:
-        t0 = time.perf_counter()
-        if exp_id == "tab3":
-            result = run_tab3(cfg)
-            shared_tab3 = result
-        elif exp_id == "tab4":
-            result = run_tab4(cfg, tab3=shared_tab3)
-        else:
-            result = EXPERIMENTS[exp_id](cfg)
-        result.elapsed = time.perf_counter() - t0
-        out.append(result)
+    _cache = _GroupCache()
+    try:
+        for exp_id in group:
+            t0 = time.perf_counter()
+            if exp_id == "tab3":
+                result = run_tab3(cfg)
+                shared_tab3 = result
+            elif exp_id == "tab4":
+                result = run_tab4(cfg, tab3=shared_tab3)
+            else:
+                result = EXPERIMENTS[exp_id](cfg)
+            result.elapsed = time.perf_counter() - t0
+            out.append(result)
+    finally:
+        _cache = None
     return out
 
 
@@ -660,11 +758,16 @@ def run_many(
     """Run several experiments, optionally across worker processes.
 
     ``jobs <= 1`` runs everything in-process.  With more jobs, scheduling
-    groups fan out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-    (each worker re-simulates from the same deterministic config, so the
-    reports are byte-identical to a sequential run); if worker processes
-    cannot be started on this platform, the run falls back to in-process
-    execution.  Results always come back in requested-id order.
+    groups (chunks of experiments whose simulations overlap — see
+    :func:`plan_groups`) fan out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`, heaviest chunk
+    first.  Only the small ``cfg`` is pickled to workers: datasets are
+    built lazily inside each worker and shared across the chunk through
+    the per-group run cache, exactly as a sequential run shares them —
+    so reports and merged metrics are byte-identical to ``jobs=1``.  If
+    worker processes cannot be started on this platform, the run falls
+    back to in-process execution.  Results always come back in
+    requested-id order.
 
     ``observer`` (a :class:`repro.obs.runlog.RunObserver`) receives
     run/job lifecycle events — the run log and ``--live`` streaming
@@ -722,6 +825,15 @@ def _run_groups_sequential(
     return results
 
 
+#: rough relative wall-clock of each experiment (quick mode), used only
+#: to order chunk submission in parallel runs.  Wrong values cost wall
+#: time, never correctness.
+_COST_HINT = {
+    "sharding": 60, "fig4": 40, "tab3": 12, "fig5": 8, "fig1": 2,
+    "tab4": 1, "tab5": 2, "tab6": 2, "fig3": 1, "tab1": 1, "tab2": 1,
+}
+
+
 def _run_groups_parallel(
     cfg: HarnessConfig,
     groups: List[List[str]],
@@ -734,11 +846,21 @@ def _run_groups_parallel(
 
     collect = registry is not None
     total = len(groups)
+    # longest-chunk-first dispatch: the sharding ablation and the shared
+    # sweep chunk dominate the run, so starting them before the cheap
+    # table lookups keeps the last worker from dragging a long tail.
+    # The order is a static, deterministic heuristic — simulated results
+    # are order-independent, and run_many reorders by experiment id.
+    order = sorted(
+        range(len(groups)),
+        key=lambda i: (-sum(_COST_HINT.get(e, 1) for e in groups[i]), i),
+    )
     try:
         with ProcessPoolExecutor(max_workers=min(jobs, len(groups))) as ex:
             index = {}
             submitted = {}
-            for i, group in enumerate(groups):
+            for i in order:
+                group = groups[i]
                 name = "+".join(group)
                 fut = ex.submit(_run_group_collect, cfg, group, collect)
                 index[fut] = (i, name)

@@ -8,8 +8,12 @@ writes, under ``--out`` (default ``results/profile``):
 * ``metrics.json`` — time-binned series + histogram summaries from
   :func:`repro.obs.metrics.compute_metrics` (one entry per launch);
 
-and prints a terminal summary: per-queue contention table plus ASCII
-utilization/parallelism charts (reusing :mod:`repro.harness.report`).
+and prints a terminal summary: per-queue contention table, ASCII
+utilization/parallelism charts (reusing :mod:`repro.harness.report`),
+and an engine execution-path breakdown — vector / elided / scalar-
+fallback completion counts plus host wall-clock attributed per op class
+(:data:`repro.simt.engine.EXEC_TIMES`) — so hot-path regressions are
+attributable to the op class that slowed down.
 
 Probing is passive, so the profiled run's result (costs, SimStats,
 simulated cycles) is bit-identical to an unprofiled one — pinned by
@@ -80,6 +84,62 @@ def _run_workload(args, device):
         verify=not args.no_verify,
     )
     return res.cycles, res.stats, f"nqueens/n={args.nqueens_n}"
+
+
+def _exec_breakdown_text(counts: dict, times: dict, elapsed: float) -> str:
+    """Render the engine execution-path breakdown (vector vs scalar).
+
+    ``counts``/``times`` are snapshots of
+    :data:`repro.simt.engine.EXEC_COUNTS` / ``EXEC_TIMES`` taken around
+    the profiled run; times are host wall-clock, so this is the one
+    profile section about *our* speed rather than the simulated GPU's.
+    """
+    lines: List[str] = []
+    reads = counts.get("reads_vector", 0) + counts.get("reads_elided", 0)
+    scalar = counts.get("reads_scalar", 0) + counts.get("writes_scalar", 0)
+    lines.append(
+        "engine execution paths: "
+        f"reads vector={counts.get('reads_vector', 0)} "
+        f"elided={counts.get('reads_elided', 0)} "
+        f"scalar={counts.get('reads_scalar', 0)}  "
+        f"writes vector={counts.get('writes_vector', 0)} "
+        f"scalar={counts.get('writes_scalar', 0)}"
+    )
+    total_mem = reads + counts.get("writes_vector", 0) + scalar
+    if total_mem:
+        lines.append(
+            f"scalar-fallback share: {scalar / total_mem:.1%} of "
+            f"{total_mem} memory-op completions"
+        )
+    atomics = {
+        k.replace("atomics_", ""): v
+        for k, v in counts.items()
+        if k.startswith("atomics_")
+    }
+    if any(atomics.values()):
+        total_at = sum(atomics.values())
+        lines.append(
+            "atomic service shapes: "
+            + "  ".join(f"{k}={v}" for k, v in atomics.items())
+            + f"  (general per-lane walk: "
+            f"{atomics.get('general', 0) / total_at:.1%})"
+        )
+    timed = sum(times.values())
+    if times:
+        rows = [
+            [cls, f"{secs:.3f}", f"{100.0 * secs / timed:.1f}%"]
+            for cls, secs in sorted(times.items(), key=lambda kv: -kv[1])
+        ]
+        rows.append(["(untimed)", f"{max(elapsed - timed, 0.0):.3f}", "-"])
+        lines.append("")
+        lines.append(
+            render_table(
+                ["op class", "host seconds", "share"],
+                rows,
+                title="host wall-clock per op class (event + resumed kernel)",
+            )
+        )
+    return "\n".join(lines)
 
 
 def _summary_text(metrics: dict, label: str, elapsed: float) -> str:
@@ -247,10 +307,24 @@ def profile_main(argv: Optional[List[str]] = None) -> int:
     if args.workgroups is None:
         args.workgroups = _default_workgroups(device)
 
+    from repro.simt import atomics as simt_atomics
+    from repro.simt import engine as simt_engine
+
     t0 = time.time()
     session = ProfileSession(bins=args.bins, max_events=args.max_events)
-    with session:
-        cycles, stats, label = _run_workload(args, device)
+    # attribute host time per op class while profiled (the breakdown is
+    # host-side bookkeeping only: simulated results stay bit-identical).
+    simt_engine.reset_exec_counts()
+    simt_atomics.reset_path_counts()
+    simt_engine.EXEC_TIMING = True
+    try:
+        with session:
+            cycles, stats, label = _run_workload(args, device)
+    finally:
+        simt_engine.EXEC_TIMING = False
+    exec_counts = dict(simt_engine.EXEC_COUNTS)
+    exec_counts.update(simt_atomics.PATH_COUNTS)
+    exec_times = {k: round(v, 6) for k, v in simt_engine.EXEC_TIMES.items()}
     elapsed = time.time() - t0
 
     if not session.launches:
@@ -262,13 +336,21 @@ def profile_main(argv: Optional[List[str]] = None) -> int:
     metrics_path = os.path.join(args.out, "metrics.json")
     with open(metrics_path, "w") as fh:
         json.dump(
-            {"workload": label, "launches": all_metrics}, fh, indent=1
+            {
+                "workload": label,
+                "launches": all_metrics,
+                "exec_paths": {"counts": exec_counts, "seconds": exec_times},
+            },
+            fh,
+            indent=1,
         )
     # trace of the last (usually only) launch — retries replace it.
     trace_path = os.path.join(args.out, "trace.json")
     write_trace(session.launches[-1]["timeline"], trace_path)
 
     print(_summary_text(all_metrics[-1], label, elapsed))
+    print()
+    print(_exec_breakdown_text(exec_counts, exec_times, elapsed))
     print()
     print(f"[wrote {trace_path} — open at https://ui.perfetto.dev]")
     print(f"[wrote {metrics_path}]")

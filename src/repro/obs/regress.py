@@ -47,6 +47,11 @@ class Rule:
     quantities); otherwise a relative change beyond ``tolerance`` in
     the unfavourable direction regresses.  ``gate=False`` downgrades
     the rule to informational — deltas are shown but never fail.
+
+    ``floor`` is an *absolute* minimum for the metric, independent of
+    any baseline — checked by :func:`check_floors` (the CI
+    ``bench-vector-guard`` step), not by :func:`compare`, because a
+    floor judges one run on its own rather than a pair.
     """
 
     pattern: str
@@ -54,13 +59,17 @@ class Rule:
     tolerance: float = DEFAULT_TOLERANCE
     exact: bool = False
     gate: bool = True
+    floor: Optional[float] = None
 
     def describe(self) -> str:
         if not self.gate:
             return "info"
         if self.exact:
             return f"exact,{self.better}-better"
-        return f"{self.better}-better±{self.tolerance:.0%}"
+        desc = f"{self.better}-better±{self.tolerance:.0%}"
+        if self.floor is not None:
+            desc += f",floor≥{self.floor:g}"
+        return desc
 
 
 #: default rule table, first match wins.
@@ -71,6 +80,13 @@ DEFAULT_RULES: Sequence[Rule] = (
     Rule("sim.*", better="lower", exact=True),
     Rule("queue.*", better="lower", exact=True),
     Rule("scheduler.*", better="lower", exact=True),
+    # vectorized-engine throughput floors (CI bench-vector-guard): the
+    # values sit above the scalar reference path's locally measured
+    # throughput (soup ~174k, bfs ~118k ops/s) and 2-3x below the
+    # vectorized path (~480k/~457k), so losing vectorization trips the
+    # floor while ordinary runner slowness does not.
+    Rule("soup.ops_per_sec", better="higher", floor=200_000),
+    Rule("bfs.ops_per_sec", better="higher", floor=140_000),
     # wall-clock quantities: tolerant
     Rule("*ops_per_sec*", better="higher"),
     Rule("*seconds*", better="lower"),
@@ -150,6 +166,30 @@ class Comparison:
             changed = sum(d.status != "ok" for d in self.deltas)
             verdict = f"VERDICT: PASS ({changed} non-identical metric(s))"
         return table + "\n" + verdict
+
+
+def check_floors(
+    metrics: Mapping[str, Number],
+    rules: Sequence[Rule] = DEFAULT_RULES,
+) -> Dict[str, "tuple[Number, float]"]:
+    """Absolute-floor check of one metric set (no baseline needed).
+
+    Returns ``{metric: (value, floor)}`` for every gating metric whose
+    matching rule carries a ``floor`` the value sits below.  This is the
+    engine behind ``tools/bench_engine.py --vector-guard`` / the CI
+    ``bench-vector-guard`` step: a floor breach means the vectorized
+    hot path itself degenerated (e.g. everything fell back to the
+    scalar reference loop), which a baseline-relative comparison can
+    miss when the baseline regressed too.
+    """
+    violations: Dict[str, tuple] = {}
+    for name in sorted(metrics):
+        rule = match_rule(name, rules)
+        if rule is None or not rule.gate or rule.floor is None:
+            continue
+        if metrics[name] < rule.floor:
+            violations[name] = (metrics[name], rule.floor)
+    return violations
 
 
 def match_rule(name: str, rules: Sequence[Rule]) -> Optional[Rule]:

@@ -49,6 +49,24 @@ def _scalar_operand(value) -> int:
     return int(np.asarray(value).reshape(-1)[0])
 
 
+#: cumulative service-shape counters (scalar / same-address closed form /
+#: distinct vectorized / general per-lane walk), for the profile CLI's
+#: vector-vs-scalar breakdown.  Not part of SimStats: the shape chosen is
+#: a host-side implementation detail with no simulation-visible effect.
+PATH_COUNTS: Dict[str, int] = {
+    "atomics_scalar": 0,
+    "atomics_same_address": 0,
+    "atomics_distinct": 0,
+    "atomics_general": 0,
+}
+
+
+def reset_path_counts() -> None:
+    """Zero :data:`PATH_COUNTS` (profile tooling)."""
+    for k in PATH_COUNTS:
+        PATH_COUNTS[k] = 0
+
+
 class AtomicSystem:
     """Applies :class:`AtomicRMW` batches and computes their timing."""
 
@@ -58,10 +76,17 @@ class AtomicSystem:
         memory: GlobalMemory,
         stats: SimStats,
         probe=None,
+        force_general: bool = False,
     ):
         self._device = device
         self._memory = memory
         self._stats = stats
+        #: scalar reference mode: route every batch through the exact
+        #: per-lane walk of :meth:`_service_general`.  The specialized
+        #: shapes are closed forms of that walk, so values, timing and
+        #: stats are identical either way — pinned by the exec-mode
+        #: bit-identity suite.
+        self._force_general = bool(force_general)
         #: opt-in observability hook (see repro.simt.probe); passive.
         self._probe = probe
         if probe is None:
@@ -120,6 +145,12 @@ class AtomicSystem:
             svc = self._device.atomic_service
             self._stats.atomic_service_cycles += svc
             hot = buf.size <= HOT_BUFFER_WORDS
+            if self._force_general:
+                PATH_COUNTS["atomics_general"] += 1
+                return self._service_general(
+                    op, buf, np.array([a], dtype=np.int64), arrival, svc, hot
+                )
+            PATH_COUNTS["atomics_scalar"] += 1
             return self._service_scalar(op, buf, a, arrival, svc, hot)
         idx = self._memory.check_bounds(op.buf, raw)
         n = idx.size
@@ -128,19 +159,27 @@ class AtomicSystem:
         self._stats.atomic_service_cycles += n * svc
         hot = buf.size <= HOT_BUFFER_WORDS
 
+        if self._force_general:
+            PATH_COUNTS["atomics_general"] += 1
+            return self._service_general(op, buf, idx, arrival, svc, hot)
+
         if n == 1:
+            PATH_COUNTS["atomics_scalar"] += 1
             return self._service_scalar(op, buf, int(idx[0]), arrival, svc, hot)
 
         first = int(idx[0])
         if idx[-1] == first and bool((idx == first).all()):
+            PATH_COUNTS["atomics_same_address"] += 1
             return self._service_same_address(
                 op, buf, first, n, arrival, svc, hot
             )
 
         srt = np.sort(idx)
         if bool((np.diff(srt) != 0).all()):
+            PATH_COUNTS["atomics_distinct"] += 1
             return self._service_distinct(op, buf, idx, arrival, svc, hot)
 
+        PATH_COUNTS["atomics_general"] += 1
         return self._service_general(op, buf, idx, arrival, svc, hot)
 
     # ------------------------------------------------------------------

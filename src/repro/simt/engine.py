@@ -28,7 +28,8 @@ Wall-clock fast paths
 The event loop is the wall-clock bottleneck of the whole reproduction, so
 it trades a little obviousness for speed while keeping every simulated
 cycle bit-identical (see docs/simulator_model.md, "Performance model vs.
-wall-clock performance"):
+wall-clock performance", and docs/performance.md for the vectorized
+execution model):
 
 * ops whose issue-pipe release and wavefront wake-up land on the *same*
   cycle (``Compute``, ``LocalOp``, ``Fence``, buffered ``MemWrite``) push
@@ -43,15 +44,32 @@ wall-clock performance"):
 * per-buffer memory latency and the buffer arrays themselves are cached
   per launch (buffers cannot be allocated, freed, or re-marked hot while
   a kernel is in flight), and engine counters accumulate in locals that
-  are flushed into :class:`SimStats` when the launch ends.
+  are flushed into :class:`SimStats` when the launch ends;
+* memory-op *data movement* is array-wide by default (``EXEC_MODE ==
+  "vector"``): gathers, scatters and atomic batches commit with one
+  NumPy operation per wavefront instruction, and re-yielded prechecked
+  reads of an unchanged buffer are *elided* — the engine tracks a
+  per-buffer write epoch and skips re-sampling (setting ``op.fresh``
+  to False) when nothing was stored to the buffer since the op's last
+  completion.  ``EXEC_MODE == "scalar"`` forces the straight-line
+  per-lane reference path instead (loop over lanes for every gather,
+  scatter and atomic); it exists so the bit-identity suite can pin the
+  vectorized path against an implementation too simple to be wrong;
+* the event most recently scheduled by an issue can park in a one-entry
+  ``nxt`` slot instead of the heap; the slot and the heap top are
+  totally ordered by the same ``(time, seq)`` tuple compare the heap
+  uses, so pop order is unchanged while the common issue->wake cycle
+  skips one heap push+pop.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from itertools import count
+from time import perf_counter
 from typing import Callable, Dict, Generator, List, Optional
 
 import numpy as np
@@ -167,13 +185,16 @@ Kernel = Callable[[KernelContext], Generator[Op, Op, None]]
 class _Wavefront:
     """Engine-internal record for one resident wavefront."""
 
-    __slots__ = ("wid", "cu", "gen", "pending")
+    __slots__ = ("wid", "cu", "gen", "pending", "pkind")
 
     def __init__(self, wid: int, cu: "_CU", gen: Generator[Op, Op, None]):
         self.wid = wid
         self.cu = cu
         self.gen = gen
         self.pending: Optional[Op] = None
+        #: dispatch id of `pending`, cached at issue so completion
+        #: handlers skip the class lookup.
+        self.pkind = 0
 
 
 class _CU:
@@ -227,6 +248,68 @@ OP_KIND_NAMES: Dict[int, str] = {
     _K_FENCE: "Fence",
     _K_ABORT: "Abort",
 }
+
+#: execution-path selector for the *data* side of memory ops.  "vector"
+#: (the default) commits gathers/scatters/atomic batches array-wide and
+#: elides re-sampling of unchanged buffers; "scalar" forces the per-lane
+#: reference path everywhere.  Both modes simulate bit-identically
+#: (cycles, stats, probe traffic) — pinned by tests/test_exec_modes.py.
+#: Override per engine with ``Engine(..., exec_mode=...)`` or process-wide
+#: by assigning this global (or via :func:`exec_mode`).
+EXEC_MODE = "vector"
+
+#: cumulative execution-path counters across launches (reset with
+#: :func:`reset_exec_counts`): how many memory-op completions took the
+#: vectorized path, were elided as unchanged, or fell back to the scalar
+#: reference loop.  Deliberately *not* part of SimStats: path choice is a
+#: host-side implementation detail and must never leak into simulation
+#: results or report bytes.
+EXEC_COUNTS: Dict[str, int] = {
+    "reads_vector": 0,
+    "reads_elided": 0,
+    "reads_scalar": 0,
+    "writes_vector": 0,
+    "writes_scalar": 0,
+}
+
+#: wall-clock seconds per op class (plus "issue" for CU wake-ups), only
+#: accumulated while :data:`EXEC_TIMING` is on.  The time of each event
+#: *and the kernel continuation it resumes* is attributed to the class
+#: of the op that completed — an approximation, but one that makes hot-
+#: path regressions attributable per op class (``repro.harness profile``).
+EXEC_TIMES: Dict[str, float] = {}
+
+#: enables the :data:`EXEC_TIMES` breakdown (two ``perf_counter`` calls
+#: per event); off by default so the hot path stays untimed.
+EXEC_TIMING = False
+
+
+def reset_exec_counts() -> None:
+    """Zero :data:`EXEC_COUNTS` and :data:`EXEC_TIMES` (profile tooling)."""
+    for k in EXEC_COUNTS:
+        EXEC_COUNTS[k] = 0
+    EXEC_TIMES.clear()
+
+
+@contextmanager
+def exec_mode(mode: str):
+    """Temporarily force the process-wide execution mode (tests)."""
+    global EXEC_MODE
+    if mode not in ("vector", "scalar"):
+        raise ValueError(f"exec mode must be 'vector' or 'scalar', got {mode!r}")
+    prev = EXEC_MODE
+    EXEC_MODE = mode
+    try:
+        yield
+    finally:
+        EXEC_MODE = prev
+
+
+#: globally unique buffer-write stamps for the read-elision fast path.
+#: Uniqueness across launches and buffers means a stale stamp cached on
+#: a reused op object can never collide with a live epoch.
+_next_epoch = count(1).__next__
+
 
 #: opt-in observability hook: when set, every launch that was not given
 #: an explicit ``probe`` asks this zero-arg factory for one (it may
@@ -301,9 +384,20 @@ class Engine:
     first (its clock restarts at zero).
     """
 
-    def __init__(self, device: DeviceSpec, memory: Optional[GlobalMemory] = None):
+    def __init__(
+        self,
+        device: DeviceSpec,
+        memory: Optional[GlobalMemory] = None,
+        exec_mode: Optional[str] = None,
+    ):
         self.device = device
         self.memory = memory if memory is not None else GlobalMemory()
+        if exec_mode not in (None, "vector", "scalar"):
+            raise ValueError(
+                f"exec_mode must be 'vector' or 'scalar', got {exec_mode!r}"
+            )
+        #: per-engine override of :data:`EXEC_MODE` (None: follow global).
+        self.exec_mode = exec_mode
 
     # ------------------------------------------------------------------
     def launch(
@@ -370,9 +464,12 @@ class Engine:
         controlled = controller is not None
         if controlled:
             controller.launch_begin(device, n_wavefronts)
+        scalar_mode = (self.exec_mode or EXEC_MODE) == "scalar"
         # per-launch atomic-unit occupancy: never shared across launches
         # (each launch restarts the simulated clock at zero).
-        atomics = AtomicSystem(device, memory, stats, probe=probe)
+        atomics = AtomicSystem(
+            device, memory, stats, probe=probe, force_general=scalar_mode
+        )
         atomics.reset_timing()
 
         cus = [_CU(i) for i in range(device.n_cus)]
@@ -382,6 +479,7 @@ class Engine:
         heappush = heapq.heappush
         heappop = heapq.heappop
 
+        all_wfs = []
         for wid in range(n_wavefronts):
             cu = cus[wid % len(cus)]
             ctx = KernelContext(
@@ -394,6 +492,7 @@ class Engine:
             )
             gen = kernel(ctx)
             wf = _Wavefront(wid, cu, gen)
+            all_wfs.append(wf)
             live += 1
             cu.ready.append(wf)
 
@@ -412,12 +511,46 @@ class Engine:
         #: per-launch buffer-name -> load/store latency (buffer sets and
         #: hot markings are host-side and cannot change mid-launch).
         lat_cache: Dict[str, int] = {}
+        #: per-launch buffer-name -> write epoch, bumped on every store
+        #: and atomic batch; powers the read-elision fast path.
+        epochs: Dict[str, int] = {}
+        epochs_get = epochs.get
+        next_epoch = _next_epoch
+        #: per-launch buffer-name -> bounded log of recent write/atomic
+        #: index spans ``(epoch, min, max)``.  A parked read whose epoch
+        #: lags the buffer's can still be elided when every logged bump
+        #: since its last sample misses its own span — writes to a shared
+        #: buffer then only invalidate the watch sets they actually touch.
+        #: Every epoch bump of a *watched* buffer MUST append here or the
+        #: coverage proof in the poll path breaks; pruned (or pre-log)
+        #: windows conservatively force a re-sample.
+        wlog: Dict[str, list] = {}
+        wlog_get = wlog.get
+        #: buffers with at least one re-yielded prechecked read.  Only
+        #: these pay the span-log bookkeeping on writes/atomics; marking
+        #: appends a no-span barrier entry so coverage proofs can anchor
+        #: at the marking epoch.
+        watched: set = set()
+        #: per-launch span/transaction cache for *frozen* (non-writeable)
+        #: index arrays: kernels that reuse one address vector across many
+        #: ops (the soup bench, queue watch sets) pay the two reductions
+        #: once.  Keyed by id() with an identity check; safe because a
+        #: frozen array cannot change contents while the entry holds a
+        #: reference keeping its id alive.
+        span_cache: Dict[int, tuple] = {}
+        span_cache_get = span_cache.get
 
         now = 0
+        #: one-entry fast slot for the most recently scheduled event (see
+        #: module docstring); totally ordered against the heap top by the
+        #: same (time, seq) tuple compare, so pop order never changes.
+        nxt: Optional[tuple] = None
         abort_exc: Optional[KernelAbort] = None
         # engine counters, flushed into `stats` in the finally block
         n_issued = n_compute = n_reads = n_writes = 0
         n_trans = n_lds = n_busy = 0
+        # execution-path counters, flushed into EXEC_COUNTS
+        x_rvec = x_reld = x_rsc = x_wvec = x_wsc = 0
 
         def span_trans(op, raw) -> int:
             """Transaction count for a mem op, caching the index extremes
@@ -426,15 +559,25 @@ class Engine:
             if type(raw) is np.ndarray and raw.ndim == 1 and raw.dtype == _I64:
                 n_idx = raw.size
                 if n_idx > 1:
+                    if not raw.flags.writeable:
+                        ent = span_cache_get(id(raw))
+                        if ent is not None and ent[0] is raw:
+                            op.span = ent[1]
+                            return ent[2]
                     mn = int(raw.min())
                     mx = int(raw.max())
-                    op.span = (mn, mx)
+                    span = (mn, mx)
+                    op.span = span
                     t = (
                         mx // COALESCE_SEGMENT_WORDS
                         - mn // COALESCE_SEGMENT_WORDS
                         + 1
                     )
-                    return t if t < n_idx else n_idx
+                    if t >= n_idx:
+                        t = n_idx
+                    if not raw.flags.writeable:
+                        span_cache[id(raw)] = (raw, span, t)
+                    return t
                 if n_idx == 1:
                     v = int(raw[0])
                     op.span = (v, v)
@@ -455,25 +598,87 @@ class Engine:
             return op.index
 
         def apply_write(op: MemWrite) -> None:
+            nonlocal x_wvec, x_wsc
+            buf = op.buf
             if op.prechecked:
                 idx = op.index
             else:
                 idx = checked_index(op)
-            # fancy-index assignment broadcasts scalars and vectors alike
-            # (and rejects shape mismatches), no explicit broadcast needed.
-            bufs[op.buf][idx] = op.values
+            if scalar_mode:
+                x_wsc += 1
+                b = bufs[buf]
+                if type(idx) is np.ndarray and idx.ndim:
+                    il = idx.tolist()
+                    va = np.asarray(op.values, dtype=np.int64)
+                    if va.ndim == 0:
+                        v = int(va)
+                        for i in il:
+                            b[i] = v
+                    else:
+                        vl = va.tolist()
+                        if len(vl) != len(il):
+                            raise ValueError(
+                                f"MemWrite({buf!r}): {len(vl)} values for "
+                                f"{len(il)} lanes"
+                            )
+                        for i, v in zip(il, vl):
+                            b[i] = v
+                else:
+                    b[idx] = op.values
+            else:
+                x_wvec += 1
+                # fancy-index assignment broadcasts scalars and vectors
+                # alike (and rejects shape mismatches), no explicit
+                # broadcast needed.
+                bufs[buf][idx] = op.values
+            e = epochs[buf] = next_epoch()
+            if buf in watched:
+                sp = op.span
+                if sp is None:
+                    if type(idx) is np.ndarray and idx.ndim:
+                        # sets op.span via the frozen-array span cache
+                        # when possible (one pair of reductions per
+                        # address vector, not per store).
+                        span_trans(op, idx)
+                        sp = op.span
+                        if sp is None:
+                            sp = (
+                                (int(idx.min()), int(idx.max()))
+                                if idx.size
+                                else (0, -1)
+                            )
+                    else:
+                        i = int(idx)
+                        sp = (i, i)
+                log = wlog_get(buf)
+                if log is None:
+                    wlog[buf] = log = []
+                log.append((e, sp[0], sp[1]))
+                if len(log) > 48:
+                    del log[:24]
 
-        def issue_from(cu: _CU) -> None:
-            """While the CU is free and has ready wavefronts, issue one op."""
-            nonlocal live, abort_exc
+        def issue_from(cu: _CU, direct=None) -> None:
+            """While the CU is free and has ready wavefronts, issue one op.
+
+            ``direct`` (the just-completed wavefront, passed only when the
+            CU is free, its ready set empty, and no controller is
+            attached) is issued without the deque round trip — the single
+            hottest call pattern of a saturated launch.
+            """
+            nonlocal live, abort_exc, nxt
             nonlocal n_issued, n_compute, n_reads, n_writes, n_trans, n_lds, n_busy
             if abort_exc is not None:
                 return
             if now < cu.busy_until:
                 return
             ready = cu.ready
-            while ready:
-                if controlled:
+            while True:
+                if direct is not None:
+                    wf = direct
+                    direct = None
+                elif not ready:
+                    return
+                elif controlled:
                     k = controller.pick(now, cu.cid, ready)
                     if k < 0:
                         # hold: leave the ready set intact and re-poll
@@ -512,6 +717,7 @@ class Engine:
                 kind = op_kind_get(cls)
                 if kind is None:
                     kind = _resolve_op_kind(cls, op)
+                wf.pkind = kind
 
                 if kind == _K_READ:
                     trans = op.trans
@@ -537,7 +743,11 @@ class Engine:
                     t = b + lat
                     if trans > 1:
                         t += (trans - 1) * pipe
-                    heappush(heap, (t, next_seq(), _EV_WF_READY, wf))
+                    ev = (t, next_seq(), _EV_WF_READY, wf)
+                    if nxt is None:
+                        nxt = ev
+                    else:
+                        heappush(heap, ev)
                     return
                 if kind == _K_ATOMIC:
                     n_busy += issue
@@ -550,7 +760,11 @@ class Engine:
                         cu.wake = -1
                     else:
                         cu.wake = next_seq()
-                    heappush(heap, (b + lat_to, next_seq(), _EV_ATOMIC, wf))
+                    ev = (b + lat_to, next_seq(), _EV_ATOMIC, wf)
+                    if nxt is None:
+                        nxt = ev
+                    else:
+                        heappush(heap, ev)
                     return
                 if kind == _K_COMPUTE:
                     cyc = op.cycles
@@ -562,7 +776,11 @@ class Engine:
                     cu.wake = -1
                     if probing:
                         probe.on_issue(now, cu.cid, wf.wid, _K_COMPUTE, b, 0)
-                    heappush(heap, (b, next_seq(), _EV_FREE_READY, wf))
+                    ev = (b, next_seq(), _EV_FREE_READY, wf)
+                    if nxt is None:
+                        nxt = ev
+                    else:
+                        heappush(heap, ev)
                     return
                 if kind == _K_WRITE:
                     trans = op.trans
@@ -584,9 +802,15 @@ class Engine:
                         lat += (trans - 1) * pipe
                     # stores are write-buffered: the wavefront proceeds
                     # after issue; the effect lands at completion time.
+                    # (APPLY_WRITE events always go to the heap so the
+                    # end-of-launch drain finds them.)
                     if lat > 0:
                         cu.wake = -1
-                        heappush(heap, (b, next_seq(), _EV_FREE_READY, wf))
+                        ev = (b, next_seq(), _EV_FREE_READY, wf)
+                        if nxt is None:
+                            nxt = ev
+                        else:
+                            heappush(heap, ev)
                         heappush(heap, (b + lat, next_seq(), _EV_APPLY_WRITE, op))
                     else:
                         # zero-latency store: preserve the seed's exact
@@ -606,7 +830,11 @@ class Engine:
                     cu.wake = -1
                     if probing:
                         probe.on_issue(now, cu.cid, wf.wid, _K_LOCAL, b, 0)
-                    heappush(heap, (b, next_seq(), _EV_FREE_READY, wf))
+                    ev = (b, next_seq(), _EV_FREE_READY, wf)
+                    if nxt is None:
+                        nxt = ev
+                    else:
+                        heappush(heap, ev)
                     return
                 if kind == _K_FENCE:
                     n_busy += issue
@@ -615,20 +843,49 @@ class Engine:
                     cu.wake = -1
                     if probing:
                         probe.on_issue(now, cu.cid, wf.wid, _K_FENCE, b, 0)
-                    heappush(heap, (b, next_seq(), _EV_FREE_READY, wf))
+                    ev = (b, next_seq(), _EV_FREE_READY, wf)
+                    if nxt is None:
+                        nxt = ev
+                    else:
+                        heappush(heap, ev)
                     return
                 # _K_ABORT
                 abort_exc = KernelAbort(op.reason)
                 return
 
         total = 0
+        timing = EXEC_TIMING
+        t_prev = perf_counter() if timing else 0.0
+        key_prev = "issue"
         try:
             # prime: let every CU start issuing at t=0
             for cu in cus:
                 issue_from(cu)
 
-            while heap and live > 0 and abort_exc is None:
-                now, _, kind, payload = heappop(heap)
+            while live > 0 and abort_exc is None:
+                if nxt is not None:
+                    if heap and heap[0] < nxt:
+                        ev = heappop(heap)
+                    else:
+                        ev = nxt
+                        nxt = None
+                elif heap:
+                    ev = heappop(heap)
+                else:
+                    break
+                now, _, kind, payload = ev
+                if timing:
+                    t_now = perf_counter()
+                    EXEC_TIMES[key_prev] = (
+                        EXEC_TIMES.get(key_prev, 0.0) + t_now - t_prev
+                    )
+                    t_prev = t_now
+                    if kind == _EV_CU_FREE:
+                        key_prev = "issue"
+                    elif kind == _EV_APPLY_WRITE:
+                        key_prev = "MemWrite"
+                    else:
+                        key_prev = OP_KIND_NAMES.get(payload.pkind, "issue")
                 if now > max_cycles:
                     raise SimulationTimeout(
                         f"simulation exceeded {max_cycles} cycles "
@@ -636,29 +893,125 @@ class Engine:
                     )
                 if kind == _EV_WF_READY:
                     wf = payload
-                    op = wf.pending
                     if probing:
                         probe.on_wake(now, wf.wid)
-                    # the class was cached in _OP_KIND when the op issued
-                    if op_kind_get(op.__class__) == _K_READ:
-                        # sample memory at architectural completion (fancy
-                        # indexing with an int64 array always copies).
-                        if op.prechecked:
-                            idx = op.index
+                    # the op kind was cached on the wavefront at issue
+                    if wf.pkind == _K_READ:
+                        op = wf.pending
+                        buf = op.buf
+                        if scalar_mode:
+                            # reference path: one lane at a time.
+                            x_rsc += 1
+                            if op.prechecked:
+                                idx = op.index
+                            else:
+                                idx = checked_index(op)
+                            b = bufs[buf]
+                            if type(idx) is np.ndarray and idx.ndim:
+                                op.result = np.array(
+                                    [b[i] for i in idx.tolist()],
+                                    dtype=np.int64,
+                                )
+                            else:
+                                op.result = b[idx]
+                            op.fresh = True
+                        elif op.prechecked:
+                            # elision: a prechecked read re-yielded while
+                            # its buffer's write epoch is unchanged still
+                            # holds the exact values a fresh sample would
+                            # produce — skip the gather and tell the
+                            # kernel via op.fresh.
+                            e = epochs_get(buf)
+                            if e is None:
+                                epochs[buf] = e = next_epoch()
+                            oe = op.epoch
+                            if oe is not None and buf not in watched:
+                                # first re-yielded poll on this buffer:
+                                # start span-logging its writes, with a
+                                # no-span barrier so later proofs can
+                                # anchor at the current epoch.
+                                watched.add(buf)
+                                log = wlog_get(buf)
+                                if log is None:
+                                    wlog[buf] = log = []
+                                log.append((e, 0, -1))
+                            if oe == e:
+                                op.fresh = False
+                                x_reld += 1
+                            else:
+                                # the buffer changed — but did *this op's
+                                # slots* change?  Scan the bump log back
+                                # to the op's last sample; a complete,
+                                # non-overlapping window proves the values
+                                # are unchanged.
+                                clean = False
+                                if oe is not None:
+                                    sp = op.span
+                                    if sp is None:
+                                        idx = op.index
+                                        if (
+                                            type(idx) is np.ndarray
+                                            and idx.ndim
+                                        ):
+                                            span_trans(op, idx)
+                                            sp = op.span
+                                            if sp is None:
+                                                # empty gather: overlaps
+                                                # nothing, result is
+                                                # always the empty array.
+                                                sp = (
+                                                    (
+                                                        int(idx.min()),
+                                                        int(idx.max()),
+                                                    )
+                                                    if idx.size
+                                                    else (0, -1)
+                                                )
+                                                op.span = sp
+                                        else:
+                                            i = int(idx)
+                                            sp = (i, i)
+                                            op.span = sp
+                                    mn, mx = sp
+                                    log = wlog_get(buf)
+                                    if log:
+                                        for we, wmn, wmx in reversed(log):
+                                            if we <= oe:
+                                                clean = True
+                                                break
+                                            if wmn <= mx and mn <= wmx:
+                                                break
+                                if clean:
+                                    op.epoch = e
+                                    op.fresh = False
+                                    x_reld += 1
+                                else:
+                                    # sample memory at architectural
+                                    # completion (fancy indexing with an
+                                    # int64 array always copies).
+                                    op.result = bufs[buf][op.index]
+                                    op.epoch = e
+                                    op.fresh = True
+                                    x_rvec += 1
                         else:
+                            x_rvec += 1
                             idx = checked_index(op)
-                        op.result = bufs[op.buf][idx]
+                            op.result = bufs[buf][idx]
+                            op.fresh = True
                     cu = wf.cu
-                    cu.ready.append(wf)
                     if now < cu.busy_until:
+                        cu.ready.append(wf)
                         w = cu.wake
                         if w >= 0:
                             heappush(
                                 heap, (cu.busy_until, w, _EV_CU_FREE, cu)
                             )
                             cu.wake = -1
-                    else:
+                    elif controlled or cu.ready:
+                        cu.ready.append(wf)
                         issue_from(cu)
+                    else:
+                        issue_from(cu, wf)
                 elif kind == _EV_CU_FREE:
                     cu = payload
                     if cu.ready and now >= cu.busy_until:
@@ -670,24 +1023,43 @@ class Engine:
                     # seed's separate (earlier-sequence) event did.
                     if cu.ready and now >= cu.busy_until:
                         issue_from(cu)
-                    cu.ready.append(wf)
                     if now < cu.busy_until:
+                        cu.ready.append(wf)
                         w = cu.wake
                         if w >= 0:
                             heappush(
                                 heap, (cu.busy_until, w, _EV_CU_FREE, cu)
                             )
                             cu.wake = -1
-                    else:
+                    elif controlled or cu.ready:
+                        cu.ready.append(wf)
                         issue_from(cu)
+                    else:
+                        issue_from(cu, wf)
                 elif kind == _EV_ATOMIC:
                     wf = payload
                     op = wf.pending
                     assert isinstance(op, AtomicRMW)
                     last_end = atomics.service(op, now)
-                    heappush(
-                        heap, (last_end + lat_back, next_seq(), _EV_WF_READY, wf)
-                    )
+                    buf = op.buf
+                    e = epochs[buf] = next_epoch()
+                    if buf in watched:
+                        a = op.index
+                        if type(a) is np.ndarray and a.ndim:
+                            sp0, sp1 = int(a.min()), int(a.max())
+                        else:
+                            sp0 = sp1 = int(a)
+                        log = wlog_get(buf)
+                        if log is None:
+                            wlog[buf] = log = []
+                        log.append((e, sp0, sp1))
+                        if len(log) > 48:
+                            del log[:24]
+                    ev = (last_end + lat_back, next_seq(), _EV_WF_READY, wf)
+                    if nxt is None:
+                        nxt = ev
+                    else:
+                        heappush(heap, ev)
                 else:  # _EV_APPLY_WRITE
                     apply_write(payload)
 
@@ -704,6 +1076,11 @@ class Engine:
                     apply_write(payload)
                     total = max(total, t)
         finally:
+            # close still-suspended kernel generators (abort/timeout paths)
+            # so their own ``finally`` blocks flush deferred counters;
+            # exhausted generators make this a no-op.
+            for wf in all_wfs:
+                wf.gen.close()
             stats.issued_ops += n_issued
             stats.compute_cycles += n_compute
             stats.mem_reads += n_reads
@@ -711,6 +1088,11 @@ class Engine:
             stats.mem_transactions += n_trans
             stats.lds_ops += n_lds
             stats.cu_busy_cycles += n_busy
+            EXEC_COUNTS["reads_vector"] += x_rvec
+            EXEC_COUNTS["reads_elided"] += x_reld
+            EXEC_COUNTS["reads_scalar"] += x_rsc
+            EXEC_COUNTS["writes_vector"] += x_wvec
+            EXEC_COUNTS["writes_scalar"] += x_wsc
 
         if charge_launch_overhead:
             total += device.kernel_launch_cycles

@@ -90,9 +90,15 @@ class MemRead(Op):
     Coalescing: lanes reading a contiguous, aligned range produce one
     transaction; scattered lanes produce more (see
     :func:`repro.simt.engine.transactions_for`).
+
+    Hot-loop contract: a ``prechecked`` read may be re-yielded any number
+    of times (the queue layers park one poll op per watch set), but its
+    ``index`` must not be mutated in place between yields — the engine's
+    read-elision fast path relies on the address set being stable.
     """
 
-    __slots__ = ("buf", "index", "result", "trans", "prechecked", "span")
+    __slots__ = ("buf", "index", "result", "trans", "prechecked", "span",
+                 "epoch", "fresh")
 
     def __init__(self, buf: str, index, trans: Optional[int] = None,
                  prechecked: bool = False):
@@ -106,6 +112,13 @@ class MemRead(Op):
         #: engine-private ``(min, max)`` of the index, computed once at
         #: issue so the completion-time bounds check needn't rescan.
         self.span: Optional[tuple] = None
+        #: engine-private buffer-write epoch at the last sampling.
+        self.epoch: Optional[int] = None
+        #: whether :attr:`result` was re-sampled at the latest completion
+        #: (False: the buffer is unchanged since the previous yield of
+        #: this op, so the values are identical — kernels may reuse any
+        #: cached derivation of the previous result).
+        self.fresh: bool = True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"MemRead({self.buf!r}, n={np.size(self.index)})"

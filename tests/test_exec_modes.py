@@ -1,0 +1,148 @@
+"""Bit-identity of the vectorized and scalar engine execution paths.
+
+The engine's vectorized data movement (``repro.simt.engine.EXEC_MODE ==
+"vector"``: array-wide NumPy reads/writes, epoch-based read elision) is
+a host-side performance feature only — the simulation it produces must
+be *bit-identical* to the straight-line per-lane reference path
+(``"scalar"``).  This suite pins that contract across the whole queue
+family by replaying pinned differential-suite configurations (same
+seeded generator, ``tests/test_differential_queues.py``) through both
+modes and demanding identical cycles, task counts, oracle event counts,
+and delivered-token multisets.
+
+It also sanity-checks that the two runs genuinely took different code
+paths (via :data:`repro.simt.engine.EXEC_COUNTS`) — otherwise a broken
+mode toggle would make the comparison vacuous.
+"""
+
+import pytest
+
+from repro.simt import engine as simt_engine
+from repro.simt.engine import exec_mode
+from repro.verify.scenario import run_scenario
+
+from test_differential_queues import FAMILY, N_CONFIGS, SEED, _configs, _scenario
+
+
+def _representative_configs():
+    """A pinned subset of the differential sweep: one configuration per
+    (workload, native-vs-random-schedule) combination, in sweep order.
+
+    The full differential suite already runs every config through every
+    variant once; here each config runs twice per variant, so the subset
+    keeps the suite inside the PR-gate time budget while still covering
+    both workload shapes and both scheduling regimes.
+    """
+    chosen = {}
+    for cfg in _configs(SEED, N_CONFIGS):
+        workload, _scale, _n_wf, schedule = cfg
+        key = (workload, schedule is None)
+        if key not in chosen:
+            chosen[key] = cfg
+    return list(chosen.values())
+
+
+CONFIGS = _representative_configs()
+
+
+def _run_counted(sc, mode):
+    """Run a scenario under a forced exec mode; return (outcome, counts)."""
+    with exec_mode(mode):
+        simt_engine.reset_exec_counts()
+        out = run_scenario(sc)
+        counts = dict(simt_engine.EXEC_COUNTS)
+    return out, counts
+
+
+@pytest.mark.parametrize("variant", FAMILY)
+@pytest.mark.parametrize(
+    "workload,scale,n_wf,schedule",
+    CONFIGS,
+    ids=[f"cfg{i}" for i in range(len(CONFIGS))],
+)
+def test_vector_and_scalar_simulate_identically(
+    variant, workload, scale, n_wf, schedule
+):
+    sc = _scenario(variant, workload, scale, n_wf, schedule)
+    vec, vec_counts = _run_counted(sc, "vector")
+    sca, sca_counts = _run_counted(sc, "scalar")
+
+    assert vec.ok, f"vector run failed: [{vec.invariant}] {vec.detail}"
+    assert sca.ok, f"scalar run failed: [{sca.invariant}] {sca.detail}"
+
+    # the contract: identical simulation, observed three independent
+    # ways — engine clock, scheduler counters, and oracle event stream.
+    assert vec.cycles == sca.cycles, sc.label()
+    assert vec.tasks_completed == sca.tasks_completed, sc.label()
+    assert vec.events == sca.events, sc.label()
+    assert vec.delivered_counts == sca.delivered_counts, sc.label()
+
+    # the comparison must not be vacuous: scalar mode never touches the
+    # vectorized paths, and vector mode completes at least something
+    # through them.
+    assert sca_counts["reads_vector"] == 0
+    assert sca_counts["reads_elided"] == 0
+    assert sca_counts["writes_vector"] == 0
+    assert (
+        vec_counts["reads_vector"]
+        + vec_counts["reads_elided"]
+        + vec_counts["writes_vector"]
+    ) > 0, f"vector run of {sc.label()} never used a vectorized path"
+
+
+def test_exec_mode_context_restores_previous_mode():
+    assert simt_engine.EXEC_MODE == "vector"
+    with exec_mode("scalar"):
+        assert simt_engine.EXEC_MODE == "scalar"
+        with exec_mode("vector"):
+            assert simt_engine.EXEC_MODE == "vector"
+        assert simt_engine.EXEC_MODE == "scalar"
+    assert simt_engine.EXEC_MODE == "vector"
+
+
+def test_exec_mode_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        with exec_mode("simd"):
+            pass  # pragma: no cover
+
+
+def test_engine_level_override_beats_global():
+    # Engine(exec_mode=...) pins one engine to a path regardless of the
+    # process-wide mode; simulation results must still match exactly.
+    sc = _scenario("RF/AN", "countdown", 6, 2, None)
+    base, _ = _run_counted(sc, "vector")
+
+    from repro.core import SchedulerControl, make_queue, persistent_kernel
+    from repro.core.scheduler import K_TASKS_DONE
+    from repro.simt import TESTGPU, Engine
+    from repro.verify import workloads
+
+    results = {}
+    for override in ("vector", "scalar"):
+        worker, seeds, _expected = workloads.build(sc.workload, sc.scale)
+        eng = Engine(TESTGPU, exec_mode=override)
+        q = make_queue(
+            sc.variant, capacity=sc.resolved_capacity(), circular=sc.circular,
+        )
+        sched = SchedulerControl()
+        q.allocate(eng.memory)
+        sched.allocate(eng.memory)
+        q.seed(eng.memory, seeds)
+        sched.seed(eng.memory, len(seeds))
+        kern = persistent_kernel(q, worker, sched)
+        simt_engine.reset_exec_counts()
+        res = eng.launch(
+            kern, sc.n_wavefronts,
+            params={"max_work_cycles": sc.max_work_cycles},
+            max_cycles=sc.max_cycles,
+        )
+        counts = dict(simt_engine.EXEC_COUNTS)
+        results[override] = (res.cycles, res.stats.custom.get(K_TASKS_DONE))
+        if override == "scalar":
+            # global mode is "vector" here: the per-engine override is
+            # what forced the reference path.
+            assert counts["reads_vector"] == 0
+            assert counts["writes_vector"] == 0
+
+    assert results["vector"] == results["scalar"]
+    assert results["vector"][0] == base.cycles

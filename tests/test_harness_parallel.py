@@ -18,13 +18,22 @@ from repro.harness.results import ExperimentResult
 
 class TestPlanGroups:
     def test_singletons_preserve_order(self):
+        # one overlapping experiment alone stays a singleton: there is
+        # nothing for it to share a run cache with.
         assert plan_groups(["fig1", "tab1"]) == [["fig1"], ["tab1"]]
 
     def test_tab3_tab4_share_a_group(self):
-        # tab4 derives from tab3's runs; splitting them across workers
-        # would simulate tab3 twice.
+        # tab4 derives from tab3's runs, and fig4's sweep covers tab3's
+        # cells; splitting them across workers would re-simulate the
+        # shared cells once per worker.  fig4 leads so its sweep
+        # populates the group's run cache.
         assert plan_groups(["tab1", "tab3", "fig4", "tab4"]) == [
-            ["tab1"], ["tab3", "tab4"], ["fig4"],
+            ["tab1"], ["fig4", "tab3", "tab4"],
+        ]
+
+    def test_overlapping_sweeps_chunk_together(self):
+        assert plan_groups(["fig1", "tab5", "fig5", "fig4"]) == [
+            ["fig4", "fig1", "fig5"], ["tab5"],
         ]
 
     def test_tab4_alone_is_its_own_group(self):
@@ -71,6 +80,16 @@ class TestRunMany:
     def test_oversubscribed_jobs_clamp_to_group_count(self, quick_cfg):
         results = run_many(quick_cfg, ["tab1"], jobs=64)
         assert [r.exp_id for r in results] == ["tab1"]
+
+    def test_parallel_simulation_reports_identical(self, quick_cfg):
+        # a non-trivial config: two groups that each run real BFS
+        # simulations (CHAI + Rodinia baselines and RF/AN cells), so a
+        # worker-count-dependent divergence anywhere in the engine or
+        # the run cache would surface as differing report bytes.
+        ids = ["tab5", "tab6"]
+        seq = run_many(quick_cfg, ids, jobs=1)
+        par = run_many(quick_cfg, ids, jobs=2)
+        assert _payload(seq) == _payload(par)
 
 
 class TestCliJobs:

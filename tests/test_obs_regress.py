@@ -9,6 +9,7 @@ import pytest
 from repro.obs.regress import (
     DEFAULT_RULES,
     Rule,
+    check_floors,
     compare,
     extract_metrics,
     flatten_metrics,
@@ -39,6 +40,33 @@ class TestRules:
         ops = match_rule("soup.ops_per_sec", DEFAULT_RULES)
         assert ops.better == "higher"
         assert not match_rule("harness_quick.jobs", DEFAULT_RULES).gate
+
+
+class TestFloors:
+    def test_vector_throughput_floors_live_in_the_rule_table(self):
+        # the CI bench-vector-guard step and bench_engine --vector-guard
+        # both read these floors; they are the single source of truth.
+        soup = match_rule("soup.ops_per_sec", DEFAULT_RULES)
+        bfs = match_rule("bfs.ops_per_sec", DEFAULT_RULES)
+        assert soup.floor and soup.floor > 0
+        assert bfs.floor and bfs.floor > 0
+        assert "floor" in soup.describe()
+
+    def test_check_floors_flags_only_breaches(self):
+        soup_floor = match_rule("soup.ops_per_sec", DEFAULT_RULES).floor
+        good = {"soup.ops_per_sec": soup_floor + 1, "other.ops_per_sec": 1}
+        assert check_floors(good) == {}
+        bad = {"soup.ops_per_sec": soup_floor - 1}
+        assert check_floors(bad) == {
+            "soup.ops_per_sec": (soup_floor - 1, soup_floor)
+        }
+
+    def test_floors_do_not_leak_into_pairwise_compare(self):
+        # a floor judges one run on its own; compare() stays strictly
+        # baseline-relative so historic small-scale fixtures keep
+        # working and bench_diff's tolerance semantics are unchanged.
+        below = {"soup.ops_per_sec": 1800}
+        assert compare(below, dict(below)).passed
 
 
 class TestCompare:

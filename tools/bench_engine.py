@@ -13,6 +13,13 @@ Two fixed workloads:
   on the NY roadmap stand-in at 1/8 harness scale): the end-to-end cost
   a harness experiment actually pays per launch.
 
+The sharded composition gets two datapoints: ``bfs_sharded`` (same
+road graph — steals never trigger, because the frontier never outruns
+one shard's watchers, so it isolates the composition's bookkeeping
+overhead) and ``bfs_sharded_imbalanced`` (the Synthetic plateau burst:
+one wavefront floods its home shard, thieves drain it; the run fails
+outright if no steal lands, so the stealing path stays exercised).
+
 ``--harness`` additionally times the full ``--quick`` harness through
 :func:`repro.harness.experiments.run_many` — sequentially
 (``harness_quick``) and, when ``--jobs``/cpu count allows more than one
@@ -37,6 +44,12 @@ overhead gate: the run fails if any benchmark is slower than
 ``baseline * (1 + --guard-tolerance)``.  CI uses this to pin the
 zero-cost-when-disabled contract of the observability probes — the
 probes-off hot path must stay within noise of the recorded baseline.
+
+``--vector-guard`` (no baseline needed) checks measured throughput
+against the absolute floors recorded in the regression-sentinel rule
+table (:data:`repro.obs.regress.DEFAULT_RULES`): the CI
+``bench-vector-guard`` step uses it to fail any change that loses the
+vectorized execution path, which relative comparisons can miss.
 """
 
 from __future__ import annotations
@@ -59,6 +72,7 @@ from repro.simt import (
     MemRead,
     MemWrite,
 )
+from repro.simt.engine import transactions_for
 
 SOUP_ROUNDS = 400
 SOUP_WAVEFRONTS = 56
@@ -68,21 +82,37 @@ BFS_SCALE = 0.125
 BFS_WORKGROUPS = 56
 BFS_SHARDS = 4
 BFS_STEAL_QUANTUM = 32
+IMB_DATASET = "Synthetic"
+IMB_SCALE = 0.125
 
 
 def soup_kernel(ctx):
-    """Mixed op soup: every issue path, engine-bound by construction."""
+    """Mixed op soup: every issue path, engine-bound by construction.
+
+    Uses the same hot-loop idioms as the queue kernels (frozen address
+    vector, precomputed transaction count, reused prechecked read op,
+    hoisted cost-only ops) so the bench measures the engine, not op
+    allocation; the simulated op stream is identical either way.
+    """
     idx = (ctx.global_thread_base + ctx.lane) % SOUP_DATA_WORDS
+    idx.setflags(write=False)
+    tr = transactions_for(idx)
+    comp = Compute(2)
+    loc = LocalOp(4)
+    fence = Fence()
     for i in range(SOUP_ROUNDS):
-        yield Compute(2)
-        read = MemRead("data", idx)
-        yield read
-        yield LocalOp(4)
-        yield MemWrite("data", idx, i)
+        yield comp
+        # a fresh read each round: the values change every round, so a
+        # parked op would never elide and would only add bookkeeping.
+        yield MemRead("data", idx, trans=tr, prechecked=True)
+        yield loc
+        # MemWrite allocated per round: its values must stay live until
+        # the buffered store commits, which can be several ops later.
+        yield MemWrite("data", idx, i, trans=tr, prechecked=True)
         if i % 8 == 0:
             yield AtomicRMW("ctrl", 0, AtomicKind.ADD, 1)
         if i % 16 == 0:
-            yield Fence()
+            yield fence
 
 
 def bench_soup(repeats: int = 3) -> dict:
@@ -176,6 +206,67 @@ def bench_bfs_sharded(repeats: int = 3) -> dict:
     }
 
 
+def bench_bfs_sharded_imbalanced(repeats: int = 3) -> dict:
+    """Sharded BFS under an imbalanced frontier — steals must land.
+
+    The road-graph ``bfs_sharded`` config never steals: its frontier
+    grows slowly, so every published token is reserved by a watcher on
+    the publishing wavefront's home shard before any surplus forms.
+    Here the Synthetic plateau makes the source's expansion flood one
+    shard with thousands of tokens at once — far more than that shard's
+    resident lanes — so thieves on the other shards find surplus and
+    the cross-shard transfer path is what this datapoint times.
+
+    The run *asserts* ``steal_hits > 0``: a configuration drift that
+    silently stopped stealing would otherwise keep reporting a number
+    that no longer measures the steal path.
+    """
+    from repro.bfs import run_persistent_bfs
+    from repro.bfs.common import bfs_queue_capacity
+    from repro.core import ShardedQueue
+    from repro.graphs import dataset
+
+    spec = dataset(IMB_DATASET)
+    g = spec.build(spec.default_scale * IMB_SCALE)
+    cap = bfs_queue_capacity(g, FIJI, BFS_WORKGROUPS)
+    per_shard = cap // BFS_SHARDS + max(64, 16 * BFS_STEAL_QUANTUM)
+
+    def factory(_cap):
+        return ShardedQueue(
+            per_shard, n_shards=BFS_SHARDS, steal=True,
+            steal_quantum=BFS_STEAL_QUANTUM, spin_threshold=1,
+        )
+
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run = run_persistent_bfs(
+            g, spec.source, "SHARDED", FIJI, BFS_WORKGROUPS,
+            verify=False, queue_factory=factory, capacity=cap,
+        )
+        dt = time.perf_counter() - t0
+        if best is None or dt < best[0]:
+            best = (dt, run)
+    dt, run = best
+    steal_hits = int(run.stats.custom.get("queue.steal_hits", 0))
+    if steal_hits <= 0:
+        raise SystemExit(
+            "bfs_sharded_imbalanced produced no steal hits — the "
+            "imbalanced-frontier config no longer exercises the "
+            "stealing path"
+        )
+    return {
+        "seconds": round(dt, 4),
+        "issued_ops": int(run.stats.issued_ops),
+        "cycles": int(run.cycles),
+        "ops_per_sec": int(run.stats.issued_ops / dt),
+        "steal_hits": steal_hits,
+        "steal_attempts": int(
+            run.stats.custom.get("queue.steal_attempts", 0)
+        ),
+    }
+
+
 def bench_harness(jobs: int) -> dict:
     """Wall time for the full --quick harness via run_many."""
     from repro.harness import HarnessConfig
@@ -234,6 +325,15 @@ def main(argv=None) -> int:
         help="skip recording this bench run in the run ledger",
     )
     parser.add_argument(
+        "--vector-guard", action="store_true",
+        help=(
+            "fail if any throughput falls below its absolute floor from "
+            "the regression-sentinel rule table (repro.obs.regress); "
+            "catches the vectorized hot path degenerating to the scalar "
+            "reference loop, with or without a --baseline"
+        ),
+    )
+    parser.add_argument(
         "--guard", action="store_true",
         help=(
             "fail (exit non-zero) if any benchmark runs slower than "
@@ -268,6 +368,11 @@ def main(argv=None) -> int:
     print(f"fixed sharded BFS launch ({repeats} repeat(s))...")
     report["benchmarks"]["bfs_sharded"] = bench_bfs_sharded(repeats)
     print(f"  {report['benchmarks']['bfs_sharded']}")
+    print(f"imbalanced-frontier sharded BFS ({repeats} repeat(s))...")
+    report["benchmarks"]["bfs_sharded_imbalanced"] = (
+        bench_bfs_sharded_imbalanced(repeats)
+    )
+    print(f"  {report['benchmarks']['bfs_sharded_imbalanced']}")
     if args.harness:
         import os
 
@@ -281,6 +386,33 @@ def main(argv=None) -> int:
             print(f"--quick harness with --jobs {jobs}...")
             report["benchmarks"]["harness_quick_parallel"] = bench_harness(jobs)
             print(f"  {report['benchmarks']['harness_quick_parallel']}")
+
+    if args.vector_guard:
+        from repro.obs.regress import DEFAULT_RULES, check_floors, flatten_metrics
+
+        flat = flatten_metrics(report["benchmarks"])
+        violations = check_floors(flat)
+        floors = {
+            r.pattern: r.floor
+            for r in DEFAULT_RULES
+            if r.floor is not None and r.pattern in flat
+        }
+        report["vector_guard"] = {
+            "floors": floors,
+            "passed": not violations,
+            "violations": {
+                name: {"value": v, "floor": f}
+                for name, (v, f) in violations.items()
+            },
+        }
+        if violations:
+            Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+            detail = ", ".join(
+                f"{name}={v} < floor {f}"
+                for name, (v, f) in violations.items()
+            )
+            raise SystemExit(f"vector guard failed: {detail}")
+        print(f"vector guard passed (floors: {floors})")
 
     if args.baseline:
         base = json.loads(Path(args.baseline).read_text())
