@@ -3,7 +3,8 @@
 # `pip install -e .[test]` works directly.
 
 .PHONY: install test test-fast test-slow bench bench-engine bench-diff \
-    verify verify-deep harness-quick harness-full runs-report examples clean
+    verify verify-deep harness-quick harness-full runs-report blame \
+    examples clean
 
 # window size for runs-report (make runs-report N=25)
 N ?= 10
@@ -43,6 +44,10 @@ bench-diff:
 # last N ledger runs with a verdict vs each run's predecessor
 runs-report:
 	python -m repro.harness runs report -n $(N)
+
+# stall attribution + causal what-if for a quick BFS run (docs/blame.md)
+blame:
+	python -m repro.harness blame bfs --quick --out results/blame
 
 harness-quick:
 	python -m repro.harness all --quick --out results-quick/

@@ -65,6 +65,8 @@ class ArbitraryNQueue(BaseCasQueue):
             return
         hungry = st.hungry_mask()
         stats.custom[K_DEQ_REQUESTS] += n
+        if probe is not None:
+            probe.wf_phase(ctx.wf_id, "reserve", self.prefix)
         ranks, _total = rank_within(hungry)
         yield LocalOp(dev.lds_op_cycles)  # local aggregation of hungry lanes
 
@@ -108,6 +110,7 @@ class ArbitraryNQueue(BaseCasQueue):
             probe.queue_proxy(self.prefix, "acquire", m)
             probe.queue_reserve(self.prefix, "acquire", front, m)
             probe.queue_watch(self.prefix, raw, probe.now)
+            probe.wf_phase(ctx.wf_id, "dna_spin", self.prefix)
 
         while True:
             vread = MemRead(self.buf_valid, phys)
@@ -146,6 +149,8 @@ class ArbitraryNQueue(BaseCasQueue):
         has_new = counts > 0
         if not has_new.any():
             return
+        if probe is not None:
+            probe.wf_phase(ctx.wf_id, "reserve", self.prefix)
         ranks, total = segmented_rank(has_new, counts)
         yield LocalOp(dev.lds_op_cycles)
 
@@ -187,12 +192,16 @@ class ArbitraryNQueue(BaseCasQueue):
             raw = lane_base[active] + t
             phys = self._phys(raw)
             if self.circular:
+                if probe is not None:
+                    probe.wf_phase(ctx.wf_id, "full_wait", self.prefix)
                 while True:
                     vread = MemRead(self.buf_valid, phys)
                     yield vread
                     if np.all(vread.result == 0):
                         break
                     stats.custom[K_CAS_ROUNDS] += 1
+                if probe is not None:
+                    probe.wf_phase(ctx.wf_id, "reserve", self.prefix)
             if probe is not None:
                 probe.queue_store(self.prefix, raw, tokens[active, t])
             yield MemWrite(self.buf_data, phys, tokens[active, t])

@@ -121,6 +121,8 @@ class BaseCasQueue(DeviceQueue):
         if n:
             attempting = st.hungry_mask()
             stats.custom[K_DEQ_REQUESTS] += n
+            if probe is not None:
+                probe.wf_phase(ctx.wf_id, "reserve", self.prefix)
             ctrl = self._read_ctrl()
             yield ctrl
             front, rear = int(ctrl.result[0]), int(ctrl.result[1])
@@ -179,6 +181,8 @@ class BaseCasQueue(DeviceQueue):
             lanes = np.flatnonzero(claimed)
             raw = st.slot[lanes]
             phys = self._phys(raw)
+            if probe is not None:
+                probe.wf_phase(ctx.wf_id, "dna_spin", self.prefix)
             vread = MemRead(self.buf_valid, phys)
             yield vread
             ready = vread.result == 1
@@ -226,6 +230,8 @@ class BaseCasQueue(DeviceQueue):
         counts = np.asarray(counts, dtype=np.int64)
         if not (counts > 0).any():
             return
+        if probe is not None:
+            probe.wf_phase(ctx.wf_id, "reserve", self.prefix)
         placed = np.zeros_like(counts)
 
         # per-token speculative-ticket CAS enqueues (mirror of acquire):
@@ -284,12 +290,16 @@ class BaseCasQueue(DeviceQueue):
             if self.circular:
                 # wait for previous-generation consumers to release the
                 # physical slots before overwriting them.
+                if probe is not None:
+                    probe.wf_phase(ctx.wf_id, "full_wait", self.prefix)
                 while True:
                     vread = MemRead(self.buf_valid, phys)
                     yield vread
                     if not (vread.result == 1).any():
                         break
                     stats.custom[K_CAS_ROUNDS] += 1
+                if probe is not None:
+                    probe.wf_phase(ctx.wf_id, "reserve", self.prefix)
             toks = tokens[win_lanes, placed[win_lanes]]
             if probe is not None:
                 probe.queue_store(self.prefix, raw, toks)

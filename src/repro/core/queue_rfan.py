@@ -75,6 +75,8 @@ class RetryFreeQueue(DeviceQueue):
         if n_hungry:
             hungry = st.hungry_mask()
             custom[K_DEQ_REQUESTS] += n_hungry
+            if probe is not None:
+                probe.wf_phase(ctx.wf_id, "reserve", self.prefix)
             ranks, total = rank_within(hungry)
             # lock-step local atomic_inc: zeroing by the proxy + per-lane
             # increment, one LDS round (lines 2-9 of Listing 1).
@@ -119,6 +121,8 @@ class RetryFreeQueue(DeviceQueue):
             # all monitored slots are beyond queue bounds; no data will
             # ever arrive there (kernel is winding down).
             return
+        if probe is not None:
+            probe.wf_phase(ctx.wf_id, "dna_spin", self.prefix)
         yield read
         custom[K_ARRIVAL_CHECKS] += n_lanes
         if not read.fresh:
@@ -168,6 +172,9 @@ class RetryFreeQueue(DeviceQueue):
             return
 
         # --- Listing 3 lines 2-11: local aggregation of counts ---------
+        probe = self._probe(ctx)
+        if probe is not None:
+            probe.wf_phase(ctx.wf_id, "reserve", self.prefix)
         ranks, total = segmented_rank(has_new, counts)
         yield LocalOp(dev.lds_op_cycles)
 
@@ -176,7 +183,6 @@ class RetryFreeQueue(DeviceQueue):
         yield op
         stats.custom[K_PROXY_ATOMICS] += 1
         base = int(op.old[0])
-        probe = self._probe(ctx)
         if probe is not None:
             probe.queue_counter(self.prefix, "rear", probe.now, base + total)
             probe.queue_proxy(self.prefix, "publish", total)

@@ -210,6 +210,22 @@ class ShardedQueue(DeviceQueue):
         self._k_enqueued = [shard_key(i, "enqueued") for i in range(self.n_shards)]
         self._k_steal_out = [shard_key(i, "steal_out") for i in range(self.n_shards)]
         self._k_steal_in = [shard_key(i, "steal_in") for i in range(self.n_shards)]
+        # steal-path stall attribution (all only touched inside _steal,
+        # i.e. never when n_shards == 1): per-victim empty probes and
+        # lost CAS races, per-home arrival-poll rounds, and a histogram
+        # of transfer batch sizes (1 .. steal_quantum).
+        self._k_steal_empty = [
+            shard_key(i, "steal_empty") for i in range(self.n_shards)
+        ]
+        self._k_steal_cas_fail = [
+            shard_key(i, "steal_cas_fail") for i in range(self.n_shards)
+        ]
+        self._k_steal_polls = [
+            shard_key(i, "steal_poll_rounds") for i in range(self.n_shards)
+        ]
+        self._k_steal_batch = [
+            f"queue.steal_batch.{n}" for n in range(self.steal_quantum + 1)
+        ]
 
     # ------------------------------------------------------------------
     # host side
@@ -316,6 +332,9 @@ class ShardedQueue(DeviceQueue):
         v = self.shards[victim_idx]
         h = self.shards[home]
         custom[K_STEAL_ATTEMPTS] += 1
+        probe = ctx.probe
+        if probe is not None:
+            probe.wf_phase(ctx.wf_id, "steal", v.prefix)
 
         # 1. sample the victim's surplus.
         ctrl = v._read_ctrl()
@@ -328,6 +347,7 @@ class ShardedQueue(DeviceQueue):
             avail = min(avail, v.capacity - front)
         if avail <= 0:
             custom[K_STEAL_EMPTY] += 1
+            custom[self._k_steal_empty[victim_idx]] += 1
             return
         m = min(self.steal_quantum, avail)
 
@@ -341,8 +361,9 @@ class ShardedQueue(DeviceQueue):
         if not bool(op.success[0]):
             custom[K_STEAL_CAS_FAIL] += 1
             custom[K_CAS_ROUNDS] += 1
+            custom[self._k_steal_cas_fail[victim_idx]] += 1
             return
-        probe = ctx.probe
+        custom[self._k_steal_batch[m]] += 1
         if probe is not None:
             v._probe(ctx)  # ensure the victim is registered
             probe.queue_counter(v.prefix, "front", probe.now, front + m)
@@ -359,9 +380,11 @@ class ShardedQueue(DeviceQueue):
         # while the victim's slot array is untouched.
         src_phys.setflags(write=False)
         read = MemRead(v.buf_data, src_phys, prechecked=True)
+        k_polls = self._k_steal_polls[home]
         while True:
             yield read
             custom[K_ARRIVAL_CHECKS] += m
+            custom[k_polls] += 1
             if not read.fresh:
                 # elided re-sample: nothing stored since the previous
                 # poll, which still saw an empty slot.

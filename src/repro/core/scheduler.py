@@ -179,6 +179,8 @@ def persistent_kernel(
                 # 1. WorkRemains()? — poll the done flag.  An elided poll
                 # (dread.fresh False) means the control word is untouched
                 # since the previous cycle's check, which saw 0.
+                if probe is not None:
+                    probe.wf_phase(ctx.wf_id, "termination")
                 yield dread
                 if dread.fresh and int(dread.result[0]):
                     break
@@ -198,6 +200,8 @@ def persistent_kernel(
                     continue
 
                 # 3. DoWorkUnit() — one work cycle of uniform sub-tasks.
+                if probe is not None:
+                    probe.wf_phase(ctx.wf_id, "work")
                 res = yield from worker.work_cycle(ctx, wstate, st)
                 n_new = int(res.new_counts.sum())
                 n_done = int(res.completed.sum())
@@ -206,6 +210,8 @@ def persistent_kernel(
                 #    accounting: count new tasks in-flight *before* their
                 #    tokens appear, completions *after*.
                 if n_new:
+                    if probe is not None:
+                        probe.wf_phase(ctx.wf_id, "termination")
                     if aggregated:
                         op = AtomicRMW(
                             sched.buf_ctrl, PENDING, AtomicKind.ADD, n_new
@@ -226,6 +232,8 @@ def persistent_kernel(
                     )
 
                 if n_done:
+                    if probe is not None:
+                        probe.wf_phase(ctx.wf_id, "termination")
                     st.complete(np.flatnonzero(res.completed))
                     custom[K_TASKS_DONE] += n_done
                     if aggregated:
@@ -244,6 +252,8 @@ def persistent_kernel(
                         yield op
                         remaining = int(op.old.min()) - 1
                     if remaining == 0:
+                        if probe is not None:
+                            probe.sched_done(probe.now, ctx.wf_id)
                         yield MemWrite(sched.buf_ctrl, DONE, 1)
                     elif remaining < 0:
                         raise RuntimeError(
@@ -320,6 +330,8 @@ def sharded_persistent_kernel(
             while True:
                 # An elided poll (dread.fresh False) means the control
                 # word is untouched since the previous check, which saw 0.
+                if probe is not None:
+                    probe.wf_phase(ctx.wf_id, "termination")
                 yield dread
                 if dread.fresh and int(dread.result[0]):
                     break
@@ -337,6 +349,8 @@ def sharded_persistent_kernel(
                 if st.n_token == 0:
                     continue
 
+                if probe is not None:
+                    probe.wf_phase(ctx.wf_id, "work")
                 res = yield from worker.work_cycle(ctx, wstate, st)
                 n_new = int(res.new_counts.sum())
                 n_done = int(res.completed.sum())
@@ -345,6 +359,8 @@ def sharded_persistent_kernel(
                 # must land before the new tokens become visible (publish).
                 delta = n_new - n_done
                 if n_new or n_done:
+                    if probe is not None:
+                        probe.wf_phase(ctx.wf_id, "termination")
                     op = AtomicRMW(sched.buf_ctrl, PENDING, AtomicKind.ADD, delta)
                     yield op
                     remaining = int(op.old[0]) + delta
@@ -357,6 +373,9 @@ def sharded_persistent_kernel(
                         custom[K_TASKS_DONE] += n_done
                         custom[k_done] += n_done
                     if remaining == 0:
+                        if probe is not None:
+                            probe.wf_phase(ctx.wf_id, "termination")
+                            probe.sched_done(probe.now, ctx.wf_id)
                         yield MemWrite(sched.buf_ctrl, DONE, 1)
                     elif remaining < 0:
                         raise RuntimeError(

@@ -49,6 +49,8 @@ class NaiveCasQueue(BaseCasQueue):
         if n:
             attempting = st.hungry_mask()
             stats.custom[K_DEQ_REQUESTS] += n
+            if probe is not None:
+                probe.wf_phase(ctx.wf_id, "reserve", self.prefix)
             ctrl = self._read_ctrl()
             yield ctrl
             front, rear = int(ctrl.result[0]), int(ctrl.result[1])
@@ -92,6 +94,8 @@ class NaiveCasQueue(BaseCasQueue):
             lanes = np.flatnonzero(claimed)
             raw = st.slot[lanes]
             phys = self._phys(raw)
+            if probe is not None:
+                probe.wf_phase(ctx.wf_id, "dna_spin", self.prefix)
             vread = MemRead(self.buf_valid, phys)
             yield vread
             ready = vread.result == 1

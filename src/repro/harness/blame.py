@@ -1,0 +1,268 @@
+"""``python -m repro.harness blame <workload>`` — stall attribution.
+
+Runs one workload under a :class:`~repro.obs.blame.BlameSession` and
+answers *where the cycles went and what removing each wait would buy*:
+
+* an ASCII blame table — per stall class: observed cycles, share of all
+  wavefront lifetime, cycles on the simulated-cycle critical path, and
+  the causal "what-if" projection (whole-run speedup if that class were
+  halved or eliminated, à la causal profiling);
+* ``blame.json`` under ``--out`` (default ``results/blame``) — the full
+  :class:`~repro.obs.blame.BlameSummary` artifact, consumed by
+  ``tools/summarize_results.py`` and the CI blame-smoke step;
+* ``trace.json`` — Perfetto timeline of the (last) launch with flow
+  arrows from each unblocking store / done-flag to the wavefront it
+  released; open at https://ui.perfetto.dev;
+* headline ``blame.cycles.*`` / ``blame.frac.*`` metrics published to a
+  :class:`~repro.obs.registry.MetricsRegistry` and recorded in the run
+  ledger, so the regression sentinel gates on attribution drift.
+
+Recording is passive: the blamed run's simulated results are
+bit-identical to a bare one (pinned by ``tests/test_simt_determinism.py``).
+Taxonomy, critical-path semantics, and what-if caveats: ``docs/blame.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional
+
+from .profile import DEVICES, WORKLOADS, _default_workgroups, _run_workload
+from .report import render_table
+
+
+def _fmt_speedup(x: float) -> str:
+    return f"{x:.3f}x"
+
+
+def render_blame(summary, label: str, device_name: str) -> str:
+    """ASCII blame table + headline lines for one merged summary."""
+    from repro.obs.blame import ALL_CLASSES, COMPUTE, OTHER, STALL_CLASSES
+
+    lines: List[str] = []
+    lines.append(
+        f"blame {label}: device={device_name} "
+        f"makespan={summary.end_cycles:.0f} cycles "
+        f"wavefronts={summary.n_wavefronts} launches={summary.launches}"
+    )
+
+    rows = []
+    for cls in ALL_CLASSES:
+        cyc = summary.cycles.get(cls, 0.0)
+        if cyc <= 0 and cls not in (COMPUTE,):
+            continue
+        proj = summary.projections.get(cls, {})
+        rows.append(
+            [
+                cls,
+                f"{cyc:.0f}",
+                f"{summary.fraction(cls):.1%}",
+                f"{summary.critical.get(cls, 0.0):.0f}",
+                _fmt_speedup(summary.speedup(cls, "half")) if proj else "-",
+                _fmt_speedup(summary.speedup(cls, "zero")) if proj else "-",
+            ]
+        )
+    lines.append("")
+    lines.append(
+        render_table(
+            ["class", "cycles", "share", "critical", "what-if x0.5",
+             "what-if x0"],
+            rows,
+            title="stall attribution (share of total wavefront lifetime; "
+            "what-if = projected whole-run speedup)",
+        )
+    )
+
+    # coverage: the tiling is exact, so stall classes account for all
+    # non-compute lifetime except the explicit residual bucket.
+    compute = summary.cycles.get(COMPUTE, 0.0)
+    noncompute = summary.wf_cycles - compute
+    stalls = sum(summary.cycles.get(c, 0.0) for c in STALL_CLASSES)
+    if noncompute > 0:
+        lines.append(
+            f"stall coverage: {stalls / noncompute:.2%} of "
+            f"{noncompute:.0f} non-compute cycles "
+            f"(residual '{OTHER}': {summary.cycles.get(OTHER, 0.0):.0f})"
+        )
+
+    # per-queue detail for classes that carry one
+    det_rows = []
+    for cls in STALL_CLASSES:
+        for detail, cyc in sorted(
+            summary.by_detail.get(cls, {}).items(), key=lambda kv: -kv[1]
+        ):
+            if detail and cyc > 0:
+                det_rows.append([cls, detail, f"{cyc:.0f}"])
+    if det_rows:
+        lines.append("")
+        lines.append(
+            render_table(
+                ["class", "queue", "cycles"],
+                det_rows,
+                title="per-queue detail",
+            )
+        )
+
+    # headline: what would help most
+    best = None
+    for cls in STALL_CLASSES:
+        if cls in summary.projections:
+            s = summary.speedup(cls, "half")
+            if best is None or s > best[1]:
+                best = (cls, s)
+    if best is not None:
+        lines.append(
+            f"headline: halving '{best[0]}' projects a "
+            f"{_fmt_speedup(best[1])} whole-run speedup"
+        )
+    return "\n".join(lines)
+
+
+def blame_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness blame",
+        description=(
+            "Attribute one workload run's cycles to stall classes, "
+            "extract the critical path, and project causal what-if "
+            "speedups (see docs/blame.md)."
+        ),
+    )
+    parser.add_argument("workload", choices=WORKLOADS)
+    parser.add_argument(
+        "--device", choices=sorted(DEVICES), default="fiji",
+        help="simulated device (default fiji)",
+    )
+    parser.add_argument(
+        "--variant", default="RF/AN",
+        help="queue variant: BASE, AN, RF/AN, NAIVE (default RF/AN)",
+    )
+    parser.add_argument(
+        "--dataset", default="USA-road-d.NY",
+        help="graph dataset for bfs/sssp (default USA-road-d.NY)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.125,
+        help="dataset scale relative to paper size (default 0.125)",
+    )
+    parser.add_argument("--source", type=int, default=0, help="source vertex")
+    parser.add_argument(
+        "--workgroups", type=int, default=None,
+        help="launched workgroups (default: 56 fiji / 16 spectre / 4 testgpu)",
+    )
+    parser.add_argument(
+        "--nqueens-n", type=int, default=6, help="board size for nqueens"
+    )
+    parser.add_argument(
+        "--max-events", type=int, default=2_000_000,
+        help="per-launch event cap before the recording truncates",
+    )
+    parser.add_argument(
+        "--no-whatif", action="store_true",
+        help="skip the what-if replay projections (faster)",
+    )
+    parser.add_argument(
+        "--no-trace", action="store_true",
+        help="skip the Perfetto trace export",
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="skip recording this run in the run ledger",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny run (scale 0.02, few workgroups) for smoke tests",
+    )
+    parser.add_argument("--no-verify", action="store_true")
+    parser.add_argument(
+        "--out", default="results/blame", metavar="DIR",
+        help="output directory (default results/blame)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs import write_trace
+    from repro.obs.blame import BlameSession, publish_blame
+    from repro.obs.registry import MetricsRegistry
+
+    device = DEVICES[args.device]
+    if args.quick:
+        args.scale = min(args.scale, 0.02)
+        if args.workgroups is None:
+            args.workgroups = 2 if device.name.lower() == "testgpu" else 4
+        args.nqueens_n = min(args.nqueens_n, 5)
+    if args.workgroups is None:
+        args.workgroups = _default_workgroups(device)
+
+    t0 = time.time()
+    session = BlameSession(
+        max_events=args.max_events,
+        whatif=not args.no_whatif,
+        keep_probes=not args.no_trace,
+    )
+    with session:
+        cycles, stats, label = _run_workload(args, device)
+    elapsed = time.time() - t0
+
+    if not session.launches:
+        print("no launches were recorded", file=sys.stderr)
+        return 1
+
+    summary = session.merged()
+    os.makedirs(args.out, exist_ok=True)
+    blame_path = os.path.join(args.out, "blame.json")
+    with open(blame_path, "w") as fh:
+        json.dump(
+            {
+                "workload": label,
+                "device": device.name,
+                "variant": args.variant,
+                "sim_cycles": int(cycles),
+                "wall_seconds": round(elapsed, 3),
+                "blame": summary.to_json(),
+                "launches": [s.to_json() for s in session.launches],
+            },
+            fh,
+            indent=1,
+        )
+
+    trace_path = None
+    if not args.no_trace and session.probes:
+        # trace of the last (usually only) launch — retries replace it.
+        trace_path = os.path.join(args.out, "trace.json")
+        write_trace(session.probes[-1], trace_path)
+
+    print(render_blame(summary, label, device.name))
+    print()
+    print(f"[wrote {blame_path}]")
+    if trace_path:
+        print(f"[wrote {trace_path} — open at https://ui.perfetto.dev]")
+
+    registry = MetricsRegistry()
+    publish_blame(summary, registry)
+    if not args.no_ledger:
+        from repro.obs.ledger import Ledger
+
+        metrics = registry.scalars()
+        metrics["sim.cycles"] = int(cycles)
+        entry = Ledger().record(
+            kind="blame",
+            config={
+                "workload": args.workload,
+                "device": args.device,
+                "variant": args.variant,
+                "dataset": args.dataset,
+                "scale": args.scale,
+                "workgroups": args.workgroups,
+                "nqueens_n": args.nqueens_n,
+                "verify": not args.no_verify,
+            },
+            metrics=metrics,
+            wall_seconds=elapsed,
+            argv=list(argv) if argv is not None else [],
+            notes=f"blame {label}",
+        )
+        print(f"[ledger: recorded run {entry['run_id']}]", file=sys.stderr)
+    return 0

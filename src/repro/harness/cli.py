@@ -46,6 +46,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .profile import profile_main
 
         return profile_main(argv[1:])
+    if argv and argv[0] == "blame":
+        # stall attribution + what-if projection; see blame.py.
+        from .blame import blame_main
+
+        return blame_main(argv[1:])
     if argv and argv[0] == "runs":
         # ledger queries never touch the simulator; see runs.py.
         from .runs import runs_main
@@ -66,6 +71,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "experiment id (fig1, tab1..tab6, fig3..fig5, sharding) "
             "or 'all'; "
             "or a subcommand: 'profile' (single profiled runs) / "
+            "'blame' (stall attribution + what-if) / "
             "'runs' (query the run ledger) — see '<subcommand> --help'"
         ),
     )
@@ -98,10 +104,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--profile", action="store_true",
         help=(
-            "attach observability probes to every launch (forces "
-            "--jobs 1); reports are unchanged — probes are passive — "
-            "and aggregate profile metrics land in DIR/<exp>.profile.json "
-            "when --out is given"
+            "attach observability probes to every launch; reports are "
+            "unchanged — probes are passive — and aggregate profile "
+            "metrics land in DIR/<exp>.profile.json when --out is given. "
+            "Composes with --jobs N (sessions open inside each worker), "
+            "but dissolves shared-sweep caching: experiments run one per "
+            "job so launches stay attributable"
         ),
     )
     parser.add_argument(
@@ -157,31 +165,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     registry = None if args.no_ledger else MetricsRegistry()
 
     jobs = args.jobs
-    if args.profile and jobs > 1:
-        # the probe factory is a module global in this interpreter, so
-        # worker processes would run unprofiled — keep it in-process.
+    if args.profile and jobs > 1 and len(ids) > 1:
+        # profiled parallel runs open a session inside each worker and
+        # lose the shared-sweep cache; say so rather than silently
+        # re-simulating shared cells (results stay byte-identical).
         print(
-            f"[--profile forces --jobs 1 (probes live in this process); "
-            f"ignoring --jobs {jobs}]",
+            f"[--profile with --jobs {jobs}: sessions open per worker; "
+            f"shared-sweep caching is disabled so overlapping "
+            f"experiments re-simulate shared cells]",
             file=sys.stderr,
         )
-        jobs = 1
 
     t0 = time.time()
     try:
         if args.profile:
-            from repro.obs import ProfileSession
+            from .experiments import run_many_profiled
 
-            jobs = 1
-            profiles = {}
-            results = []
-            for exp_id in ids:
-                with ProfileSession(keep_timelines=False) as session:
-                    results += run_many(
-                        cfg, [exp_id], jobs=1,
-                        observer=observer, registry=registry,
-                    )
-                profiles[exp_id] = [e["metrics"] for e in session.launches]
+            results, profiles = run_many_profiled(
+                cfg, ids, jobs=jobs, observer=observer, registry=registry,
+            )
         else:
             profiles = {}
             results = run_many(

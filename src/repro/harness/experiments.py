@@ -893,3 +893,136 @@ def _run_groups_parallel(
         # the pool itself failed (fork unavailable, resource limits);
         # experiment errors propagate above instead of being retried.
         return _run_groups_sequential(cfg, groups, observer, registry)
+
+
+def _run_exp_profiled(
+    cfg: HarnessConfig, exp_id: str, collect_metrics: bool
+) -> Tuple[List[ExperimentResult], Optional[Dict], List[Dict]]:
+    """Run one experiment under an in-process ProfileSession (must pickle).
+
+    The probe factory is a module global, so in a parallel run the
+    session has to open *inside* the worker; the reduced per-launch
+    metrics travel back with the results instead of the raw probes.
+    Returns ``(results, registry_snapshot_or_None, launch_metrics)``.
+    """
+    from repro.obs.session import ProfileSession
+
+    with ProfileSession(keep_timelines=False) as session:
+        out, snap = _run_group_collect(cfg, [exp_id], collect_metrics)
+    return out, snap, [e["metrics"] for e in session.launches]
+
+
+def run_many_profiled(
+    cfg: HarnessConfig,
+    ids: List[str],
+    jobs: int = 1,
+    observer=None,
+    registry=None,
+) -> Tuple[List[ExperimentResult], Dict[str, List[Dict]]]:
+    """:func:`run_many` with a TimelineProbe on every launch.
+
+    Profiling dissolves scheduling groups into per-experiment jobs so
+    each experiment's launches are attributable to it — which forgoes
+    the shared-sweep run cache (a profiled run re-simulates shared
+    cells; the sequential ``--profile`` path always worked this way).
+    Probes are passive, so reports stay byte-identical to an unprofiled
+    run.  Returns ``(results, {exp_id: [launch_metrics, ...]})``.
+    """
+    groups = [[exp_id] for exp_id in ids]
+    total = len(groups)
+    collect = registry is not None
+    if observer is not None:
+        observer.run_started(ids, groups, jobs)
+    t0 = time.perf_counter()
+    ok = False
+    results: List[ExperimentResult] = []
+    profiles: Dict[str, List[Dict]] = {}
+    try:
+        if jobs <= 1 or total <= 1:
+            _profiled_sequential(
+                cfg, ids, collect, observer, registry, results, profiles
+            )
+        else:
+            _profiled_parallel(
+                cfg, ids, jobs, collect, observer, registry, results, profiles
+            )
+        ok = True
+    finally:
+        if observer is not None:
+            observer.run_finished(time.perf_counter() - t0, ok)
+    by_id = {r.exp_id: r for r in results}
+    return [by_id[exp_id] for exp_id in ids], profiles
+
+
+def _profiled_sequential(
+    cfg, ids, collect, observer, registry, results, profiles
+) -> None:
+    total = len(ids)
+    for i, exp_id in enumerate(ids):
+        if observer is not None:
+            observer.job_started(exp_id, i, total)
+        t0 = time.perf_counter()
+        try:
+            out, snap, launches = _run_exp_profiled(cfg, exp_id, collect)
+        except Exception as exc:
+            if observer is not None:
+                observer.job_finished(
+                    exp_id, i, total, time.perf_counter() - t0,
+                    error=repr(exc),
+                )
+            raise
+        if observer is not None:
+            observer.job_finished(exp_id, i, total, time.perf_counter() - t0)
+        if registry is not None and snap is not None:
+            registry.merge(snap)
+        profiles[exp_id] = launches
+        results.extend(out)
+
+
+def _profiled_parallel(
+    cfg, ids, jobs, collect, observer, registry, results, profiles
+) -> None:
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+    from concurrent.futures.process import BrokenProcessPool
+
+    total = len(ids)
+    order = sorted(
+        range(total), key=lambda i: (-_COST_HINT.get(ids[i], 1), i)
+    )
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, total)) as ex:
+            index = {}
+            submitted = {}
+            for i in order:
+                exp_id = ids[i]
+                fut = ex.submit(_run_exp_profiled, cfg, exp_id, collect)
+                index[fut] = (i, exp_id)
+                submitted[i] = time.perf_counter()
+                if observer is not None:
+                    observer.job_started(exp_id, i, total)
+            for fut in as_completed(index):
+                i, exp_id = index[fut]
+                elapsed = time.perf_counter() - submitted[i]
+                try:
+                    out, snap, launches = fut.result()
+                except (OSError, BrokenProcessPool):
+                    raise
+                except Exception as exc:
+                    if observer is not None:
+                        observer.job_finished(
+                            exp_id, i, total, elapsed, error=repr(exc)
+                        )
+                    raise
+                if observer is not None:
+                    observer.job_finished(exp_id, i, total, elapsed)
+                if registry is not None and snap is not None:
+                    registry.merge(snap)
+                profiles[exp_id] = launches
+                results.extend(out)
+    except (OSError, BrokenProcessPool):
+        # pool startup failed: fall back to in-process profiled runs.
+        results.clear()
+        profiles.clear()
+        _profiled_sequential(
+            cfg, ids, collect, observer, registry, results, profiles
+        )

@@ -35,10 +35,30 @@ invocations:
   ``results/ledger/`` that ``python -m repro.harness runs`` queries;
 * :mod:`~repro.obs.regress` — the rule-based regression sentinel behind
   ``runs diff`` and ``tools/bench_diff.py``.
+
+**Attribution** — :mod:`~repro.obs.blame` turns recordings into causal
+answers: :class:`~repro.obs.blame.BlameProbe` captures wait-for
+evidence, :func:`~repro.obs.blame.build_graph` tiles each wavefront's
+lifetime into classified segments, and the module extracts the
+critical path, per-class blame fractions, and causal "what-if"
+projections (``python -m repro.harness blame``, ``docs/blame.md``).
 """
 
 from repro.simt.probe import Probe
 
+from .blame import (
+    BlameGraph,
+    BlameProbe,
+    BlameSession,
+    BlameSummary,
+    build_graph,
+    compute_blame,
+    critical_path,
+    publish_blame,
+    replay,
+    scale_graph,
+    summarize_graph,
+)
 from .ledger import Ledger, LedgerError
 from .metrics import compute_metrics, summarize
 from .perfetto import to_perfetto, write_trace
@@ -49,6 +69,10 @@ from .session import ProfileSession
 from .timeline import TimelineProbe
 
 __all__ = [
+    "BlameGraph",
+    "BlameProbe",
+    "BlameSession",
+    "BlameSummary",
     "Ledger",
     "LedgerError",
     "LiveReporter",
@@ -60,10 +84,17 @@ __all__ = [
     "RunLog",
     "RunObserver",
     "TimelineProbe",
+    "build_graph",
     "compare_metrics",
+    "compute_blame",
     "compute_metrics",
+    "critical_path",
+    "publish_blame",
     "read_runlog",
+    "replay",
+    "scale_graph",
     "summarize",
+    "summarize_graph",
     "to_perfetto",
     "write_trace",
 ]

@@ -11,7 +11,10 @@ Track layout (pid / tid):
   transaction count, and cycle bounds in ``args``.
 * pid 2 ``wavefronts`` — one thread per wavefront; stall spans
   reconstructed by pairing each blocking issue with the wavefront's
-  next wake-up, plus an instant ("i") at kernel exit.
+  next wake-up, plus an instant ("i") at kernel exit.  When the probe
+  is a :class:`~repro.obs.blame.BlameProbe`, flow arrows ("s"/"f")
+  connect each unblocking event — the producer store or the done-flag
+  raise — to the starved wavefront it released.
 * pid 3 ``queues`` — counter ("C") tracks for sampled control words and
   derived depth, instants for ``empty`` / retry events.
 * pid 4 ``atomics`` — one thread per buffer; each serviced batch is a
@@ -136,6 +139,29 @@ def to_perfetto(probe) -> Dict:
                 "name": "exit",
             }
         )
+
+    # ---- blame flow arrows: unblocking event -> unblocked wavefront ---
+    # Only present when the recording came from a BlameProbe: each closed
+    # starvation streak with a known causal anchor draws a flow from the
+    # producer's store (or the done-flag raise) to the cycle the starved
+    # wavefront got going again.
+    streaks = getattr(probe, "streaks", None)
+    if streaks:
+        flow_id = 0
+        for wf in sorted(streaks):
+            for s, e, dep_wf, dep_cycle, by_exit in streaks[wf]:
+                if dep_cycle < 0 or dep_wf < 0:
+                    continue
+                flow_id += 1
+                name = "done_flag" if by_exit else "token_store"
+                common = {"cat": "blame", "name": name, "id": flow_id,
+                          "pid": _PID_WAVEFRONTS}
+                events.append(
+                    {"ph": "s", "tid": dep_wf, "ts": dep_cycle, **common}
+                )
+                events.append(
+                    {"ph": "f", "bp": "e", "tid": wf, "ts": e, **common}
+                )
 
     # ---- queues: counters + derived depth + instants ------------------
     for (prefix, name), points in sorted(probe.counters.items()):

@@ -74,6 +74,12 @@ class Rule:
 
 #: default rule table, first match wins.
 DEFAULT_RULES: Sequence[Rule] = (
+    # blame attribution (repro.obs.blame): fractions drift with workload
+    # shape, so gate them with a wide band; cycle totals come from the
+    # deterministic simulation, so any change at all is a finding.
+    # These precede the generic *cycles* rule (first match wins).
+    Rule("blame.frac.*", better="lower", tolerance=0.25),
+    Rule("blame.*", better="lower", exact=True),
     # deterministic simulated quantities: exact, and fewer is better
     Rule("*cycles*", better="lower", exact=True),
     Rule("*issued_ops*", better="lower", exact=True),

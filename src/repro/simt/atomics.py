@@ -192,6 +192,10 @@ class AtomicSystem:
             start = max(arrival, self._free_at.get(key, 0))
             end = start + busy
             self._free_at[key] = end
+            if start > arrival and self._probe is not None:
+                # the request queued behind an earlier batch at this hot
+                # word — the cross-batch serialization blame records.
+                self._probe.on_atomic_queued(name, a, arrival, start)
             return end
         return arrival + busy
 

@@ -695,9 +695,11 @@ class Engine:
                 else:
                     wf = ready.popleft()
                 if probing:
-                    # expose the simulated clock to kernel-side layers
-                    # (queues, schedulers, tracers) for event stamping.
+                    # expose the simulated clock and resuming wavefront
+                    # to kernel-side layers (queues, schedulers, tracers)
+                    # for event stamping and attribution.
                     probe.now = now
+                    probe.cur_wf = wf.wid
                 try:
                     op = wf.gen.send(wf.pending)
                 except StopIteration:
@@ -1040,6 +1042,11 @@ class Engine:
                     wf = payload
                     op = wf.pending
                     assert isinstance(op, AtomicRMW)
+                    if probing:
+                        # the atomic system's probe hooks fire during
+                        # service, outside any generator resume — point
+                        # cur_wf at the owning wavefront for attribution.
+                        probe.cur_wf = wf.wid
                     last_end = atomics.service(op, now)
                     buf = op.buf
                     e = epochs[buf] = next_epoch()

@@ -47,6 +47,12 @@ class Probe:
 
     #: simulated cycle at the last generator resume (engine-maintained).
     now: int = 0
+    #: wavefront id of the last generator resume (engine-maintained, -1
+    #: before the first issue).  Kernel-side layers run *inside* a
+    #: wavefront's generator, so hooks they fire (queue events, phase
+    #: marks) can attribute themselves to ``cur_wf`` without threading
+    #: the id through every call.
+    cur_wf: int = -1
 
     # ------------------------------------------------------------------
     # engine callbacks
@@ -101,6 +107,15 @@ class Probe:
         value was stale; ``addr`` is the target word when the whole
         batch hits one address, else ``-1``.
         """
+
+    def on_atomic_queued(
+        self, buf: str, addr: int, arrival: int, start: int
+    ) -> None:
+        """A request on hot word ``addr`` of ``buf`` queued behind an
+        earlier batch: it arrived at ``arrival`` but its address unit
+        only freed at ``start`` (cross-batch serialization, the hot-spot
+        wait that §3.2 argues cannot be hidden).  Only emitted for hot
+        buffers, where cross-batch unit occupancy is tracked at all."""
 
     # ------------------------------------------------------------------
     # queue-layer callbacks
@@ -176,3 +191,20 @@ class Probe:
         self, cycle: int, wf: int, n_token: int, wavefront_size: int
     ) -> None:
         """Wavefront ``wf`` holds ``n_token`` task tokens after acquire."""
+
+    def sched_done(self, cycle: int, wf: int) -> None:
+        """Wavefront ``wf`` is raising the global done flag at ``cycle``
+        (its decrement drove the in-flight counter to zero).  Fired at
+        the DONE store's issue, before any other wavefront can observe
+        the flag — the anchor of every termination-barrier wait."""
+
+    # ------------------------------------------------------------------
+    # stall-attribution callbacks (repro.obs.blame)
+    # ------------------------------------------------------------------
+    def wf_phase(self, wf: int, phase: str, detail: str = "") -> None:
+        """Wavefront ``wf`` entered scheduler/queue ``phase`` at
+        :attr:`now`.  Phases name what the ops issued next are *for*
+        (``"termination"``, ``"work"``, ``"reserve"``, ``"dna_spin"``,
+        ``"full_wait"``, ``"steal"``); ``detail`` optionally carries the
+        queue prefix so blame can aggregate per queue/shard.  Purely a
+        classification mark: phase marks never affect simulation."""

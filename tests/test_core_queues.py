@@ -250,3 +250,94 @@ class TestVariantProperties:
         out = eng.memory["out"]
         got = sorted(int(v) for v in out[out >= 0])
         assert got == [77, 78, 79, 80, 81]
+
+
+class TestShardedStealCounters:
+    """Steal-path instrumentation on a real multi-shard run.
+
+    The per-victim stall counters and the claimed-batch-size histogram
+    (`queue.steal_batch.<m>`) are documented in docs/sharding.md; this
+    pins their presence and internal consistency on a workload that is
+    imbalanced enough to actually steal.
+    """
+
+    @pytest.fixture(scope="class")
+    def sharded_run(self):
+        from repro.bfs.common import bfs_queue_capacity
+        from repro.bfs.persistent import run_persistent_bfs
+        from repro.core import ShardedQueue
+        from repro.graphs import social_graph
+        from repro.simt import TESTGPU
+
+        g = social_graph(300, 8, seed=2)
+        cap = bfs_queue_capacity(g, TESTGPU, 4)
+        run = run_persistent_bfs(
+            g, 0, "SHARDED", TESTGPU, 4, verify=True,
+            queue_factory=lambda c: ShardedQueue(
+                c, n_shards=4, steal=True, steal_quantum=8,
+            ),
+            capacity=cap,
+        )
+        return run
+
+    def test_steals_happened(self, sharded_run):
+        custom = sharded_run.stats.custom
+        assert custom.get("queue.steal_attempts", 0) > 0
+        assert custom.get("queue.stolen_tokens", 0) > 0
+
+    def test_batch_histogram_is_bounded_and_conserves_tokens(
+        self, sharded_run
+    ):
+        custom = sharded_run.stats.custom
+        bins = {
+            int(k.rsplit(".", 1)[1]): v
+            for k, v in custom.items()
+            if k.startswith("queue.steal_batch.")
+        }
+        assert bins, "expected at least one steal-batch histogram bin"
+        assert all(0 <= m <= 8 for m in bins)  # bounded by steal_quantum
+        assert all(count > 0 for count in bins.values())
+        # every stolen token is accounted for by exactly one batch
+        assert sum(m * count for m, count in bins.items()) == custom[
+            "queue.stolen_tokens"
+        ]
+        # hits count batches that claimed at least one token
+        assert sum(
+            count for m, count in bins.items() if m > 0
+        ) == custom["queue.steal_hits"]
+
+    def test_per_shard_stall_counters_present(self, sharded_run):
+        custom = sharded_run.stats.custom
+        empty_shards = {
+            k for k in custom
+            if k.startswith("queue.shard") and k.endswith(".steal_empty")
+        }
+        assert empty_shards  # some victim probes found no surplus
+        assert sum(custom[k] for k in empty_shards) == custom[
+            "queue.steal_empty_probes"
+        ]
+        # successful transfers poll the claimed range at the home shard
+        polls = [
+            v for k, v in custom.items()
+            if k.startswith("queue.shard") and k.endswith(".steal_poll_rounds")
+        ]
+        assert polls and all(v > 0 for v in polls)
+
+    def test_single_shard_emits_no_steal_counters(self):
+        from repro.bfs.common import bfs_queue_capacity
+        from repro.bfs.persistent import run_persistent_bfs
+        from repro.core import ShardedQueue
+        from repro.graphs import roadmap_graph
+        from repro.simt import TESTGPU
+
+        g = roadmap_graph(8, 8, seed=1)
+        cap = bfs_queue_capacity(g, TESTGPU, 2)
+        run = run_persistent_bfs(
+            g, 0, "SHARDED", TESTGPU, 2, verify=True,
+            queue_factory=lambda c: ShardedQueue(c, n_shards=1),
+            capacity=cap,
+        )
+        assert not [
+            k for k in run.stats.custom
+            if "steal" in k
+        ]

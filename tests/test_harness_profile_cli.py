@@ -71,7 +71,7 @@ class TestProfileSubcommand:
             profile_main(["mandelbrot"])
 
 
-def _tiny_experiment(cfg):
+def _tiny_run(exp_id):
     """A stand-in experiment: one tiny BFS per queue variant."""
     from repro.bfs.persistent import run_persistent_bfs
     from repro.graphs import roadmap_graph
@@ -83,8 +83,18 @@ def _tiny_experiment(cfg):
         run = run_persistent_bfs(g, 0, variant, TESTGPU, 2, verify=False)
         cycles[variant] = run.cycles
     return ExperimentResult(
-        "tinyexp", "tiny", f"cycles={cycles}", {"cycles": cycles}
+        exp_id, "tiny", f"cycles={cycles}", {"cycles": cycles}
     )
+
+
+def _tiny_experiment(cfg):
+    """A stand-in experiment: one tiny BFS per queue variant."""
+    return _tiny_run("tinyexp")
+
+
+def _tiny_experiment2(cfg):
+    """A second stand-in experiment (distinct id for parallel runs)."""
+    return _tiny_run("tinyexp2")
 
 
 class TestProfileFlag:
@@ -122,14 +132,40 @@ class TestProfileFlag:
         assert main(["tinyexp", "--profile"]) == 0
         assert engine_mod.PROBE_FACTORY is None
 
-    def test_profile_with_jobs_warns_and_forces_sequential(
+    def test_profile_single_experiment_with_jobs_stays_quiet(
         self, monkeypatch, capsys
     ):
+        # one experiment: nothing to fan out, no caching to lose.
         monkeypatch.setitem(EXPERIMENTS, "tinyexp", _tiny_experiment)
         assert main(["tinyexp", "--profile", "--jobs", "4"]) == 0
         err = capsys.readouterr().err
-        assert "--profile forces --jobs 1" in err
-        assert "ignoring --jobs 4" in err
+        assert "--profile" not in err
+
+    def test_profile_composes_with_jobs(self, monkeypatch, capsys, tmp_path):
+        # sessions open inside each worker; per-experiment metrics come
+        # back attributed, and the warning explains the lost run cache.
+        monkeypatch.setitem(EXPERIMENTS, "tinyexp", _tiny_experiment)
+        monkeypatch.setitem(EXPERIMENTS, "tinyexp2", _tiny_experiment2)
+
+        from repro.harness.config import HarnessConfig
+        from repro.harness.experiments import run_many_profiled
+
+        cfg = HarnessConfig(quick=True, verify=False)
+        results, profiles = run_many_profiled(
+            cfg, ["tinyexp", "tinyexp2"], jobs=2
+        )
+        assert [r.exp_id for r in results] == ["tinyexp", "tinyexp2"]
+        for exp_id in ("tinyexp", "tinyexp2"):
+            launches = profiles[exp_id]
+            assert len(launches) == 2  # one per variant
+            assert all(l["cycles"] > 0 for l in launches)
+
+        # profiled parallel results match the sequential profiled path
+        seq_results, seq_profiles = run_many_profiled(
+            cfg, ["tinyexp", "tinyexp2"], jobs=1
+        )
+        assert [r.text for r in seq_results] == [r.text for r in results]
+        assert seq_profiles == profiles
 
 
 class TestProfileSessionEdgeCases:

@@ -167,6 +167,107 @@ def test_metrics_session_does_not_perturb_or_leak():
 
 
 @pytest.mark.parametrize("variant", ["BASE", "AN", "RF/AN"])
+def test_blamed_run_is_bit_identical_to_bare(variant):
+    # the blame recorder subscribes to extra hooks (wf_phase,
+    # sched_done, on_atomic_queued) that every queue variant and both
+    # persistent kernels emit; all of them sit behind the usual
+    # `probe is not None` gate, so a blamed run must agree with a bare
+    # one on every cycle, counter, and cost.
+    from repro.obs import BlameProbe
+
+    spec = dataset("Synthetic")
+    g = spec.build(spec.default_scale * 0.25)
+    plain = run_persistent_bfs(
+        g, spec.source, variant, TESTGPU, 4, verify=False
+    )
+    probe = BlameProbe()
+    blamed = run_persistent_bfs(
+        g, spec.source, variant, TESTGPU, 4, verify=False, probe=probe
+    )
+    assert plain.cycles == blamed.cycles
+    assert plain.stats.snapshot() == blamed.stats.snapshot()
+    assert np.array_equal(plain.costs, blamed.costs)
+    # and the recorder really captured blame evidence
+    assert probe.phase_log
+    assert probe.done_event is not None
+
+
+def test_blamed_naive_cas_run_is_bit_identical_to_bare():
+    # the naive-CAS ablation queue emits the blame phase marks too
+    from repro.core import SchedulerControl, persistent_kernel
+    from repro.ext import NaiveCasQueue
+    from repro.obs import BlameProbe
+
+    def launch(probe=None):
+        eng = Engine(TESTGPU)
+        sched = SchedulerControl()
+        q = NaiveCasQueue(capacity=4096)
+        q.allocate(eng.memory)
+        sched.allocate(eng.memory)
+        q.seed(eng.memory, [40, 17])
+        sched.seed(eng.memory, 2)
+        from test_core_scheduler import CountdownWorker
+
+        kern = persistent_kernel(q, CountdownWorker(), sched)
+        res = eng.launch(
+            kern, 6, params={"max_work_cycles": 500_000}, probe=probe
+        )
+        return res
+
+    plain = launch()
+    probe = BlameProbe()
+    blamed = launch(probe=probe)
+    assert plain.cycles == blamed.cycles
+    assert plain.stats.snapshot() == blamed.stats.snapshot()
+    assert probe.phase_log
+
+
+def test_blamed_sharded_run_is_bit_identical_to_bare():
+    from repro.bfs.common import bfs_queue_capacity
+    from repro.core import ShardedQueue
+    from repro.obs import BlameProbe
+
+    spec = dataset("Synthetic")
+    g = spec.build(spec.default_scale * 0.25)
+    cap = bfs_queue_capacity(g, TESTGPU, 4)
+    factory = lambda c: ShardedQueue(c, n_shards=4, steal=True)  # noqa: E731
+    plain = run_persistent_bfs(
+        g, spec.source, "SHARDED", TESTGPU, 4, verify=False,
+        queue_factory=factory, capacity=cap,
+    )
+    probe = BlameProbe()
+    blamed = run_persistent_bfs(
+        g, spec.source, "SHARDED", TESTGPU, 4, verify=False,
+        queue_factory=factory, capacity=cap, probe=probe,
+    )
+    assert plain.cycles == blamed.cycles
+    assert plain.stats.snapshot() == blamed.stats.snapshot()
+    assert np.array_equal(plain.costs, blamed.costs)
+
+
+def test_blame_session_does_not_perturb_or_leak():
+    import repro.simt.engine as engine_mod
+    from repro.obs import BlameSession
+
+    spec = dataset("Synthetic")
+    g = spec.build(spec.default_scale * 0.25)
+    plain = run_persistent_bfs(
+        g, spec.source, "RF/AN", TESTGPU, 4, verify=False
+    )
+    assert engine_mod.PROBE_FACTORY is None
+    with BlameSession() as session:
+        blamed = run_persistent_bfs(
+            g, spec.source, "RF/AN", TESTGPU, 4, verify=False
+        )
+    assert engine_mod.PROBE_FACTORY is None  # restored on exit
+    assert plain.cycles == blamed.cycles
+    assert plain.stats.snapshot() == blamed.stats.snapshot()
+    assert np.array_equal(plain.costs, blamed.costs)
+    assert len(session.launches) == 1
+    assert session.launches[0].end_cycles == plain.cycles
+
+
+@pytest.mark.parametrize("variant", ["BASE", "AN", "RF/AN"])
 def test_controlled_fifo_run_is_bit_identical_to_uncontrolled(variant):
     # the schedule-controller hook (repro.verify) rides the issue
     # selection point; with an engine-order controller installed the

@@ -155,6 +155,55 @@ SUMMARIZERS = {
 }
 
 
+def summarize_blame(directory: Path) -> str:
+    """Top-3 stall classes from any blame artifacts in the directory.
+
+    Accepts ``blame.json`` (the ``python -m repro.harness blame``
+    artifact, also looked up under a ``blame/`` subdirectory) and any
+    ``*.blame.json``.  Artifacts that are missing, unreadable, or from
+    an older schema degrade to a stderr note, never an error.
+    """
+    paths = sorted(directory.glob("*.blame.json"))
+    for extra in (directory / "blame.json",
+                  directory / "blame" / "blame.json"):
+        if extra.exists():
+            paths.append(extra)
+    rows = []
+    for path in paths:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"[{path.name}: unreadable blame artifact ({exc}); "
+                  f"skipped]", file=sys.stderr)
+            continue
+        blame = payload.get("blame", payload)
+        cycles = blame.get("cycles") if isinstance(blame, dict) else None
+        if not isinstance(cycles, dict) or not cycles:
+            print(f"[{path.name}: no blame cycles recorded; skipped]",
+                  file=sys.stderr)
+            continue
+        wf = blame.get("wf_cycles") or 0
+        label = payload.get("workload") or path.stem
+        stalls = [(c, v) for c, v in cycles.items()
+                  if c != "compute" and isinstance(v, (int, float))]
+        projections = blame.get("projections") or {}
+        for cls, v in sorted(stalls, key=lambda kv: -kv[1])[:3]:
+            end = blame.get("end_cycles") or 0
+            zero = (projections.get(cls) or {}).get("zero") or 0
+            rows.append([
+                label, cls, round(v),
+                f"{v / wf:.1%}" if wf else "-",
+                f"{end / zero:.3f}x" if end and zero else "-",
+            ])
+    if not rows:
+        return ""
+    return render_table(
+        ["experiment", "stall class", "cycles", "share", "what-if x0"],
+        rows,
+        title="blame: top-3 stall classes per artifact (docs/blame.md)",
+    )
+
+
 def main(argv) -> int:
     directory = Path(argv[1]) if len(argv) > 1 else Path("results")
     if not directory.is_dir():
@@ -179,6 +228,12 @@ def main(argv) -> int:
             continue
         print(text)
         print()
+    blame = summarize_blame(directory)
+    if blame:
+        print(blame)
+        print()
+    else:
+        print(f"[blame: no artifacts in {directory}]")
     return 0
 
 
