@@ -4,7 +4,7 @@
 
 .PHONY: install test test-fast test-slow bench bench-engine bench-diff \
     verify verify-deep harness-quick harness-full runs-report blame \
-    examples clean
+    watch postmortem examples clean
 
 # window size for runs-report (make runs-report N=25)
 N ?= 10
@@ -48,6 +48,15 @@ runs-report:
 # stall attribution + causal what-if for a quick BFS run (docs/blame.md)
 blame:
 	python -m repro.harness blame bfs --quick --out results/blame
+
+# live dashboard over a runlog (make watch RUN=results/run.jsonl)
+RUN ?= results/run.jsonl
+watch:
+	python -m repro.harness watch $(RUN)
+
+# render the newest post-mortem bundle from a failed --flight run
+postmortem:
+	python -m repro.harness postmortem show
 
 harness-quick:
 	python -m repro.harness all --quick --out results-quick/

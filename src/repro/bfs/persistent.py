@@ -135,6 +135,7 @@ def run_persistent_bfs(
     max_cycles: int = 20_000_000_000,
     verify: bool = False,
     probe: Optional[object] = None,
+    watchdog: Optional[object] = None,
     queue_factory: Optional[Callable[[int], DeviceQueue]] = None,
 ) -> BFSRun:
     """Simulate a persistent-thread BFS with the given queue variant.
@@ -166,6 +167,7 @@ def run_persistent_bfs(
                 max_cycles,
                 verify,
                 probe,
+                watchdog,
                 queue_factory,
             )
         except KernelAbort as exc:
@@ -186,6 +188,7 @@ def _run_once(
     max_cycles: int,
     verify: bool,
     probe: Optional[object] = None,
+    watchdog: Optional[object] = None,
     queue_factory: Optional[Callable[[int], DeviceQueue]] = None,
 ) -> BFSRun:
     engine = Engine(device)
@@ -208,7 +211,10 @@ def _run_once(
     kernel = make_kernel(
         queue, BFSWorker(), sched, subtasks_per_cycle=subtasks_per_cycle
     )
-    result = engine.launch(kernel, n_workgroups, max_cycles=max_cycles, probe=probe)
+    result = engine.launch(
+        kernel, n_workgroups, max_cycles=max_cycles, probe=probe,
+        watchdog=watchdog,
+    )
 
     run = BFSRun(
         implementation=variant,

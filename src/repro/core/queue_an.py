@@ -164,8 +164,14 @@ class ArbitraryNQueue(BaseCasQueue):
                 probe.queue_counter(self.prefix, "rear", probe.now, rear)
             if self._is_full(front, rear, total):
                 yield Abort(
-                    f"queue full: rear={rear} front={front} "
-                    f"need={total} capacity={self.capacity}"
+                    f"queue full: queue {self.prefix!r} fill "
+                    f"{rear - front}/{self.capacity} (rear={rear} "
+                    f"front={front} need={total})",
+                    info={
+                        "queue": self.prefix,
+                        "capacity": self.capacity,
+                        "fill": rear - front,
+                    },
                 )
             if not first_round:
                 stats.custom[K_CAS_ROUNDS] += 1

@@ -258,8 +258,14 @@ class BaseCasQueue(DeviceQueue):
             ranks, n_round = rank_within(pending)
             if self._is_full(front, rear, n_round):
                 yield Abort(
-                    f"queue full: rear={rear} front={front} "
-                    f"need={n_round} capacity={self.capacity}"
+                    f"queue full: queue {self.prefix!r} fill "
+                    f"{rear - front}/{self.capacity} (rear={rear} "
+                    f"front={front} need={n_round})",
+                    info={
+                        "queue": self.prefix,
+                        "capacity": self.capacity,
+                        "fill": rear - front,
+                    },
                 )
             lanes = np.flatnonzero(pending)
             exp = rear + ranks[lanes]

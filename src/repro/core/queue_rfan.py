@@ -201,16 +201,30 @@ class RetryFreeQueue(DeviceQueue):
                 # enqueue must never store out of bounds (§4.3); a
                 # monotonic queue that ran past capacity is full.
                 yield Abort(
-                    f"queue full: raw index {int(raw[oob][0])} beyond "
-                    f"capacity {self.capacity}"
+                    f"queue full: queue {self.prefix!r} raw index "
+                    f"{int(raw[oob][0])} beyond capacity {self.capacity} "
+                    f"(fill {int(raw[oob][0])}/{self.capacity})",
+                    info={
+                        "queue": self.prefix,
+                        "capacity": self.capacity,
+                        "fill": int(raw[oob][0]),
+                    },
                 )
             phys = self._phys(raw)
             check = MemRead(self.buf_data, phys)
             yield check
             if np.any(check.result != DNA):
                 yield Abort(
-                    "queue full: target slot not data-not-arrived "
-                    "(Listing 3 line 25)"
+                    f"queue full: queue {self.prefix!r} target slot not "
+                    f"data-not-arrived (Listing 3 line 25; ring fill "
+                    f"{self.capacity}/{self.capacity})",
+                    info={
+                        "queue": self.prefix,
+                        "capacity": self.capacity,
+                        # the overwritten slot still holds live data, so
+                        # the physical ring is at capacity.
+                        "fill": self.capacity,
+                    },
                 )
             vals = tokens[active, t]
             if probe is not None:

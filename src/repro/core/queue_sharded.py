@@ -450,7 +450,14 @@ class ShardedQueue(DeviceQueue):
             yield Abort(
                 f"queue full: steal republish raw index "
                 f"{int(dst_raw[oob][0])} beyond capacity {h.capacity} "
-                f"on shard {h.prefix!r}"
+                f"on shard {home} ({h.prefix!r}, fill "
+                f"{int(dst_raw[oob][0])}/{h.capacity})",
+                info={
+                    "queue": h.prefix,
+                    "capacity": h.capacity,
+                    "fill": int(dst_raw[oob][0]),
+                    "shard": home,
+                },
             )
         dst_phys = np.asarray(h._phys(dst_raw), dtype=np.int64)
         check = MemRead(h.buf_data, dst_phys)
@@ -458,7 +465,14 @@ class ShardedQueue(DeviceQueue):
         if np.any(check.result != DNA):
             yield Abort(
                 "queue full: steal republish target slot not "
-                f"data-not-arrived on shard {h.prefix!r}"
+                f"data-not-arrived on shard {home} ({h.prefix!r}, ring "
+                f"fill {h.capacity}/{h.capacity})",
+                info={
+                    "queue": h.prefix,
+                    "capacity": h.capacity,
+                    "fill": h.capacity,
+                    "shard": home,
+                },
             )
         yield from self._store_batch(ctx, h, dst_raw, dst_phys, tokens)
 

@@ -23,6 +23,16 @@ running, queued, or about to be queued.  Counter updates are fetch-adds
 (they never fail); variants with the arbitrary-n property aggregate them
 through the proxy lane, BASE pays one per lane — consistent with which
 variant owns lane aggregation machinery.
+
+Progress signals
+----------------
+The probe marks this loop fires — ``sched_tokens`` after every acquire,
+``wf_phase("work")`` around each work cycle, ``sched_done`` at the
+termination store — double as the liveness signals of
+:class:`repro.obs.watchdog.LivenessWatchdog`: a launch whose flight
+recorder sees no work marks, deliveries, stores, or exits for a whole
+watch window is wedged, and the recorder's per-wavefront phase marks
+name the dominant stall class in the resulting post-mortem.
 """
 
 from __future__ import annotations

@@ -247,8 +247,15 @@ class DistributedWorkQueues(DeviceQueue):
             )
             if full:
                 yield Abort(
-                    f"distributed queue {q} full: rear={rear} "
-                    f"need={total} capacity={self.capacity}"
+                    f"distributed queue {q} full: fill "
+                    f"{rear - front}/{self.capacity} (rear={rear} "
+                    f"front={front} need={total})",
+                    info={
+                        "queue": f"{self.prefix}.{q}",
+                        "capacity": self.capacity,
+                        "fill": rear - front,
+                        "shard": q,
+                    },
                 )
             op = AtomicRMW(self._ctrl(q), REAR, AtomicKind.CAS, rear, rear + total)
             yield op

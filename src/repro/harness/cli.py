@@ -56,6 +56,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .runs import runs_main
 
         return runs_main(argv[1:])
+    if argv and argv[0] == "watch":
+        # live dashboard over a runlog JSONL; see watch.py.
+        from .watch import watch_main
+
+        return watch_main(argv[1:])
+    if argv and argv[0] == "postmortem":
+        # render post-mortem bundles from failed runs; see postmortem.py.
+        from .postmortem import postmortem_main
+
+        return postmortem_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-harness",
         description=(
@@ -72,7 +82,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             "or 'all'; "
             "or a subcommand: 'profile' (single profiled runs) / "
             "'blame' (stall attribution + what-if) / "
-            "'runs' (query the run ledger) — see '<subcommand> --help'"
+            "'runs' (query the run ledger) / "
+            "'watch' (live dashboard over a runlog) / "
+            "'postmortem' (render failure bundles) — "
+            "see '<subcommand> --help'"
         ),
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
@@ -110,6 +123,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             "Composes with --jobs N (sessions open inside each worker), "
             "but dissolves shared-sweep caching: experiments run one per "
             "job so launches stay attributable"
+        ),
+    )
+    parser.add_argument(
+        "--flight", action="store_true",
+        help=(
+            "attach the flight recorder + liveness watchdog to every "
+            "launch (passive: reports stay byte-identical); with "
+            "--run-log, stream periodic snapshot telemetry for "
+            "'repro-harness watch'; on failure, dump a postmortem.json "
+            "bundle under --postmortem-dir"
+        ),
+    )
+    parser.add_argument(
+        "--postmortem-dir", default=os.path.join("results", "postmortem"),
+        metavar="DIR",
+        help=(
+            "where --flight writes postmortem bundles on failure "
+            "(default results/postmortem)"
         ),
     )
     parser.add_argument(
@@ -164,6 +195,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     observer = MultiObserver(*observers) if observers else None
     registry = None if args.no_ledger else MetricsRegistry()
 
+    telemetry = None
+    if args.flight and args.profile:
+        # both would install PROBE_FACTORY; the profile session wins.
+        print(
+            "[--flight is ignored with --profile: the profile session "
+            "owns the probe hook]",
+            file=sys.stderr,
+        )
+    elif args.flight:
+        telemetry = {
+            "path": args.run_log,
+            "postmortem_dir": args.postmortem_dir,
+            "watchdog": True,
+            "config": {
+                "experiments": ids,
+                "quick": cfg.quick,
+                "scale_factor": cfg.scale_factor,
+                "verify": cfg.verify,
+            },
+        }
+
     jobs = args.jobs
     if args.profile and jobs > 1 and len(ids) > 1:
         # profiled parallel runs open a session inside each worker and
@@ -188,8 +240,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             profiles = {}
             results = run_many(
                 cfg, ids, jobs=jobs, observer=observer, registry=registry,
+                telemetry=telemetry,
             )
     except Exception as exc:
+        if telemetry is not None and telemetry.get("postmortem_dir"):
+            # worker-side FlightSessions wrote the bundle(s); point at
+            # them so a failed run is diagnosable without re-running.
+            print(
+                f"[postmortem: bundles (if any) under "
+                f"{telemetry['postmortem_dir']} — "
+                f"'python -m repro.harness postmortem show']",
+                file=sys.stderr,
+            )
         if runlog is not None:
             runlog.abort(repr(exc))
             runlog.close()

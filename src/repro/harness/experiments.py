@@ -731,21 +731,65 @@ def _run_group(cfg: HarnessConfig, group: List[str]) -> List[ExperimentResult]:
 
 
 def _run_group_collect(
-    cfg: HarnessConfig, group: List[str], collect_metrics: bool
+    cfg: HarnessConfig,
+    group: List[str],
+    collect_metrics: bool,
+    telemetry: Optional[Dict] = None,
 ) -> Tuple[List[ExperimentResult], Optional[Dict]]:
     """Run one group, optionally under a metrics session (must pickle).
 
     Returns ``(results, registry_snapshot_or_None)`` — worker processes
     cannot share the parent's registry, so they ship a snapshot back and
     the parent merges (counters add, so merge order does not matter).
+
+    ``telemetry`` (the harness ``--flight`` plumbing) opens a
+    :class:`repro.obs.flight.FlightSession` around the group: every
+    launch gets a flight recorder plus liveness watchdog, launch-end
+    snapshots stream into the runlog at ``telemetry["path"]`` (when
+    set), and a failure dumps a post-mortem bundle under
+    ``telemetry["postmortem_dir"]``.  All of it is passive on the
+    simulation, so results and reports stay byte-identical.
     """
-    if not collect_metrics:
-        return _run_group(cfg, group), None
+    if telemetry is None:
+        if not collect_metrics:
+            return _run_group(cfg, group), None
+        from repro.obs.registry import MetricsSession
+
+        with MetricsSession() as session:
+            out = _run_group(cfg, group)
+        return out, session.registry.snapshot()
+
+    from contextlib import ExitStack
+
+    from repro.obs.flight import FlightSession
+    from repro.obs.live import TelemetryEmitter
     from repro.obs.registry import MetricsSession
 
-    with MetricsSession() as session:
+    emitter = None
+    if telemetry.get("path"):
+        emitter = TelemetryEmitter(
+            telemetry["path"],
+            job="+".join(group),
+            interval=telemetry.get("interval", 2.0),
+        )
+    with ExitStack() as stack:
+        session = (
+            stack.enter_context(MetricsSession()) if collect_metrics else None
+        )
+        flight = FlightSession(
+            watchdog=telemetry.get("watchdog", True),
+            postmortem_dir=telemetry.get("postmortem_dir"),
+            config=telemetry.get("config"),
+            metrics=session.registry if session is not None else None,
+            on_launch_end=emitter.launch_finished if emitter else None,
+            on_watchdog=emitter.watchdog_event if emitter else None,
+        )
+        stack.enter_context(flight)
+        if emitter is not None:
+            stack.callback(emitter.close)
         out = _run_group(cfg, group)
-    return out, session.registry.snapshot()
+    snap = session.registry.snapshot() if session is not None else None
+    return out, snap
 
 
 def run_many(
@@ -754,6 +798,7 @@ def run_many(
     jobs: int = 1,
     observer=None,
     registry=None,
+    telemetry: Optional[Dict] = None,
 ) -> List[ExperimentResult]:
     """Run several experiments, optionally across worker processes.
 
@@ -777,6 +822,11 @@ def run_many(
     every launch's :class:`SimStats` merged into it, across worker
     processes.  Both default to ``None``: the original zero-overhead
     driver path.
+
+    ``telemetry`` (a plain picklable dict, see
+    :func:`_run_group_collect`) attaches a flight recorder + liveness
+    watchdog inside each worker and streams ``snapshot`` events into
+    the shared runlog — the ``--flight`` path.
     """
     groups = plan_groups(ids)
     if observer is not None:
@@ -785,9 +835,13 @@ def run_many(
     ok = False
     try:
         if jobs <= 1 or len(groups) <= 1:
-            results = _run_groups_sequential(cfg, groups, observer, registry)
+            results = _run_groups_sequential(
+                cfg, groups, observer, registry, telemetry
+            )
         else:
-            results = _run_groups_parallel(cfg, groups, jobs, observer, registry)
+            results = _run_groups_parallel(
+                cfg, groups, jobs, observer, registry, telemetry
+            )
         ok = True
     finally:
         if observer is not None:
@@ -801,6 +855,7 @@ def _run_groups_sequential(
     groups: List[List[str]],
     observer=None,
     registry=None,
+    telemetry: Optional[Dict] = None,
 ) -> List[ExperimentResult]:
     results: List[ExperimentResult] = []
     total = len(groups)
@@ -810,7 +865,9 @@ def _run_groups_sequential(
             observer.job_started(name, i, total)
         t0 = time.perf_counter()
         try:
-            out, snap = _run_group_collect(cfg, group, registry is not None)
+            out, snap = _run_group_collect(
+                cfg, group, registry is not None, telemetry
+            )
         except Exception as exc:
             if observer is not None:
                 observer.job_finished(
@@ -840,6 +897,7 @@ def _run_groups_parallel(
     jobs: int,
     observer=None,
     registry=None,
+    telemetry: Optional[Dict] = None,
 ) -> List[ExperimentResult]:
     from concurrent.futures import ProcessPoolExecutor, as_completed
     from concurrent.futures.process import BrokenProcessPool
@@ -862,7 +920,9 @@ def _run_groups_parallel(
             for i in order:
                 group = groups[i]
                 name = "+".join(group)
-                fut = ex.submit(_run_group_collect, cfg, group, collect)
+                fut = ex.submit(
+                    _run_group_collect, cfg, group, collect, telemetry
+                )
                 index[fut] = (i, name)
                 submitted[i] = time.perf_counter()
                 if observer is not None:
@@ -892,7 +952,9 @@ def _run_groups_parallel(
     except (OSError, BrokenProcessPool):
         # the pool itself failed (fork unavailable, resource limits);
         # experiment errors propagate above instead of being retried.
-        return _run_groups_sequential(cfg, groups, observer, registry)
+        return _run_groups_sequential(
+            cfg, groups, observer, registry, telemetry
+        )
 
 
 def _run_exp_profiled(

@@ -1,0 +1,99 @@
+"""``python -m repro.harness postmortem show|report`` — bundle viewer.
+
+Post-mortem bundles (``postmortem-*.json``) are written by
+:class:`repro.obs.flight.FlightSession` when a flight-recorded run dies
+— a :class:`~repro.simt.errors.QueueFullError`, a watchdog
+:class:`~repro.simt.errors.WedgeError`, or any uncaught exception.
+``show`` renders one bundle in full (the newest by default); ``report``
+prints a one-line summary per bundle in the directory.  Bundles are
+schema-versioned and round-trip through
+:func:`repro.obs.flight.load_postmortem`, so they double as replayable
+failure artifacts: the embedded config (and its ledger-compatible
+hash) identifies the exact run configuration to re-execute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import sys
+from typing import List, Optional
+
+#: default bundle directory (the harness ``--flight`` default too).
+DEFAULT_DIR = os.path.join("results", "postmortem")
+
+
+def _bundles(directory: str) -> List[str]:
+    return sorted(glob.glob(os.path.join(directory, "postmortem-*.json")))
+
+
+def postmortem_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness postmortem",
+        description="render post-mortem bundles from failed runs",
+    )
+    parser.add_argument("command", choices=["show", "report"])
+    parser.add_argument(
+        "path", nargs="?", default=None,
+        help="bundle file (show) or directory (report); default: "
+        f"newest bundle under {DEFAULT_DIR}",
+    )
+    parser.add_argument(
+        "--dir", default=DEFAULT_DIR, metavar="DIR",
+        help=f"bundle directory (default {DEFAULT_DIR})",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.flight import load_postmortem, render_postmortem
+
+    if args.command == "show":
+        path = args.path
+        if path is None:
+            found = _bundles(args.dir)
+            if not found:
+                print(
+                    f"postmortem: no bundles under {args.dir}",
+                    file=sys.stderr,
+                )
+                return 1
+            path = found[-1]
+        try:
+            bundle = load_postmortem(path)
+        except (OSError, ValueError) as exc:
+            print(f"postmortem: {exc}", file=sys.stderr)
+            return 1
+        print(render_postmortem(bundle))
+        return 0
+
+    # report: one line per bundle
+    directory = args.path or args.dir
+    found = _bundles(directory)
+    if not found:
+        print(f"postmortem: no bundles under {directory}", file=sys.stderr)
+        return 1
+    for path in found:
+        try:
+            bundle = load_postmortem(path)
+        except (OSError, ValueError) as exc:
+            print(f"{os.path.basename(path)}: unreadable ({exc})")
+            continue
+        err = bundle.get("error") or {}
+        flight = bundle.get("flight") or {}
+        bits = [
+            os.path.basename(path),
+            err.get("type", "no-error"),
+        ]
+        qf = err.get("queue_full")
+        if qf:
+            bits.append(
+                f"queue={qf.get('queue')} "
+                f"fill={qf.get('fill')}/{qf.get('capacity')}"
+            )
+        if err.get("classification"):
+            bits.append(f"class={err['classification']}")
+        if flight:
+            bits.append(f"cycle={flight.get('cycle')}")
+            bits.append(f"live={flight.get('live_wavefronts')}")
+        print("  ".join(str(b) for b in bits))
+    return 0

@@ -34,11 +34,25 @@ from repro.obs.regress import (
 from .report import render_table
 
 
-def _cmd_list(ledger: Ledger, args) -> int:
+def _require_entries(ledger: Ledger) -> List[dict]:
+    """Entries of a usable ledger, or raise LedgerError (one-line, exit 1).
+
+    ``list``/``diff``/``report`` are queries over recorded history; a
+    missing or empty ledger directory means there is no history to
+    query — a clear one-line error and exit 1, never a traceback or a
+    silent empty table.
+    """
     entries = ledger.entries()
     if not entries:
-        print(f"no runs recorded under {ledger.root}")
-        return 0
+        raise LedgerError(
+            f"no runs recorded under {ledger.root} (record one by "
+            "running the harness without --no-ledger)"
+        )
+    return entries
+
+
+def _cmd_list(ledger: Ledger, args) -> int:
+    entries = _require_entries(ledger)
     if args.n:
         entries = entries[-args.n:]
     rows = [
@@ -92,6 +106,7 @@ def _diff_rules(args) -> List[Rule]:
 
 
 def _cmd_diff(ledger: Ledger, args) -> int:
+    _require_entries(ledger)
     entry_a = ledger.load(args.a)
     entry_b = ledger.load(args.b)
     if entry_a.get("config_hash") != entry_b.get("config_hash"):
@@ -114,10 +129,7 @@ def _cmd_diff(ledger: Ledger, args) -> int:
 
 
 def _cmd_report(ledger: Ledger, args) -> int:
-    entries = ledger.entries()
-    if not entries:
-        print(f"no runs recorded under {ledger.root}")
-        return 0
+    entries = _require_entries(ledger)
     window = entries[-args.n:] if args.n else entries
     # latest prior run per config hash, seeded with history before the window
     prev_by_hash = {}
@@ -220,5 +232,5 @@ def runs_main(argv: Optional[List[str]] = None) -> int:
             return _cmd_report(ledger, args)
     except LedgerError as exc:
         print(f"runs: {exc}", file=sys.stderr)
-        return 2
+        return 1
     raise AssertionError(f"unhandled runs command {args.cmd!r}")

@@ -1,0 +1,73 @@
+"""``python -m repro.harness watch <run.jsonl>`` — live run dashboard.
+
+Tails a runlog JSONL file (written by ``--run-log``, enriched with
+``snapshot`` telemetry events when ``--flight`` is on) and redraws an
+in-terminal dashboard: run status, group progress bar, per-queue fill
+bars, steal/delivery totals, blame top-3 stall classes, and recent
+watchdog/warning lines (:func:`repro.obs.live.render_dashboard`).
+
+The file is re-read in full on each tick — runlogs are single-run and
+small, and re-reading keeps the tailer robust against rotation and
+concurrent ``--jobs N`` writers.  ``--once`` renders a single frame
+and exits (the CI smoke mode); without it, watching stops when the log
+records ``run_finished`` or ``abort``, or on Ctrl-C.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+
+def watch_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness watch",
+        description="tail a runlog JSONL into an in-terminal dashboard",
+    )
+    parser.add_argument("run", help="path to the runlog JSONL (--run-log)")
+    parser.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="seconds between redraws (default 1.0)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.live import render_dashboard
+    from repro.obs.runlog import read_runlog
+
+    def frame():
+        events = read_runlog(args.run) if os.path.exists(args.run) else []
+        return render_dashboard(events), events
+
+    if args.once:
+        if not os.path.exists(args.run):
+            print(f"watch: no runlog at {args.run}", file=sys.stderr)
+            return 1
+        text, _ = frame()
+        print(text)
+        return 0
+
+    try:
+        while True:
+            text, events = frame()
+            if not args.no_clear:
+                # ANSI clear + home; degrades to noise-free scrollback
+                # when piped (watch --no-clear is the pipe-safe mode).
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(text, flush=True)
+            terminal = {"run_finished", "abort"}
+            if any(ev.get("event") in terminal for ev in events):
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0

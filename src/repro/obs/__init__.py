@@ -42,6 +42,23 @@ evidence, :func:`~repro.obs.blame.build_graph` tiles each wavefront's
 lifetime into classified segments, and the module extracts the
 critical path, per-class blame fractions, and causal "what-if"
 projections (``python -m repro.harness blame``, ``docs/blame.md``).
+
+**Failure-time** (this PR) — observability that survives aborts and
+wedges instead of requiring a completed run:
+
+* :class:`~repro.obs.flight.FlightRecorder` /
+  :class:`~repro.obs.flight.FlightSession` — bounded last-K event ring
+  plus live per-queue/per-CU state; on failure the session freezes it
+  into a schema-versioned ``postmortem.json``
+  (``python -m repro.harness postmortem show|report``);
+* :class:`~repro.obs.watchdog.LivenessWatchdog` — simulated-cycle
+  no-progress detection in the engine loop, classified with the blame
+  stall taxonomy, escalating warn → snapshot → abort with
+  :class:`~repro.simt.errors.WedgeError`;
+* :class:`~repro.obs.live.TelemetryEmitter` /
+  :func:`~repro.obs.live.render_dashboard` — throttled ``snapshot``
+  events in the runlog JSONL and the ``python -m repro.harness watch``
+  terminal dashboard that tails them.
 """
 
 from repro.simt.probe import Probe
@@ -59,7 +76,16 @@ from .blame import (
     scale_graph,
     summarize_graph,
 )
+from .flight import (
+    FlightRecorder,
+    FlightSession,
+    build_postmortem,
+    load_postmortem,
+    render_postmortem,
+    write_postmortem,
+)
 from .ledger import Ledger, LedgerError
+from .live import TelemetryEmitter, render_dashboard, snapshot_fields
 from .metrics import compute_metrics, summarize
 from .perfetto import to_perfetto, write_trace
 from .registry import MetricsRegistry, MetricsSession
@@ -67,15 +93,19 @@ from .regress import compare as compare_metrics
 from .runlog import LiveReporter, MultiObserver, RunLog, RunObserver, read_runlog
 from .session import ProfileSession
 from .timeline import TimelineProbe
+from .watchdog import LivenessWatchdog
 
 __all__ = [
     "BlameGraph",
     "BlameProbe",
     "BlameSession",
     "BlameSummary",
+    "FlightRecorder",
+    "FlightSession",
     "Ledger",
     "LedgerError",
     "LiveReporter",
+    "LivenessWatchdog",
     "MetricsRegistry",
     "MetricsSession",
     "MultiObserver",
@@ -83,18 +113,25 @@ __all__ = [
     "ProfileSession",
     "RunLog",
     "RunObserver",
+    "TelemetryEmitter",
     "TimelineProbe",
     "build_graph",
+    "build_postmortem",
     "compare_metrics",
     "compute_blame",
     "compute_metrics",
     "critical_path",
+    "load_postmortem",
     "publish_blame",
     "read_runlog",
+    "render_dashboard",
+    "render_postmortem",
     "replay",
     "scale_graph",
+    "snapshot_fields",
     "summarize",
     "summarize_graph",
     "to_perfetto",
+    "write_postmortem",
     "write_trace",
 ]

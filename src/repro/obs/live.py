@@ -1,0 +1,220 @@
+"""Live run telemetry: runlog ``snapshot`` events + terminal dashboard.
+
+The runlog (:mod:`repro.obs.runlog`) already streams run/job lifecycle
+events, but between ``job_started`` and ``job_finished`` a multi-minute
+group is a black hole.  This module fills it in two halves:
+
+* :class:`TelemetryEmitter` — attached per worker via
+  :class:`~repro.obs.flight.FlightSession`'s ``on_launch_end`` hook, it
+  appends wall-clock-throttled ``snapshot`` events to the *same* runlog
+  JSONL file (single flushed lines, so concurrent ``--jobs N`` workers
+  interleave without tearing).  Each snapshot carries simulated
+  progress, per-queue fill, steal totals and the top stall classes from
+  the launch's flight recorder.
+
+* :func:`render_dashboard` — folds a runlog event list into one
+  in-terminal dashboard frame (progress bar, running groups, queue fill
+  bars, steal rate, blame top-3, recent warnings).  ``python -m
+  repro.harness watch <run.jsonl>`` re-reads the file on an interval
+  and redraws; ``--once`` renders a single frame (the CI smoke mode).
+
+Snapshots are a pure side channel: harness reports stay byte-identical
+with telemetry on or off, like every other runlog event.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from .runlog import RunLog
+
+#: minimum wall-clock seconds between snapshot events per emitter.
+DEFAULT_INTERVAL = 2.0
+
+#: queues shown per snapshot / dashboard frame (largest fill first).
+MAX_QUEUES = 8
+
+
+def snapshot_fields(recorder, job: str = "") -> Dict:
+    """Compact JSON-able telemetry view of one flight recorder."""
+    queues = sorted(
+        recorder.queues.items(),
+        key=lambda it: -max(0, it[1]["rear"] - it[1]["front"]),
+    )[:MAX_QUEUES]
+    return {
+        "job": job,
+        "device": recorder.device_name,
+        "launches": recorder.launches,
+        "cycle": recorder.cycles,
+        "live_wavefronts": recorder.n_wavefronts - len(recorder.exited),
+        "deliveries": recorder.deliveries,
+        "stores": recorder.stores,
+        "steals": recorder.steals,
+        "exits": recorder.exits,
+        "queues": {
+            prefix: {
+                "fill": max(0, q["rear"] - q["front"]),
+                "capacity": q["capacity"],
+            }
+            for prefix, q in queues
+        },
+        "stalls": [[cls, n] for cls, n in recorder.top_stalls(3)],
+    }
+
+
+class TelemetryEmitter:
+    """Throttled ``snapshot`` event writer for one worker process.
+
+    ``path`` is the shared runlog JSONL file.  ``launch_finished`` is
+    shaped to plug straight into ``FlightSession(on_launch_end=...)``:
+    it emits at most one snapshot per ``interval`` wall-clock seconds,
+    always from the most recent launch's recorder.  ``close`` flushes a
+    final snapshot so short jobs leave at least one.
+    """
+
+    def __init__(
+        self,
+        path,
+        job: str = "",
+        interval: float = DEFAULT_INTERVAL,
+        clock=time.monotonic,
+    ):
+        self._log = path if isinstance(path, RunLog) else RunLog(path)
+        self._owns_log = not isinstance(path, RunLog)
+        self.job = job
+        self.interval = interval
+        self._clock = clock
+        self._last_emit: Optional[float] = None
+        self._emitted = 0
+        self._pending = None
+
+    def launch_finished(self, recorder) -> None:
+        self._pending = recorder
+        t = self._clock()
+        if self._last_emit is not None and t - self._last_emit < self.interval:
+            return
+        self.emit()
+        self._last_emit = t
+
+    def emit(self) -> None:
+        """Write a snapshot from the latest recorder, if any."""
+        if self._pending is None:
+            return
+        self._log.emit("snapshot", **snapshot_fields(self._pending, self.job))
+        self._emitted += 1
+        self._pending = None
+
+    def watchdog_event(self, cycle: int, action: str, cls: str) -> None:
+        """Forward a watchdog escalation as a runlog warning."""
+        self._log.emit(
+            "watchdog", job=self.job, cycle=cycle, action=action,
+            classification=cls,
+        )
+
+    def close(self) -> None:
+        self.emit()
+        if self._owns_log:
+            self._log.close()
+
+
+# ----------------------------------------------------------------------
+# dashboard rendering
+# ----------------------------------------------------------------------
+def _bar(frac: float, width: int = 24) -> str:
+    n = int(round(max(0.0, min(1.0, frac)) * width))
+    return "#" * n + "." * (width - n)
+
+
+def render_dashboard(events: List[Dict], clock=time.time) -> str:
+    """Fold runlog events into one dashboard frame (a plain string)."""
+    started: Optional[Dict] = None
+    finished: Optional[Dict] = None
+    aborted: Optional[Dict] = None
+    running: Dict[str, Dict] = {}
+    done = failed = 0
+    total = 0
+    latest_snap: Dict[str, Dict] = {}
+    warnings: List[str] = []
+    watchdog_lines: List[str] = []
+    for ev in events:
+        kind = ev.get("event")
+        if kind == "run_started":
+            started = ev
+            total = len(ev.get("groups") or []) or len(ev.get("ids") or [])
+        elif kind == "job_started":
+            running[ev.get("job", "?")] = ev
+        elif kind == "job_finished":
+            running.pop(ev.get("job", "?"), None)
+            if ev.get("error"):
+                failed += 1
+            else:
+                done += 1
+        elif kind == "snapshot":
+            latest_snap[ev.get("job", "")] = ev
+        elif kind == "warning":
+            warnings.append(str(ev.get("message", "")))
+        elif kind == "watchdog":
+            watchdog_lines.append(
+                f"cycle {ev.get('cycle')}: {ev.get('action')} "
+                f"({ev.get('classification')}) in {ev.get('job', '?')}"
+            )
+        elif kind == "abort":
+            aborted = ev
+        elif kind == "run_finished":
+            finished = ev
+
+    lines: List[str] = []
+    if aborted is not None:
+        status = f"ABORTED ({aborted.get('reason', '?')})"
+    elif finished is not None:
+        status = "DONE" if finished.get("ok") else "FAILED"
+        status += f" in {finished.get('elapsed_s', '?')}s"
+    elif started is not None:
+        status = "RUNNING"
+    else:
+        status = "WAITING (no run_started yet)"
+    ids = ",".join((started or {}).get("ids") or []) or "?"
+    lines.append(f"run [{ids}] — {status}")
+    if total:
+        frac = (done + failed) / total
+        lines.append(
+            f"progress [{_bar(frac)}] {done + failed}/{total} groups"
+            + (f"  ({failed} failed)" if failed else "")
+        )
+    if running:
+        lines.append("running: " + ", ".join(sorted(running)))
+    # latest snapshot per job, newest state wins per queue
+    all_queues: Dict[str, Dict] = {}
+    steals = deliveries = 0
+    stall_totals: Dict[str, int] = {}
+    for job, snap in sorted(latest_snap.items()):
+        for prefix, q in (snap.get("queues") or {}).items():
+            all_queues[prefix] = q
+        steals += snap.get("steals", 0)
+        deliveries += snap.get("deliveries", 0)
+        for cls, n in snap.get("stalls") or []:
+            stall_totals[cls] = stall_totals.get(cls, 0) + n
+    if all_queues:
+        lines.append("queue fill:")
+        for prefix in sorted(all_queues)[:MAX_QUEUES]:
+            q = all_queues[prefix]
+            cap = q.get("capacity") or 0
+            fill = q.get("fill", 0)
+            frac = fill / cap if cap else 0.0
+            lines.append(f"  {prefix:14s} [{_bar(frac)}] {fill}/{cap}")
+    if latest_snap:
+        lines.append(
+            f"delivered {deliveries} tokens, {steals} stolen"
+        )
+    if stall_totals:
+        top = sorted(stall_totals.items(), key=lambda it: (-it[1], it[0]))
+        lines.append(
+            "stall top-3: "
+            + ", ".join(f"{cls}={n}" for cls, n in top[:3])
+        )
+    for line in watchdog_lines[-3:]:
+        lines.append(f"watchdog: {line}")
+    for msg in warnings[-3:]:
+        lines.append(f"warning: {msg}")
+    return "\n".join(lines)

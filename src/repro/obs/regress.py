@@ -80,6 +80,11 @@ DEFAULT_RULES: Sequence[Rule] = (
     # These precede the generic *cycles* rule (first match wins).
     Rule("blame.frac.*", better="lower", tolerance=0.25),
     Rule("blame.*", better="lower", exact=True),
+    # flight recorder overhead is a wall-clock ratio (noisy under load);
+    # watchdog escalations count deterministic no-progress windows, so
+    # any new trip on a previously clean config is a finding.
+    Rule("flight.overhead_frac", better="lower", tolerance=0.5),
+    Rule("watchdog.*", better="lower", exact=True),
     # deterministic simulated quantities: exact, and fewer is better
     Rule("*cycles*", better="lower", exact=True),
     Rule("*issued_ops*", better="lower", exact=True),

@@ -35,8 +35,10 @@ from .errors import (
     KernelAbort,
     LaunchConfigError,
     MemoryFault,
+    QueueFullError,
     SimError,
     SimulationTimeout,
+    WedgeError,
 )
 from .lanes import ballot, first_active, lane_ids, rank_within, segmented_rank
 from .memory import GlobalMemory
@@ -75,8 +77,10 @@ __all__ = [
     "KernelAbort",
     "LaunchConfigError",
     "MemoryFault",
+    "QueueFullError",
     "SimError",
     "SimulationTimeout",
+    "WedgeError",
     "ballot",
     "first_active",
     "lane_ids",

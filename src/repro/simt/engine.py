@@ -76,7 +76,12 @@ import numpy as np
 
 from .atomics import AtomicSystem
 from .device import DeviceSpec
-from .errors import KernelAbort, LaunchConfigError, SimulationTimeout
+from .errors import (
+    KernelAbort,
+    LaunchConfigError,
+    QueueFullError,
+    SimulationTimeout,
+)
 from .memory import GlobalMemory
 from .ops import Abort, AtomicRMW, Compute, Fence, LocalOp, MemRead, MemWrite, Op
 from .stats import SimStats
@@ -339,6 +344,19 @@ METRICS_SINK: Optional[Callable[[DeviceSpec, int, SimStats], None]] = None
 #: to builds that predate the hook (pinned by the determinism tests).
 CONTROLLER_FACTORY: Optional[Callable[[], Optional[object]]] = None
 
+#: opt-in liveness hook: when set, every launch that was not given an
+#: explicit ``watchdog`` asks this zero-arg factory for one (it may
+#: return None to leave that launch unwatched).  A watchdog exposes
+#: ``launch_begin(device, n_wavefronts) -> next_check_cycle`` and
+#: ``poll(now, live) -> next_check_cycle``; the engine calls ``poll``
+#: the first time simulated time reaches the returned cycle.  Polls are
+#: read-only with respect to simulated state — a watchdog that never
+#: escalates leaves the launch bit-identical to an unwatched one
+#: (pinned by the determinism tests) — but an escalating watchdog may
+#: raise (e.g. :class:`repro.simt.errors.WedgeError`) to abort a wedged
+#: launch.  Installed/removed by :class:`repro.obs.flight.FlightSession`.
+WATCHDOG_FACTORY: Optional[Callable[[], Optional[object]]] = None
+
 
 def _resolve_op_kind(cls: type, op: Op) -> int:
     """Classify an op subclass the slow way and memoize the answer."""
@@ -409,6 +427,7 @@ class Engine:
         charge_launch_overhead: bool = False,
         probe: Optional[object] = None,
         controller: Optional[object] = None,
+        watchdog: Optional[object] = None,
     ) -> LaunchResult:
         """Run ``kernel`` on ``n_wavefronts`` wavefronts until all exit.
 
@@ -438,6 +457,11 @@ class Engine:
         only — memory semantics, atomic serialization, and cost charging
         are untouched, so every controlled execution is one the
         simulated hardware could legally produce.
+
+        ``watchdog`` attaches a liveness monitor for this launch only
+        (see :data:`WATCHDOG_FACTORY`): the engine polls it at the
+        simulated cycles it requests; a poll that detects a wedge may
+        raise to abort the launch.
         """
         if n_wavefronts <= 0:
             raise LaunchConfigError(
@@ -464,6 +488,12 @@ class Engine:
         controlled = controller is not None
         if controlled:
             controller.launch_begin(device, n_wavefronts)
+        if watchdog is None and WATCHDOG_FACTORY is not None:
+            watchdog = WATCHDOG_FACTORY()
+        watching = watchdog is not None
+        # first simulated cycle at which the watchdog wants a poll; the
+        # per-event check below is a single comparison when unwatched.
+        wd_next = watchdog.launch_begin(device, n_wavefronts) if watching else 0
         scalar_mode = (self.exec_mode or EXEC_MODE) == "scalar"
         # per-launch atomic-unit occupancy: never shared across launches
         # (each launch restarts the simulated clock at zero).
@@ -851,8 +881,12 @@ class Engine:
                     else:
                         heappush(heap, ev)
                     return
-                # _K_ABORT
-                abort_exc = KernelAbort(op.reason)
+                # _K_ABORT: queue layers pass structured context via
+                # Abort.info, surfaced as a typed QueueFullError.
+                if op.info is not None:
+                    abort_exc = QueueFullError(op.reason, **op.info)
+                else:
+                    abort_exc = KernelAbort(op.reason)
                 return
 
         total = 0
@@ -888,6 +922,10 @@ class Engine:
                         key_prev = "MemWrite"
                     else:
                         key_prev = OP_KIND_NAMES.get(payload.pkind, "issue")
+                if watching and now >= wd_next:
+                    # read-only liveness poll at the watchdog's own
+                    # cadence; may raise WedgeError on escalation.
+                    wd_next = watchdog.poll(now, live)
                 if now > max_cycles:
                     raise SimulationTimeout(
                         f"simulation exceeded {max_cycles} cycles "

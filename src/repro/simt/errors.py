@@ -23,6 +23,66 @@ class KernelAbort(SimError):
     """
 
 
+class QueueFullError(KernelAbort):
+    """A queue publish found no free slot (Listing 3, line 25).
+
+    Raised instead of a bare :class:`KernelAbort` when the aborting queue
+    supplied structured context via ``Abort(reason, info=...)``: the
+    owning queue's buffer prefix, its capacity, the fill level observed
+    at the moment of failure, and (for sharded queues) the shard id.
+    The host-side growth loop in :func:`repro.bfs.persistent
+    .run_persistent_bfs` and the post-mortem writer in
+    :mod:`repro.obs.flight` both read these fields.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        queue: str = "",
+        capacity: int = 0,
+        fill: int = 0,
+        shard: "int | None" = None,
+    ):
+        super().__init__(reason)
+        self.queue = queue
+        self.capacity = capacity
+        self.fill = fill
+        self.shard = shard
+
+    def info(self) -> dict:
+        """JSON-able view of the structured fields (for post-mortems)."""
+        return {
+            "queue": self.queue,
+            "capacity": self.capacity,
+            "fill": self.fill,
+            "shard": self.shard,
+        }
+
+
+class WedgeError(SimError):
+    """The liveness watchdog declared the launch wedged.
+
+    Raised by :class:`repro.obs.watchdog.LivenessWatchdog` (via the
+    engine's poll hook) after repeated no-progress windows: wavefronts
+    are still live but nothing has been delivered, stored, computed, or
+    retired for several windows — the persistent-kernel analogue of a
+    deadlock.  Carries the watchdog's stall classification and the
+    flight-recorder snapshot taken at the final escalation.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        classification: str = "other",
+        snapshot: "dict | None" = None,
+    ):
+        super().__init__(reason)
+        self.classification = classification
+        self.snapshot = snapshot
+
+
 class LaunchConfigError(SimError):
     """The requested launch does not fit the device.
 

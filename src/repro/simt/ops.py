@@ -193,12 +193,20 @@ class Fence(Op):
 
 
 class Abort(Op):
-    """Abort the kernel (queue-full exception, Listing 3 line 25)."""
+    """Abort the kernel (queue-full exception, Listing 3 line 25).
 
-    __slots__ = ("reason",)
+    ``info`` optionally carries structured context about the failure —
+    the queue variants pass ``{"queue": prefix, "capacity": c, "fill":
+    f, "shard": s}`` so the engine can raise a typed
+    :class:`~repro.simt.errors.QueueFullError` instead of a bare
+    :class:`~repro.simt.errors.KernelAbort`.
+    """
 
-    def __init__(self, reason: str):
+    __slots__ = ("reason", "info")
+
+    def __init__(self, reason: str, info: "dict | None" = None):
         self.reason = reason
+        self.info = info
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Abort({self.reason!r})"

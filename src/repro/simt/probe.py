@@ -17,8 +17,12 @@ simulated launch:
 
 Every method is a no-op here, so subclasses override only what they
 need.  The rich recording implementation lives in
-:mod:`repro.obs.timeline`; this module holds only the interface so the
-simulator core never depends on the observability package.
+:mod:`repro.obs.timeline`; the always-on bounded variant (last-K ring
+of events, per-queue fill, per-CU state — the source of post-mortem
+bundles and the liveness watchdog's progress signature) is
+:class:`repro.obs.flight.FlightRecorder`.  This module holds only the
+interface so the simulator core never depends on the observability
+package.
 
 Zero-cost contract
 ------------------

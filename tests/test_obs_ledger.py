@@ -95,8 +95,18 @@ class TestRunsCli:
     def test_no_ledger_flag_skips_recording(self, capsys):
         assert main(["tab1", "--quick", "--no-ledger"]) == 0
         capsys.readouterr()
-        assert main(["runs", "list"]) == 0
-        assert "no runs recorded" in capsys.readouterr().out
+        # an empty ledger is an error for queries: one line, exit 1
+        assert main(["runs", "list"]) == 1
+        captured = capsys.readouterr()
+        assert "no runs recorded" in captured.err
+        assert captured.err.count("\n") == 1
+
+    def test_empty_ledger_queries_exit_one(self, capsys):
+        for argv in (["runs", "list"], ["runs", "report"],
+                     ["runs", "diff", "last~1", "last"]):
+            assert main(argv) == 1
+            captured = capsys.readouterr()
+            assert "no runs recorded" in captured.err
 
     def test_show_and_diff_identical_runs(self, capsys):
         assert main(["tab1", "--quick"]) == 0
@@ -143,6 +153,6 @@ class TestRunsCli:
         assert "first" in out
         assert "ok" in out
 
-    def test_unknown_ref_exits_2(self, capsys):
-        assert main(["runs", "show", "nope"]) == 2
+    def test_unknown_ref_exits_1(self, capsys):
+        assert main(["runs", "show", "nope"]) == 1
         assert "no run matching" in capsys.readouterr().err

@@ -41,6 +41,21 @@ class TestRules:
         assert ops.better == "higher"
         assert not match_rule("harness_quick.jobs", DEFAULT_RULES).gate
 
+    def test_flight_and_watchdog_rules(self):
+        # recorder overhead is a noisy wall-clock ratio: tolerant, lower
+        # better; watchdog trips are deterministic windows: exact, so a
+        # new trip on a previously clean config gates.
+        frac = match_rule("flight.overhead_frac", DEFAULT_RULES)
+        assert frac.better == "lower" and not frac.exact
+        trips = match_rule("watchdog.trips", DEFAULT_RULES)
+        assert trips.exact and trips.better == "lower"
+        assert match_rule("watchdog.warns", DEFAULT_RULES).exact
+        # the flight benchmark's simulated quantities stay exact via the
+        # generic rules (flight.* wall metrics keep their own patterns)
+        assert match_rule("flight.cycles", DEFAULT_RULES).exact
+        sec = match_rule("flight.seconds", DEFAULT_RULES)
+        assert not sec.exact and sec.better == "lower"
+
 
 class TestFloors:
     def test_vector_throughput_floors_live_in_the_rule_table(self):

@@ -268,6 +268,115 @@ def test_blame_session_does_not_perturb_or_leak():
 
 
 @pytest.mark.parametrize("variant", ["BASE", "AN", "RF/AN"])
+def test_flight_recorded_run_is_bit_identical_to_bare(variant):
+    # the flight recorder is the always-on probe (--flight): it folds
+    # every callback into a bounded ring + rolling counters, so a
+    # recorded run must agree with a bare one on every cycle, counter,
+    # and cost — for all queue variants.
+    from repro.obs import FlightRecorder
+
+    spec = dataset("Synthetic")
+    g = spec.build(spec.default_scale * 0.25)
+    plain = run_persistent_bfs(
+        g, spec.source, variant, TESTGPU, 4, verify=False
+    )
+    rec = FlightRecorder()
+    recorded = run_persistent_bfs(
+        g, spec.source, variant, TESTGPU, 4, verify=False, probe=rec
+    )
+    assert plain.cycles == recorded.cycles
+    assert plain.stats.snapshot() == recorded.stats.snapshot()
+    assert np.array_equal(plain.costs, recorded.costs)
+    # and the recorder really saw the launch
+    assert rec.events
+    assert rec.deliveries > 0
+    assert rec.queues
+
+
+def test_flight_recorded_naive_cas_run_is_bit_identical_to_bare():
+    from repro.core import SchedulerControl, persistent_kernel
+    from repro.ext import NaiveCasQueue
+    from repro.obs import FlightRecorder
+
+    def launch(probe=None):
+        eng = Engine(TESTGPU)
+        sched = SchedulerControl()
+        q = NaiveCasQueue(capacity=4096)
+        q.allocate(eng.memory)
+        sched.allocate(eng.memory)
+        q.seed(eng.memory, [40, 17])
+        sched.seed(eng.memory, 2)
+        from test_core_scheduler import CountdownWorker
+
+        kern = persistent_kernel(q, CountdownWorker(), sched)
+        return eng.launch(
+            kern, 6, params={"max_work_cycles": 500_000}, probe=probe
+        )
+
+    plain = launch()
+    rec = FlightRecorder()
+    recorded = launch(probe=rec)
+    assert plain.cycles == recorded.cycles
+    assert plain.stats.snapshot() == recorded.stats.snapshot()
+    assert rec.events
+
+
+def test_flight_recorded_sharded_run_is_bit_identical_to_bare():
+    from repro.bfs.common import bfs_queue_capacity
+    from repro.core import ShardedQueue
+    from repro.obs import FlightRecorder
+
+    spec = dataset("Synthetic")
+    g = spec.build(spec.default_scale * 0.25)
+    cap = bfs_queue_capacity(g, TESTGPU, 4)
+    factory = lambda c: ShardedQueue(c, n_shards=4, steal=True)  # noqa: E731
+    plain = run_persistent_bfs(
+        g, spec.source, "SHARDED", TESTGPU, 4, verify=False,
+        queue_factory=factory, capacity=cap,
+    )
+    rec = FlightRecorder()
+    recorded = run_persistent_bfs(
+        g, spec.source, "SHARDED", TESTGPU, 4, verify=False,
+        queue_factory=factory, capacity=cap, probe=rec,
+    )
+    assert plain.cycles == recorded.cycles
+    assert plain.stats.snapshot() == recorded.stats.snapshot()
+    assert np.array_equal(plain.costs, recorded.costs)
+    # per-shard queues registered individually
+    assert len(rec.queues) > 1
+
+
+def test_flight_session_with_watchdog_does_not_perturb_or_leak():
+    # the full --flight stack: PROBE_FACTORY installs a FlightRecorder
+    # and WATCHDOG_FACTORY attaches a LivenessWatchdog whose polls ride
+    # the engine loop — on a healthy run both must be bit-invisible and
+    # both hooks must be restored on exit.
+    import repro.simt.engine as engine_mod
+    from repro.obs import FlightSession
+
+    spec = dataset("Synthetic")
+    g = spec.build(spec.default_scale * 0.25)
+    plain = run_persistent_bfs(
+        g, spec.source, "RF/AN", TESTGPU, 4, verify=False
+    )
+    assert engine_mod.PROBE_FACTORY is None
+    assert engine_mod.WATCHDOG_FACTORY is None
+    with FlightSession(watchdog=True) as session:
+        recorded = run_persistent_bfs(
+            g, spec.source, "RF/AN", TESTGPU, 4, verify=False
+        )
+    assert engine_mod.PROBE_FACTORY is None  # restored on exit
+    assert engine_mod.WATCHDOG_FACTORY is None
+    assert plain.cycles == recorded.cycles
+    assert plain.stats.snapshot() == recorded.stats.snapshot()
+    assert np.array_equal(plain.costs, recorded.costs)
+    # a healthy run never escalates
+    assert session.watchdog_events == []
+    assert session.last is not None
+    assert session.last.cycles == recorded.cycles
+
+
+@pytest.mark.parametrize("variant", ["BASE", "AN", "RF/AN"])
 def test_controlled_fifo_run_is_bit_identical_to_uncontrolled(variant):
     # the schedule-controller hook (repro.verify) rides the issue
     # selection point; with an engine-order controller installed the

@@ -44,6 +44,10 @@ overhead gate: the run fails if any benchmark is slower than
 ``baseline * (1 + --guard-tolerance)``.  CI uses this to pin the
 zero-cost-when-disabled contract of the observability probes — the
 probes-off hot path must stay within noise of the recorded baseline.
+The same gate also budgets the always-on flight recorder: the
+``flight`` datapoint re-runs the ``bfs`` launch with the recorder and
+liveness watchdog attached, and ``--guard`` fails when its measured
+``overhead_frac`` exceeds ``--flight-budget``.
 
 ``--vector-guard`` (no baseline needed) checks measured throughput
 against the absolute floors recorded in the regression-sentinel rule
@@ -159,6 +163,51 @@ def bench_bfs(repeats: int = 3) -> dict:
         "issued_ops": int(run.stats.issued_ops),
         "cycles": int(run.cycles),
         "ops_per_sec": int(run.stats.issued_ops / dt),
+    }
+
+
+def bench_bfs_flight(repeats: int, bare_bfs: dict) -> dict:
+    """The ``bfs`` launch with the flight recorder + watchdog attached.
+
+    The flight recorder is the one probe meant to fly on *every* run
+    (``--flight``), so its overhead is a first-class datapoint:
+    ``overhead_frac`` is the fractional wall-clock cost over the bare
+    ``bfs`` launch measured in the same process.  The run refuses to
+    report if the recorded launch's simulated results differ from the
+    bare launch — recording must be passive.
+    """
+    from repro.bfs import run_persistent_bfs
+    from repro.graphs import dataset
+    from repro.obs.flight import FlightSession
+
+    spec = dataset(BFS_DATASET)
+    g = spec.build(spec.default_scale * BFS_SCALE)
+    best = None
+    for _ in range(repeats):
+        with FlightSession(watchdog=True):
+            t0 = time.perf_counter()
+            run = run_persistent_bfs(
+                g, spec.source, "RF/AN", FIJI, BFS_WORKGROUPS, verify=False
+            )
+            dt = time.perf_counter() - t0
+        if best is None or dt < best[0]:
+            best = (dt, run)
+    dt, run = best
+    if (int(run.cycles) != bare_bfs["cycles"]
+            or int(run.stats.issued_ops) != bare_bfs["issued_ops"]):
+        raise SystemExit(
+            "flight-recorded bfs changed simulated results "
+            f"(cycles {bare_bfs['cycles']} -> {int(run.cycles)}, "
+            f"issued_ops {bare_bfs['issued_ops']} -> "
+            f"{int(run.stats.issued_ops)}); the flight recorder must be "
+            "passive"
+        )
+    return {
+        "seconds": round(dt, 4),
+        "issued_ops": int(run.stats.issued_ops),
+        "cycles": int(run.cycles),
+        "ops_per_sec": int(run.stats.issued_ops / dt),
+        "overhead_frac": round(dt / bare_bfs["seconds"] - 1.0, 4),
     }
 
 
@@ -347,6 +396,15 @@ def main(argv=None) -> int:
             "generous, to absorb shared-CI wall-clock noise)"
         ),
     )
+    parser.add_argument(
+        "--flight-budget", type=float, default=1.0, metavar="FRAC",
+        help=(
+            "under --guard, fail if the flight recorder's measured "
+            "overhead_frac exceeds FRAC (default 1.0: the recorded "
+            "launch may cost at most 2x the bare launch; generous for "
+            "shared-CI noise — the local figure is far lower)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.guard and not args.baseline:
         parser.error("--guard requires --baseline")
@@ -365,6 +423,11 @@ def main(argv=None) -> int:
     print(f"fixed BFS launch ({repeats} repeat(s))...")
     report["benchmarks"]["bfs"] = bench_bfs(repeats)
     print(f"  {report['benchmarks']['bfs']}")
+    print(f"flight-recorded BFS launch ({repeats} repeat(s))...")
+    report["benchmarks"]["flight"] = bench_bfs_flight(
+        repeats, report["benchmarks"]["bfs"]
+    )
+    print(f"  {report['benchmarks']['flight']}")
     print(f"fixed sharded BFS launch ({repeats} repeat(s))...")
     report["benchmarks"]["bfs_sharded"] = bench_bfs_sharded(repeats)
     print(f"  {report['benchmarks']['bfs_sharded']}")
@@ -453,6 +516,21 @@ def main(argv=None) -> int:
                     f"overhead guard failed (tolerance {tol:.0%}): {slow}"
                 )
             print(f"overhead guard passed (tolerance {tol:.0%})")
+
+            frac = report["benchmarks"]["flight"]["overhead_frac"]
+            report["guard"]["flight_budget"] = args.flight_budget
+            report["guard"]["flight_overhead_frac"] = frac
+            if frac > args.flight_budget:
+                report["guard"]["passed"] = False
+                Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+                raise SystemExit(
+                    f"flight-recorder overhead guard failed: "
+                    f"overhead_frac {frac} > budget {args.flight_budget}"
+                )
+            print(
+                f"flight-recorder overhead guard passed "
+                f"(overhead_frac {frac} <= budget {args.flight_budget})"
+            )
 
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
