@@ -1,0 +1,237 @@
+"""Job specs: the serializable unit of work the scheduler service runs.
+
+``python -m repro.serve`` accepts the same configurations the harness
+CLI does, but over a wire: a **job spec** is a plain JSON dict that
+round-trips through :class:`JobSpec` and executes through
+:func:`run_job_spec` — the programmatic twin of ``python -m
+repro.harness <exp> --quick --out DIR``.  Determinism does the heavy
+lifting: a spec run by the service and the same spec run by the CLI
+produce byte-identical ``<exp>.txt``/``<exp>.json`` artifacts and
+ledger entries with equal ``config_hash``, so ``runs diff`` compares
+service-run and CLI-run results exactly.
+
+Two spec kinds exist:
+
+``harness``
+    The real thing: ``experiments`` (harness ids), ``quick``,
+    ``scale_factor``, ``verify``, ``jobs`` (in-job worker fan-out) and
+    ``flight`` (attach the flight recorder + watchdog; failures leave
+    post-mortem bundles next to the job's artifacts).
+
+``canary``
+    An ops no-op that sleeps ``seconds`` and optionally fails its
+    first ``fail_attempts`` attempts.  It exercises the service's
+    queueing, cancellation, timeout, and retry/backoff machinery
+    without simulating anything — health checks and the test suite
+    use it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: spec kinds the service accepts.
+KINDS = ("harness", "canary")
+
+
+class SpecError(ValueError):
+    """A job spec that cannot be executed (rejected at submission)."""
+
+
+@dataclass
+class JobSpec:
+    """One serializable unit of service work."""
+
+    kind: str = "harness"
+    #: harness experiment ids (``harness`` kind).
+    experiments: List[str] = field(default_factory=list)
+    quick: bool = True
+    scale_factor: float = 1.0
+    verify: bool = True
+    #: worker processes *inside* the job (``run_many`` fan-out).
+    jobs: int = 1
+    #: attach flight recorder + watchdog; failures dump post-mortems.
+    flight: bool = False
+    #: ``canary`` kind: wall seconds to sleep.
+    seconds: float = 0.0
+    #: ``canary`` kind: raise on attempts 1..fail_attempts.
+    fail_attempts: int = 0
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`SpecError` on anything the runner would choke on."""
+        if self.kind not in KINDS:
+            raise SpecError(f"unknown spec kind {self.kind!r} (one of {KINDS})")
+        if self.kind == "harness":
+            if not self.experiments:
+                raise SpecError("harness spec needs at least one experiment id")
+            from .experiments import EXPERIMENTS
+
+            unknown = [e for e in self.experiments if e not in EXPERIMENTS]
+            if unknown:
+                raise SpecError(
+                    f"unknown experiment(s) {unknown}; "
+                    f"known: {', '.join(EXPERIMENTS)}"
+                )
+            if self.jobs < 1:
+                raise SpecError(f"jobs must be >= 1, got {self.jobs}")
+            if self.scale_factor <= 0:
+                raise SpecError(
+                    f"scale_factor must be > 0, got {self.scale_factor}"
+                )
+        else:  # canary
+            if self.seconds < 0:
+                raise SpecError(f"seconds must be >= 0, got {self.seconds}")
+            if self.fail_attempts < 0:
+                raise SpecError(
+                    f"fail_attempts must be >= 0, got {self.fail_attempts}"
+                )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        if self.kind == "harness":
+            return {
+                "kind": self.kind,
+                "experiments": list(self.experiments),
+                "quick": self.quick,
+                "scale_factor": self.scale_factor,
+                "verify": self.verify,
+                "jobs": self.jobs,
+                "flight": self.flight,
+            }
+        return {
+            "kind": self.kind,
+            "seconds": self.seconds,
+            "fail_attempts": self.fail_attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
+        """Build and validate a spec from an untrusted dict."""
+        if not isinstance(data, dict):
+            raise SpecError(f"spec must be a JSON object, got {type(data).__name__}")
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecError(f"unknown spec field(s): {', '.join(unknown)}")
+        try:
+            spec = cls(**data)
+        except TypeError as exc:
+            raise SpecError(str(exc)) from None
+        # normalize types arriving from JSON (e.g. ints for floats)
+        spec.scale_factor = float(spec.scale_factor)
+        spec.seconds = float(spec.seconds)
+        spec.jobs = int(spec.jobs)
+        spec.fail_attempts = int(spec.fail_attempts)
+        spec.validate()
+        return spec
+
+    # ------------------------------------------------------------------
+    def config(self) -> Dict[str, Any]:
+        """The ledger config dict — identical to the harness CLI's.
+
+        ``jobs``/``flight`` stay out for the same reason the CLI keeps
+        ``--jobs``/``--profile`` out: they must not change simulated
+        results, so service and CLI runs of one spec share a
+        ``config_hash`` and ``runs diff`` compares them exactly.
+        """
+        return {
+            "experiments": list(self.experiments),
+            "quick": self.quick,
+            "scale_factor": self.scale_factor,
+            "verify": self.verify,
+        }
+
+
+def run_job_spec(
+    spec: JobSpec,
+    out_dir: str,
+    job_id: Optional[str] = None,
+    postmortem_dir: Optional[str] = None,
+    run_log: Optional[str] = None,
+    record_ledger: bool = True,
+) -> Dict[str, Any]:
+    """Execute a ``harness`` spec; the service worker's entry point.
+
+    Runs the spec's experiments through the exact pipeline the CLI
+    uses (:func:`repro.harness.experiments.run_many` + per-result
+    ``save``), writes ``<exp>.txt``/``<exp>.json`` under ``out_dir``,
+    records a ledger manifest tagged with ``job_id``, and returns a
+    JSON-able summary ``{artifacts, metrics, ledger_run_id, wall_seconds}``.
+    """
+    import time
+
+    from repro.obs.registry import MetricsRegistry
+
+    from .config import HarnessConfig
+    from .experiments import run_many
+
+    spec.validate()
+    if spec.kind != "harness":
+        raise SpecError(f"run_job_spec only executes harness specs, got {spec.kind!r}")
+
+    cfg = HarnessConfig(
+        quick=spec.quick, scale_factor=spec.scale_factor, verify=spec.verify,
+    )
+    telemetry = None
+    if spec.flight:
+        telemetry = {
+            "path": run_log,
+            "postmortem_dir": postmortem_dir,
+            "watchdog": True,
+            "config": spec.config(),
+        }
+    registry = MetricsRegistry() if record_ledger else None
+
+    t0 = time.time()
+    results = run_many(
+        cfg, list(spec.experiments), jobs=spec.jobs,
+        registry=registry, telemetry=telemetry,
+    )
+    wall = time.time() - t0
+
+    artifacts: List[str] = []
+    for result in results:
+        result.save(out_dir)
+        artifacts.extend([f"{result.exp_id}.txt", f"{result.exp_id}.json"])
+
+    summary: Dict[str, Any] = {
+        "artifacts": artifacts,
+        "wall_seconds": round(wall, 3),
+        "experiments": list(spec.experiments),
+    }
+    if registry is not None:
+        from repro.obs.ledger import Ledger
+
+        metrics = registry.scalars()
+        metrics["experiments"] = len(results)
+        for result in results:
+            metrics[f"{result.exp_id}.seconds"] = round(result.elapsed, 3)
+        entry = Ledger().record(
+            kind="serve",
+            config=spec.config(),
+            metrics=metrics,
+            wall_seconds=wall,
+            job_id=job_id,
+            notes=f"jobs={spec.jobs} flight={spec.flight}",
+        )
+        summary["ledger_run_id"] = entry["run_id"]
+        summary["config_hash"] = entry["config_hash"]
+        headline = {
+            k: v for k, v in metrics.items()
+            if k.endswith(("cycles", "seconds")) or k == "experiments"
+        }
+        summary["metrics"] = dict(sorted(headline.items())[:24])
+    return summary
+
+
+def submitting_job_id() -> Optional[str]:
+    """The service job id this process runs under, if any.
+
+    The daemon's worker exports ``REPRO_JOB_ID`` to the job's child
+    process, so even a spec that shells back into ``python -m
+    repro.harness`` records the owning job in its ledger entries.
+    """
+    return os.environ.get("REPRO_JOB_ID") or None

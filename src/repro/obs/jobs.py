@@ -1,0 +1,90 @@
+"""Job-level service metrics: queue depth, wait time, retry counts.
+
+The scheduler service (:mod:`repro.serve`) reuses the run-level
+:class:`~repro.obs.registry.MetricsRegistry` for its *job* telemetry —
+one namespace (``serve.*``) alongside the ``sim.*``/``queue.*``
+families the simulations publish, one snapshot format, one ``GET
+/metrics`` payload:
+
+* ``serve.queue.depth`` / ``serve.jobs.<state>`` — gauges refreshed
+  from the store on every scrape (the store is the truth; gauges are
+  the cached view).
+* ``serve.wait_seconds`` — histogram of submit→claim latency, observed
+  when a worker claims a job.  Queue pressure shows up here first.
+* ``serve.exec_seconds`` — histogram of claim→outcome wall time.
+* ``serve.retries`` / ``serve.timeouts`` / ``serve.cancelled`` /
+  ``serve.requeued`` — counters the worker pool bumps as it drives the
+  lifecycle.
+
+Everything here is wall-clock/ops telemetry: nothing feeds back into
+simulations, so service runs stay byte-identical to CLI runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .registry import MetricsRegistry
+
+#: histogram bucket bounds for job wait/exec times (seconds).
+SECONDS_BUCKETS = (
+    0.1, 0.25, 0.5, 1, 2, 5, 10, 30, 60, 120, 300, 600, 1800, 3600,
+)
+
+
+def observe_claim(registry: MetricsRegistry, job: Dict, now: float) -> None:
+    """A worker claimed ``job``: record its time spent queued."""
+    submitted = job.get("submitted_at")
+    if submitted is not None:
+        wait = max(0.0, now - float(submitted))
+        registry.histogram(
+            "serve.wait_seconds", buckets=SECONDS_BUCKETS
+        ).observe(wait)
+    registry.counter("serve.claims").inc()
+
+
+def observe_outcome(
+    registry: MetricsRegistry, outcome: str, exec_seconds: float
+) -> None:
+    """A job attempt ended: ``done|failed|cancelled|retried|timeout|requeued``."""
+    registry.counter("serve.outcomes", outcome=outcome).inc()
+    if outcome in ("retried", "timeout", "cancelled", "requeued"):
+        # flat aliases so dashboards need no label arithmetic
+        name = {"retried": "serve.retries", "timeout": "serve.timeouts",
+                "cancelled": "serve.cancelled", "requeued": "serve.requeued"}
+        registry.counter(name[outcome]).inc()
+    registry.histogram(
+        "serve.exec_seconds", buckets=SECONDS_BUCKETS
+    ).observe(max(0.0, exec_seconds))
+
+
+def refresh_store_gauges(registry: MetricsRegistry, store) -> None:
+    """Mirror the store's current state counts into gauges."""
+    counts = store.counts()
+    for state, n in counts.items():
+        registry.gauge("serve.jobs", state=state).set(n)
+    registry.gauge("serve.queue.depth").set(counts.get("queued", 0))
+
+
+def metrics_payload(registry: MetricsRegistry, store) -> Dict:
+    """The ``GET /metrics`` body: fresh gauges + registry scalars.
+
+    ``store.total_retries()`` is reported alongside the pool's counter:
+    the store value survives daemon restarts, the counter is
+    this-process-only — both are useful, so both are named.
+    """
+    refresh_store_gauges(registry, store)
+    metrics = registry.scalars()
+    # scalars() skips histograms; summarize the timing families by hand
+    for name, _, metric in registry.series():
+        if getattr(metric, "kind", None) != "histogram" or not metric.count:
+            continue
+        metrics[f"{name}.count"] = metric.count
+        metrics[f"{name}.mean"] = round(metric.mean, 3)
+        metrics[f"{name}.max"] = metric.max
+    return {
+        "counts": store.counts(),
+        "queue_depth": store.queue_depth(),
+        "total_retries": store.total_retries(),
+        "metrics": metrics,
+    }

@@ -97,13 +97,19 @@ class Ledger:
         seed: Optional[int] = None,
         notes: Optional[str] = None,
         created: Optional[float] = None,
+        job_id: Optional[str] = None,
     ) -> Dict:
         """Write one manifest; returns the recorded entry dict.
 
-        ``kind`` tags the producer (``"harness"``, ``"bench_engine"``);
-        ``config`` is the full knob set (hashed into ``config_hash`` so
-        runs are comparable only when their configs match); ``metrics``
-        is a flat ``name -> number`` dict — the diffable surface.
+        ``kind`` tags the producer (``"harness"``, ``"bench_engine"``,
+        ``"serve"``); ``config`` is the full knob set (hashed into
+        ``config_hash`` so runs are comparable only when their configs
+        match); ``metrics`` is a flat ``name -> number`` dict — the
+        diffable surface.  ``job_id`` records the scheduler-service job
+        that submitted the run (``None`` for direct CLI invocations):
+        ``jobs``-style knobs stay out of the hashed config, so a
+        service-run entry and a CLI-run entry of the same spec share a
+        ``config_hash`` and ``runs diff`` compares them exactly.
         """
         created = time.time() if created is None else created
         chash = config_hash(config)
@@ -126,6 +132,7 @@ class Ledger:
             "python": platform.python_version(),
             "platform": platform.platform(),
             "seed": seed,
+            "job_id": job_id,
             "config": config,
             "config_hash": chash,
             "wall_seconds": round(float(wall_seconds), 3),
@@ -141,7 +148,7 @@ class Ledger:
         index_line = {
             k: entry[k]
             for k in ("schema", "run_id", "kind", "created", "git_sha",
-                      "config_hash", "wall_seconds")
+                      "config_hash", "wall_seconds", "job_id")
         }
         with open(self.index_path, "a") as fh:
             fh.write(json.dumps(index_line, sort_keys=True) + "\n")

@@ -1,0 +1,61 @@
+"""Scheduler-as-a-service: a durable job daemon over the harness.
+
+The paper's persistent kernel keeps a device resident and feeds it
+dynamically arriving irregular work through a concurrent queue; this
+package is the host-side analogue at service scale.  A long-running
+daemon (``python -m repro.serve``) accepts experiment/workload specs
+from many clients, parks them in a durable sqlite store with
+priorities and idempotent submission, and drains them through worker
+processes running the exact ``run_many`` pipeline the CLI uses — so a
+service-run report is byte-identical to the same config run by hand.
+
+Layers (each its own module):
+
+* :mod:`repro.serve.store` — the durable state machine
+  (``queued → running → done|failed|cancelled``), atomic claims,
+  retry backoff, orphan recovery.
+* :mod:`repro.serve.runner` — per-attempt child-process execution and
+  the ``result.json`` dead-drop, with QueueFullError/WedgeError
+  context and post-mortem bundles attached to failures.
+* :mod:`repro.serve.pool` — worker threads supervising job processes:
+  cancellation that interrupts, timeouts, bounded retry, graceful
+  shutdown that requeues in-flight work.
+* :mod:`repro.serve.daemon` — the HTTP API and crash recovery at
+  startup.
+* :mod:`repro.serve.client` — stdlib HTTP client + ``python -m
+  repro.serve submit|status|cancel|fetch|...`` CLI (:mod:`.cli`).
+
+See ``docs/serving.md`` for the API, failure semantics, and runbook.
+"""
+
+from .client import (
+    JobTimeout,
+    ServeClient,
+    ServeError,
+    ServeUnavailable,
+)
+from .daemon import ServeDaemon
+from .pool import WorkerPool
+from .store import (
+    STATES,
+    TERMINAL,
+    IllegalTransition,
+    JobStore,
+    StoreError,
+    UnknownJob,
+)
+
+__all__ = [
+    "STATES",
+    "TERMINAL",
+    "IllegalTransition",
+    "JobStore",
+    "JobTimeout",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeError",
+    "ServeUnavailable",
+    "StoreError",
+    "UnknownJob",
+    "WorkerPool",
+]

@@ -1,0 +1,271 @@
+"""``python -m repro.serve`` — daemon and client in one entry point.
+
+Daemon::
+
+    python -m repro.serve start --port 8765 --workers 2 --data results/serve
+
+Clients (against a running daemon; ``--url`` or ``$REPRO_SERVE_URL``)::
+
+    python -m repro.serve submit fig1 --quick --wait --fetch out/
+    python -m repro.serve status <job_id>
+    python -m repro.serve list --state queued
+    python -m repro.serve cancel <job_id>
+    python -m repro.serve fetch <job_id> --out out/
+    python -m repro.serve health | metrics | shutdown
+
+With no subcommand, ``start`` is assumed — ``python -m repro.serve``
+alone brings up a daemon on the default port.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .client import (
+    JobTimeout,
+    ServeClient,
+    ServeError,
+    default_url,
+)
+
+#: subcommands that talk to a daemon rather than being one.
+CLIENT_COMMANDS = (
+    "submit", "status", "list", "wait", "cancel", "fetch",
+    "health", "metrics", "shutdown",
+)
+
+
+def _job_line(job: dict) -> str:
+    bits = [
+        f"{job['id']}",
+        f"state={job['state']}",
+        f"priority={job['priority']}",
+        f"attempts={job['attempts']}",
+    ]
+    if job.get("retries"):
+        bits.append(f"retries={job['retries']}")
+    spec = job.get("spec") or {}
+    if spec.get("kind") == "harness":
+        bits.append("exp=" + ",".join(spec.get("experiments") or []))
+    else:
+        bits.append(f"kind={spec.get('kind', '?')}")
+    if job.get("error"):
+        bits.append(f"error={job['error']!r}")
+    return "  ".join(bits)
+
+
+def _add_url(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--url", default=None,
+        help=f"service URL (default $REPRO_SERVE_URL or {default_url()})",
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # bare `python -m repro.serve` (or flags only) means `start`
+    if not argv or argv[0].startswith("-"):
+        argv = ["start", *argv]
+
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="scheduler-as-a-service over the experiment harness",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_start = sub.add_parser("start", help="run the daemon (blocking)")
+    p_start.add_argument("--host", default="127.0.0.1")
+    p_start.add_argument("--port", type=int, default=8765)
+    p_start.add_argument(
+        "--data", default=None, metavar="DIR",
+        help="service data directory (default results/serve)",
+    )
+    p_start.add_argument(
+        "--workers", type=int, default=1,
+        help="concurrent job slots (each job runs in its own process)",
+    )
+    p_start.add_argument(
+        "--default-timeout", type=float, default=None, metavar="S",
+        help="per-attempt wall-clock cap for jobs submitted without one",
+    )
+    p_start.add_argument(
+        "--poll-interval", type=float, default=0.2, metavar="S",
+        help="worker cancel/timeout poll cadence (default 0.2)",
+    )
+    p_start.add_argument(
+        "--backoff-base", type=float, default=1.0, metavar="S",
+        help="retry backoff base: base * 2**retries, capped (default 1.0)",
+    )
+    p_start.add_argument("--quiet", action="store_true",
+                         help="log only to the runlog, not stdout")
+
+    p_submit = sub.add_parser("submit", help="submit a harness job")
+    _add_url(p_submit)
+    p_submit.add_argument("experiments", nargs="+",
+                          help="harness experiment ids (fig1, tab3, ...)")
+    p_submit.add_argument("--full", action="store_true",
+                          help="paper-scale datasets (default: --quick)")
+    p_submit.add_argument("--scale-factor", type=float, default=1.0)
+    p_submit.add_argument("--no-verify", action="store_true")
+    p_submit.add_argument("--jobs", type=int, default=1,
+                          help="run_many fan-out inside the job")
+    p_submit.add_argument("--flight", action="store_true",
+                          help="flight recorder + post-mortems on failure")
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="higher runs first (default 0)")
+    p_submit.add_argument("--idem-key", default=None,
+                          help="idempotent submission key (safe retries)")
+    p_submit.add_argument("--max-retries", type=int, default=0)
+    p_submit.add_argument("--timeout", type=float, default=None, metavar="S",
+                          help="per-attempt wall-clock cap")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="block until the job is terminal")
+    p_submit.add_argument("--fetch", default=None, metavar="DIR",
+                          help="with --wait: download artifacts to DIR")
+
+    p_status = sub.add_parser("status", help="one job's record")
+    _add_url(p_status)
+    p_status.add_argument("job_id")
+    p_status.add_argument("--json", action="store_true")
+
+    p_list = sub.add_parser("list", help="list jobs, newest first")
+    _add_url(p_list)
+    p_list.add_argument("--state", default=None,
+                        choices=["queued", "running", "done", "failed",
+                                 "cancelled"])
+    p_list.add_argument("--limit", type=int, default=20)
+
+    p_wait = sub.add_parser("wait", help="block until a job is terminal")
+    _add_url(p_wait)
+    p_wait.add_argument("job_id")
+    p_wait.add_argument("--timeout", type=float, default=3600.0)
+
+    p_cancel = sub.add_parser("cancel", help="cancel a job")
+    _add_url(p_cancel)
+    p_cancel.add_argument("job_id")
+
+    p_fetch = sub.add_parser("fetch", help="download a job's artifacts")
+    _add_url(p_fetch)
+    p_fetch.add_argument("job_id")
+    p_fetch.add_argument("--out", required=True, metavar="DIR")
+
+    for name, help_text in (
+        ("health", "daemon liveness"),
+        ("metrics", "job-level service metrics"),
+        ("shutdown", "graceful drain (in-flight jobs requeue)"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        _add_url(p)
+
+    args = parser.parse_args(argv)
+
+    if args.cmd == "start":
+        from .daemon import DEFAULT_DATA, ServeDaemon
+
+        daemon = ServeDaemon(
+            data_dir=args.data or DEFAULT_DATA,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            poll_interval=args.poll_interval,
+            default_timeout_s=args.default_timeout,
+            backoff_base=args.backoff_base,
+            quiet=args.quiet,
+        )
+        return daemon.run()
+
+    client = ServeClient(args.url)
+    try:
+        return _client_main(client, args)
+    except JobTimeout as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 3
+    except ServeError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 1
+
+
+def _client_main(client: ServeClient, args) -> int:
+    if args.cmd == "submit":
+        spec = {
+            "kind": "harness",
+            "experiments": args.experiments,
+            "quick": not args.full,
+            "scale_factor": args.scale_factor,
+            "verify": not args.no_verify,
+            "jobs": args.jobs,
+            "flight": args.flight,
+        }
+        job = client.submit(
+            spec,
+            priority=args.priority,
+            idem_key=args.idem_key,
+            max_retries=args.max_retries,
+            timeout_s=args.timeout,
+        )
+        tag = " (resubmitted)" if job.get("resubmitted") else ""
+        print(f"submitted {job['id']}{tag}")
+        if not args.wait:
+            return 0
+        job = client.wait(job["id"])
+        print(_job_line(job))
+        if args.fetch and job["state"] == "done":
+            for path in client.fetch_artifacts(job["id"], args.fetch):
+                print(f"fetched {path}")
+        return 0 if job["state"] == "done" else 1
+
+    if args.cmd == "status":
+        job = client.get(args.job_id)
+        if args.json:
+            print(json.dumps(job, indent=1, default=str))
+        else:
+            print(_job_line(job))
+        return 0
+
+    if args.cmd == "list":
+        jobs = client.list_jobs(state=args.state, limit=args.limit)
+        for job in jobs:
+            print(_job_line(job))
+        if not jobs:
+            print("(no jobs)")
+        return 0
+
+    if args.cmd == "wait":
+        job = client.wait(args.job_id, timeout=args.timeout)
+        print(_job_line(job))
+        return 0 if job["state"] == "done" else 1
+
+    if args.cmd == "cancel":
+        job = client.cancel(args.job_id)
+        verb = "cancelling" if job["state"] == "running" else job["state"]
+        print(f"{job['id']}: {verb}"
+              + ("" if job.get("changed") else " (no change)"))
+        return 0
+
+    if args.cmd == "fetch":
+        paths = client.fetch_artifacts(args.job_id, args.out)
+        for path in paths:
+            print(f"fetched {path}")
+        if not paths:
+            print("(no artifacts)", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.cmd == "health":
+        print(json.dumps(client.health(), indent=1))
+        return 0
+
+    if args.cmd == "metrics":
+        print(json.dumps(client.metrics(), indent=1, default=str))
+        return 0
+
+    if args.cmd == "shutdown":
+        client.shutdown()
+        print("shutdown requested (daemon drains and exits)")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.cmd!r}")

@@ -1,0 +1,210 @@
+"""HTTP client for the scheduler service (stdlib ``urllib`` only).
+
+:class:`ServeClient` is the programmatic surface — the CLI, the test
+suite, and the CI smoke driver all go through it::
+
+    client = ServeClient("http://127.0.0.1:8765")
+    job = client.submit({"kind": "harness", "experiments": ["fig1"]})
+    job = client.wait(job["id"], timeout=600)
+    client.fetch_artifacts(job["id"], "out/")
+
+Every method raises :class:`ServeError` with the server's error
+message on a non-2xx response, and :class:`ServeUnavailable` when the
+daemon cannot be reached at all (connection refused, daemon draining)
+— callers distinguish "the service said no" from "there is no
+service".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: states a job never leaves (mirrors the store, importable client-side).
+TERMINAL = ("done", "failed", "cancelled")
+
+#: default service URL; the CLI and smoke tools honour the env override.
+DEFAULT_URL = "http://127.0.0.1:8765"
+URL_ENV = "REPRO_SERVE_URL"
+
+
+def default_url() -> str:
+    return os.environ.get(URL_ENV) or DEFAULT_URL
+
+
+class ServeError(Exception):
+    """The service rejected a request (4xx/5xx with a JSON error)."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        super().__init__(f"[{status}] {message}")
+
+
+class ServeUnavailable(ServeError):
+    """No daemon answered at the given URL."""
+
+    def __init__(self, url: str, reason: str):
+        self.url = url
+        Exception.__init__(self, f"service unavailable at {url}: {reason}")
+        self.status = 0
+
+
+class JobTimeout(Exception):
+    """``wait`` ran out of patience before the job went terminal."""
+
+
+class ServeClient:
+    """Thin JSON-over-HTTP client for one daemon."""
+
+    def __init__(self, url: Optional[str] = None, timeout: float = 30.0):
+        self.url = (url or default_url()).rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> Dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.url + path, data=data, method=method, headers=headers,
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read() or b"{}").get("error", str(exc))
+            except json.JSONDecodeError:
+                message = str(exc)
+            raise ServeError(exc.code, message) from None
+        except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+            reason = getattr(exc, "reason", exc)
+            raise ServeUnavailable(self.url, str(reason)) from None
+
+    def _request_bytes(self, path: str) -> bytes:
+        req = urllib.request.Request(
+            self.url + path, headers={"Accept": "application/octet-stream"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read() or b"{}").get("error", str(exc))
+            except json.JSONDecodeError:
+                message = str(exc)
+            raise ServeError(exc.code, message) from None
+        except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+            raise ServeUnavailable(self.url, str(getattr(exc, "reason", exc))) from None
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict:
+        return self._request("GET", "/metrics")
+
+    def submit(
+        self,
+        spec: Dict,
+        priority: int = 0,
+        idem_key: Optional[str] = None,
+        max_retries: int = 0,
+        timeout_s: Optional[float] = None,
+    ) -> Dict:
+        return self._request("POST", "/jobs", {
+            "spec": spec,
+            "priority": priority,
+            "idem_key": idem_key,
+            "max_retries": max_retries,
+            "timeout_s": timeout_s,
+        })
+
+    def get(self, job_id: str) -> Dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def list_jobs(
+        self, state: Optional[str] = None, limit: int = 100
+    ) -> List[Dict]:
+        path = f"/jobs?limit={limit}"
+        if state:
+            path += f"&state={state}"
+        return self._request("GET", path)["jobs"]
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def shutdown(self) -> Dict:
+        return self._request("POST", "/shutdown")
+
+    # ------------------------------------------------------------------
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 3600.0,
+        poll: float = 0.25,
+        tolerate_outage: float = 0.0,
+    ) -> Dict:
+        """Poll until the job reaches a terminal state; return it.
+
+        ``tolerate_outage`` seconds of :class:`ServeUnavailable` are
+        forgiven before giving up — enough to ride out a daemon restart
+        mid-wait (the crash-recovery smoke leans on this).
+        """
+        deadline = time.monotonic() + timeout
+        outage_start: Optional[float] = None
+        while True:
+            try:
+                job = self.get(job_id)
+                outage_start = None
+                if job["state"] in TERMINAL:
+                    return job
+            except ServeUnavailable:
+                now = time.monotonic()
+                if outage_start is None:
+                    outage_start = now
+                if now - outage_start > tolerate_outage:
+                    raise
+            if time.monotonic() > deadline:
+                raise JobTimeout(
+                    f"job {job_id} not terminal after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def artifacts(self, job_id: str) -> Dict:
+        return self._request("GET", f"/jobs/{job_id}/artifacts")
+
+    def fetch_artifact(self, job_id: str, name: str) -> bytes:
+        return self._request_bytes(f"/jobs/{job_id}/artifacts/{name}")
+
+    def fetch_artifacts(self, job_id: str, out_dir) -> List[Path]:
+        """Download every artifact of the job's latest attempt."""
+        out = Path(out_dir)
+        fetched: List[Path] = []
+        for item in self.artifacts(job_id)["files"]:
+            name = item["name"]
+            dest = out / name
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            dest.write_bytes(self.fetch_artifact(job_id, name))
+            fetched.append(dest)
+        return fetched
+
+    def wait_ready(self, timeout: float = 30.0, poll: float = 0.1) -> Dict:
+        """Block until ``/healthz`` answers (daemon startup handshake)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except ServeUnavailable:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(poll)

@@ -1,0 +1,353 @@
+"""The scheduler-as-a-service daemon: HTTP API over store + pool.
+
+``python -m repro.serve start`` runs one of these.  Layout on disk
+(everything under ``--data``, default ``results/serve``)::
+
+    <data>/jobs.sqlite          durable job store (the truth)
+    <data>/jobs/<id>/a<N>/      per-attempt artifacts + result.json
+    <data>/serve.jsonl          daemon runlog (schema-versioned JSONL)
+
+HTTP API (JSON in, JSON out; stdlib ``ThreadingHTTPServer``, no
+third-party dependencies)::
+
+    GET  /healthz                     liveness + worker/queue summary
+    GET  /metrics                     job-level metrics (repro.obs.jobs)
+    POST /jobs                        submit {spec, priority, idem_key,
+                                      max_retries, timeout_s}
+    GET  /jobs?state=&limit=          list jobs, newest first
+    GET  /jobs/<id>                   one job record
+    POST /jobs/<id>/cancel            cancel (queued: immediate;
+                                      running: interrupts the worker)
+    GET  /jobs/<id>/artifacts         artifact listing for the job
+    GET  /jobs/<id>/artifacts/<path>  artifact bytes
+    POST /shutdown                    graceful drain: requeue in-flight
+                                      jobs, stop accepting, exit
+
+Startup runs **crash recovery**: any row a previous daemon left
+``running`` is an orphan (the process died with it in flight) and goes
+back to ``queued`` — or straight to ``cancelled`` if a cancel was
+already pending.  Combined with the pool's shutdown-requeue, a job
+submitted once eventually runs to a terminal state across any number
+of daemon restarts, clean or ``kill -9``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.harness.jobspec import JobSpec, SpecError
+from repro.obs.jobs import metrics_payload
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runlog import RunLog
+
+from .pool import WorkerPool
+from .runner import attempt_dir
+from .store import JobStore, StoreError, UnknownJob
+
+#: default service data directory.
+DEFAULT_DATA = os.path.join("results", "serve")
+
+#: request body size cap (a job spec is tiny; anything bigger is abuse).
+MAX_BODY = 1 << 20
+
+
+class ServeDaemon:
+    """One daemon instance: store, worker pool, HTTP server, runlog."""
+
+    def __init__(
+        self,
+        data_dir: str = DEFAULT_DATA,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 1,
+        poll_interval: float = 0.2,
+        default_timeout_s: Optional[float] = None,
+        backoff_base: float = 1.0,
+        quiet: bool = False,
+    ):
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.host = host
+        self.requested_port = port
+        self.quiet = quiet
+        self.started_at = time.time()
+        self.runlog = RunLog(self.data_dir / "serve.jsonl")
+        self.store = JobStore(self.data_dir / "jobs.sqlite")
+        self.job_root = self.data_dir / "jobs"
+        self.registry = MetricsRegistry()
+        self.pool = WorkerPool(
+            self.store,
+            self.job_root,
+            n_workers=workers,
+            poll_interval=poll_interval,
+            default_timeout_s=default_timeout_s,
+            backoff_base=backoff_base,
+            registry=self.registry,
+            log=self._log,
+        )
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._server_thread: Optional[threading.Thread] = None
+        self._shutdown_requested = threading.Event()
+
+    # ------------------------------------------------------------------
+    def _log(self, message: str) -> None:
+        self.runlog.emit("serve", message=message, pid=os.getpid())
+        if not self.quiet:
+            print(f"[serve] {message}", flush=True)
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1] if self._server else 0
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Recover orphans, start workers, bind the HTTP server."""
+        recovered = self.store.recover_orphans()
+        if recovered["requeued"] or recovered["cancelled"]:
+            self._log(
+                f"crash recovery: requeued {recovered['requeued']} orphaned"
+                f" job(s), cancelled {recovered['cancelled']}"
+            )
+        handler = _make_handler(self)
+        self._server = ThreadingHTTPServer(
+            (self.host, self.requested_port), handler
+        )
+        self._server.daemon_threads = True
+        self.pool.start()
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever, name="serve-http", daemon=True,
+        )
+        self._server_thread.start()
+        self._log(
+            f"listening on {self.url} — {self.pool.n_workers} worker(s),"
+            f" store {self.store.path}"
+        )
+
+    def stop(self) -> None:
+        """Graceful drain: requeue in-flight jobs, close everything."""
+        self._log("shutting down: draining workers (in-flight jobs requeue)")
+        self.pool.stop()
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        self._log("shutdown complete")
+        self.runlog.close()
+
+    def request_shutdown(self) -> None:
+        self._shutdown_requested.set()
+
+    def run(self) -> int:
+        """Blocking run with signal handling (the CLI entry point)."""
+        self.start()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(sig, lambda *_: self.request_shutdown())
+        try:
+            while not self._shutdown_requested.wait(0.2):
+                pass
+        finally:
+            self.stop()
+        return 0
+
+    # ------------------------------------------------------------------
+    # request handlers (called from HTTP threads)
+    # ------------------------------------------------------------------
+    def handle_submit(self, body: Dict) -> Tuple[int, Dict]:
+        spec_dict = body.get("spec")
+        try:
+            spec = JobSpec.from_dict(spec_dict)
+        except SpecError as exc:
+            return 400, {"error": str(exc)}
+        try:
+            priority = int(body.get("priority", 0))
+            max_retries = int(body.get("max_retries", 0))
+            timeout_s = body.get("timeout_s")
+            timeout_s = None if timeout_s is None else float(timeout_s)
+        except (TypeError, ValueError) as exc:
+            return 400, {"error": f"bad submission field: {exc}"}
+        if max_retries < 0:
+            return 400, {"error": f"max_retries must be >= 0, got {max_retries}"}
+        if timeout_s is not None and timeout_s <= 0:
+            return 400, {"error": f"timeout_s must be > 0, got {timeout_s}"}
+        job = self.store.submit(
+            spec.to_dict(),
+            priority=priority,
+            idem_key=body.get("idem_key"),
+            max_retries=max_retries,
+            timeout_s=timeout_s,
+        )
+        if not job["resubmitted"]:
+            self._log(
+                f"accepted {job['id']} (priority {priority},"
+                f" kind {spec.kind})"
+            )
+        return (200 if job["resubmitted"] else 201), job
+
+    def handle_cancel(self, job_id: str) -> Tuple[int, Dict]:
+        job = self.store.cancel(job_id)
+        if job["changed"]:
+            self._log(f"cancel requested for {job_id} (was {job['state']})")
+        return 200, job
+
+    def handle_artifacts(self, job_id: str) -> Tuple[int, Dict]:
+        job = self.store.get(job_id)
+        root = attempt_dir(self.job_root, job_id, max(1, job["attempts"]))
+        files = []
+        if root.is_dir():
+            for path in sorted(root.rglob("*")):
+                if path.is_file():
+                    files.append({
+                        "name": str(path.relative_to(root)),
+                        "bytes": path.stat().st_size,
+                    })
+        return 200, {
+            "job_id": job_id,
+            "state": job["state"],
+            "attempt": job["attempts"],
+            "files": files,
+        }
+
+    def artifact_path(self, job_id: str, name: str) -> Path:
+        """Resolve one artifact, refusing path escapes."""
+        job = self.store.get(job_id)
+        root = attempt_dir(self.job_root, job_id, max(1, job["attempts"]))
+        path = (root / name).resolve()
+        if not str(path).startswith(str(root.resolve()) + os.sep):
+            raise UnknownJob(f"{job_id}/{name}")
+        if not path.is_file():
+            raise UnknownJob(f"{job_id}/{name}")
+        return path
+
+    def handle_health(self) -> Tuple[int, Dict]:
+        return 200, {
+            "ok": True,
+            "pid": os.getpid(),
+            "uptime_s": round(time.time() - self.started_at, 1),
+            "workers": self.pool.n_workers,
+            "counts": self.store.counts(),
+            "stopping": self.pool.stopping,
+        }
+
+    def handle_metrics(self) -> Tuple[int, Dict]:
+        return 200, metrics_payload(self.registry, self.store)
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+def _make_handler(daemon: ServeDaemon):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-serve/1"
+
+        # quiet by default: the runlog is the log
+        def log_message(self, fmt, *args):  # noqa: A003
+            if not daemon.quiet:  # pragma: no cover - console nicety
+                pass
+
+        # ------------------------------------------------------------
+        def _send_json(self, status: int, payload: Dict) -> None:
+            body = json.dumps(payload, indent=1, default=str).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_file(self, path: Path) -> None:
+            data = path.read_bytes()
+            self.send_response(200)
+            self.send_header("Content-Type", "application/octet-stream")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _read_body(self) -> Optional[Dict]:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > MAX_BODY:
+                self._send_json(413, {"error": "request body too large"})
+                return None
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                body = json.loads(raw or b"{}")
+            except json.JSONDecodeError as exc:
+                self._send_json(400, {"error": f"bad JSON body: {exc}"})
+                return None
+            if not isinstance(body, dict):
+                self._send_json(400, {"error": "body must be a JSON object"})
+                return None
+            return body
+
+        # ------------------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802
+            try:
+                self._route_get()
+            except UnknownJob as exc:
+                self._send_json(404, {"error": str(exc)})
+            except StoreError as exc:
+                self._send_json(400, {"error": str(exc)})
+            except Exception as exc:  # pragma: no cover - defensive
+                self._send_json(500, {"error": repr(exc)})
+
+        def _route_get(self) -> None:
+            url = urlparse(self.path)
+            parts = [p for p in url.path.split("/") if p]
+            if parts == ["healthz"]:
+                self._send_json(*daemon.handle_health())
+            elif parts == ["metrics"]:
+                self._send_json(*daemon.handle_metrics())
+            elif parts == ["jobs"]:
+                query = parse_qs(url.query)
+                jobs = daemon.store.list_jobs(
+                    state=(query.get("state") or [None])[0],
+                    limit=int((query.get("limit") or ["100"])[0]),
+                )
+                self._send_json(200, {"jobs": jobs})
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._send_json(200, daemon.store.get(parts[1]))
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "artifacts":
+                self._send_json(*daemon.handle_artifacts(parts[1]))
+            elif len(parts) >= 4 and parts[0] == "jobs" and parts[2] == "artifacts":
+                name = "/".join(parts[3:])
+                self._send_file(daemon.artifact_path(parts[1], name))
+            else:
+                self._send_json(404, {"error": f"no route {url.path!r}"})
+
+        def do_POST(self) -> None:  # noqa: N802
+            try:
+                self._route_post()
+            except UnknownJob as exc:
+                self._send_json(404, {"error": str(exc)})
+            except StoreError as exc:
+                self._send_json(400, {"error": str(exc)})
+            except Exception as exc:  # pragma: no cover - defensive
+                self._send_json(500, {"error": repr(exc)})
+
+        def _route_post(self) -> None:
+            url = urlparse(self.path)
+            parts = [p for p in url.path.split("/") if p]
+            if parts == ["jobs"]:
+                body = self._read_body()
+                if body is not None:
+                    self._send_json(*daemon.handle_submit(body))
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                self._send_json(*daemon.handle_cancel(parts[1]))
+            elif parts == ["shutdown"]:
+                self._send_json(202, {"ok": True, "message": "draining"})
+                daemon.request_shutdown()
+            else:
+                self._send_json(404, {"error": f"no route {url.path!r}"})
+
+    return Handler

@@ -1,0 +1,235 @@
+"""Worker pool: drains the job store through isolated job processes.
+
+``n_workers`` daemon threads each loop: claim a job from the store,
+fork a child process running
+:func:`repro.serve.runner.job_process_main`, and babysit it —
+
+* **cancellation** — the thread polls the store's ``cancel_requested``
+  flag every ``poll_interval`` seconds; when set, the child is
+  terminated (SIGTERM, then SIGKILL after a grace period) and the job
+  moves ``running -> cancelled``.  Cancellation interrupts a live
+  simulation, it does not wait for it.
+* **timeout** — a per-job ``timeout_s`` (submission knob, daemon
+  default) bounds each attempt's wall clock; expiry kills the child
+  and counts as a failure, eligible for retry.
+* **retry with backoff** — a failed attempt with budget left
+  (``retries < max_retries``) requeues with ``not_before = now +
+  backoff_base * 2**retries`` (capped); the store's eligibility window
+  enforces the wait.
+* **graceful shutdown** — ``stop()`` flips an event; each worker kills
+  its in-flight child and **requeues** the job (no retry budget
+  burned), so a drained daemon can restart and finish what it was
+  doing.  This is the host-side analogue of the paper's persistent
+  kernel parking unfinished work back on the queue.
+
+Threads only ever touch the store and the child process handle; the
+simulation itself lives entirely in the child, so a wedged or
+runaway job can always be killed from here.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.obs.jobs import observe_claim, observe_outcome
+from repro.obs.registry import MetricsRegistry
+
+from .runner import attempt_dir, job_process_main, read_result
+
+#: seconds between SIGTERM and SIGKILL on a child that won't die.
+KILL_GRACE = 5.0
+
+
+class WorkerPool:
+    """Claim/execute/supervise loop over ``n_workers`` threads."""
+
+    def __init__(
+        self,
+        store,
+        job_root,
+        n_workers: int = 1,
+        poll_interval: float = 0.2,
+        default_timeout_s: Optional[float] = None,
+        backoff_base: float = 1.0,
+        backoff_cap: float = 60.0,
+        registry: Optional[MetricsRegistry] = None,
+        log: Callable[[str], None] = lambda msg: None,
+    ):
+        self.store = store
+        self.job_root = Path(job_root)
+        self.n_workers = max(1, int(n_workers))
+        self.poll_interval = poll_interval
+        self.default_timeout_s = default_timeout_s
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.log = log
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        # fork keeps child startup cheap and works with the in-process
+        # daemon the tests drive; job code is import-clean either way.
+        self._ctx = multiprocessing.get_context("fork")
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._stop.clear()
+        for i in range(self.n_workers):
+            t = threading.Thread(
+                target=self._worker_loop, args=(f"w{i}:{os.getpid()}",),
+                name=f"serve-worker-{i}", daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: kill children, requeue their jobs, join."""
+        self._stop.set()
+        deadline = time.monotonic() + timeout
+        for t in self._threads:
+            t.join(max(0.1, deadline - time.monotonic()))
+        self._threads = []
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    # ------------------------------------------------------------------
+    def _worker_loop(self, worker_name: str) -> None:
+        while not self._stop.is_set():
+            try:
+                job = self.store.claim(worker_name)
+            except Exception as exc:  # pragma: no cover - store outage
+                self.log(f"{worker_name}: claim failed: {exc!r}")
+                self._stop.wait(1.0)
+                continue
+            if job is None:
+                self._stop.wait(self.poll_interval)
+                continue
+            try:
+                self._run_job(worker_name, job)
+            except Exception as exc:  # pragma: no cover - defensive
+                self.log(f"{worker_name}: {job['id']} supervisor error: {exc!r}")
+                try:
+                    self.store.fail(job["id"], f"supervisor error: {exc!r}")
+                except Exception:
+                    pass
+
+    # ------------------------------------------------------------------
+    def _run_job(self, worker_name: str, job: Dict) -> None:
+        job_id = job["id"]
+        attempt = job["attempts"]
+        observe_claim(self.registry, job, time.time())
+        out_dir = attempt_dir(self.job_root, job_id, attempt)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        self.log(
+            f"{worker_name}: running {job_id} attempt {attempt}"
+            f" (priority {job['priority']})"
+        )
+        proc = self._ctx.Process(
+            target=job_process_main,
+            args=(job["spec"], str(out_dir), job_id, attempt),
+            name=f"serve-job-{job_id}-a{attempt}",
+        )
+        t0 = time.monotonic()
+        proc.start()
+        timeout_s = job.get("timeout_s")
+        if timeout_s is None:
+            timeout_s = self.default_timeout_s
+        deadline = t0 + timeout_s if timeout_s else None
+
+        verdict = "exited"
+        while True:
+            proc.join(self.poll_interval)
+            if not proc.is_alive():
+                break
+            if self._stop.is_set():
+                verdict = "shutdown"
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                verdict = "timeout"
+                break
+            try:
+                if self.store.cancel_requested(job_id):
+                    verdict = "cancelled"
+                    break
+            except Exception:  # pragma: no cover - store outage mid-job
+                pass
+        elapsed = time.monotonic() - t0
+
+        if verdict != "exited":
+            self._terminate(proc)
+        if verdict == "shutdown":
+            self.store.requeue(job_id, reason="daemon shutdown; requeued")
+            observe_outcome(self.registry, "requeued", elapsed)
+            self.log(f"{worker_name}: {job_id} requeued (shutdown)")
+            return
+        if verdict == "cancelled":
+            self.store.mark_cancelled(
+                job_id, error=f"cancelled after {elapsed:.1f}s"
+            )
+            observe_outcome(self.registry, "cancelled", elapsed)
+            self.log(f"{worker_name}: {job_id} cancelled")
+            return
+        if verdict == "timeout":
+            self._fail_or_retry(
+                job, f"timeout after {timeout_s}s", None, elapsed,
+                outcome="timeout",
+            )
+            return
+
+        # the child exited on its own: its result.json is the verdict
+        result = read_result(out_dir)
+        if proc.exitcode == 0 and result is not None and result.get("ok"):
+            self.store.finish(job_id, result=result)
+            observe_outcome(self.registry, "done", elapsed)
+            self.log(f"{worker_name}: {job_id} done in {elapsed:.1f}s")
+            return
+        if result is not None:
+            error = result.get("error", f"exit code {proc.exitcode}")
+        else:
+            error = f"job process died without reporting (exit {proc.exitcode})"
+        self._fail_or_retry(job, error, result, elapsed)
+
+    # ------------------------------------------------------------------
+    def _fail_or_retry(
+        self,
+        job: Dict,
+        error: str,
+        result: Optional[Dict],
+        elapsed: float,
+        outcome: str = "failed",
+    ) -> None:
+        job_id = job["id"]
+        retries = job.get("retries", 0)
+        if retries < job.get("max_retries", 0):
+            backoff = min(
+                self.backoff_cap, self.backoff_base * (2 ** retries)
+            )
+            self.store.fail(job_id, error, result=result, retry_in=backoff)
+            observe_outcome(self.registry, "retried", elapsed)
+            if outcome == "timeout":
+                observe_outcome(self.registry, "timeout", elapsed)
+            self.log(
+                f"{job_id} attempt {job['attempts']} failed ({error});"
+                f" retrying in {backoff:.1f}s"
+            )
+            return
+        self.store.fail(job_id, error, result=result)
+        observe_outcome(self.registry, outcome, elapsed)
+        self.log(f"{job_id} failed permanently: {error}")
+
+    # ------------------------------------------------------------------
+    def _terminate(self, proc) -> None:
+        """SIGTERM, wait the grace period, then SIGKILL."""
+        if not proc.is_alive():
+            return
+        proc.terminate()
+        proc.join(KILL_GRACE)
+        if proc.is_alive():  # pragma: no cover - stubborn child
+            proc.kill()
+            proc.join(KILL_GRACE)

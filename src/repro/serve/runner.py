@@ -1,0 +1,187 @@
+"""Job execution in an isolated child process.
+
+Each claimed job runs in its **own process** (not a thread): that is
+what makes cancellation and timeouts real — the worker pool can
+``terminate()``/``kill()`` the process and the simulation actually
+stops, mid-launch, without cooperation from the job.  It also means a
+``kill -9`` of the daemon never corrupts a job's execution state: the
+store row is the only shared truth, and orphan recovery repairs it.
+
+The child communicates exclusively through the filesystem.  It writes
+``result.json`` into its **attempt directory**
+(``<data>/jobs/<job_id>/a<attempt>/``) as its last act; the parent
+reads it after the process exits.  Attempt-scoped directories mean a
+retried or recovered job never races a still-dying predecessor over
+the same artifact files — the latest attempt's directory is the one
+the job record points at.
+
+Failure taxonomy: :class:`~repro.simt.errors.QueueFullError` and
+:class:`~repro.simt.errors.WedgeError` are caught specially so the
+failed job record carries their structured context (queue, fill,
+capacity, stall classification) plus any post-mortem bundles a
+``flight`` spec dropped next to the artifacts.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import time
+import traceback
+from pathlib import Path
+from typing import Dict, Optional
+
+#: the child's dead-drop for its outcome (inside the attempt dir).
+RESULT_FILE = "result.json"
+
+#: artifacts subdirectory inside an attempt dir.
+ARTIFACT_DIR = "artifacts"
+
+#: post-mortem bundles subdirectory inside an attempt dir.
+POSTMORTEM_DIR = "postmortem"
+
+
+class CanaryFailure(RuntimeError):
+    """A canary spec's scripted failure (exercises the retry path)."""
+
+
+def attempt_dir(job_root: Path, job_id: str, attempt: int) -> Path:
+    return Path(job_root) / job_id / f"a{attempt}"
+
+
+def _write_result(out_dir: Path, payload: Dict) -> None:
+    """Atomic-enough result drop: write then rename.
+
+    The parent treats a missing ``result.json`` as "killed before it
+    could report"; the rename keeps it from ever reading a torn file.
+    """
+    tmp = out_dir / (RESULT_FILE + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=1, default=str) + "\n")
+    os.replace(tmp, out_dir / RESULT_FILE)
+
+
+def read_result(out_dir: Path) -> Optional[Dict]:
+    """The child's result payload, or None if it never reported."""
+    path = Path(out_dir) / RESULT_FILE
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def job_process_main(
+    spec_dict: Dict, out_dir: str, job_id: str, attempt: int
+) -> None:
+    """Child-process entry point (top level: must pickle for spawn).
+
+    Runs the spec, writes ``result.json``, and exits 0/1.  Every
+    failure path still drops a result — only an external kill (cancel,
+    timeout, daemon death) leaves the directory without one.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    # a forked child inherits the daemon's SIGTERM/SIGINT handlers,
+    # which would make it ignore terminate(); restore the defaults so
+    # cancellation kills promptly instead of waiting out the SIGKILL grace
+    import signal
+
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
+    # ledger entries and any nested tooling see the owning job
+    os.environ["REPRO_JOB_ID"] = job_id
+    t0 = time.time()
+    try:
+        from repro.harness.jobspec import JobSpec
+
+        spec = JobSpec.from_dict(spec_dict)
+        if spec.kind == "canary":
+            summary = _run_canary(spec, attempt)
+        else:
+            summary = _run_harness(spec, out, job_id)
+        _write_result(out, {
+            "ok": True,
+            "attempt": attempt,
+            "wall_seconds": round(time.time() - t0, 3),
+            **summary,
+        })
+    except BaseException as exc:  # noqa: BLE001 - the report IS the handler
+        payload = {
+            "ok": False,
+            "attempt": attempt,
+            "wall_seconds": round(time.time() - t0, 3),
+            "error": repr(exc),
+            "error_type": type(exc).__name__,
+            "traceback": traceback.format_exc(limit=20),
+        }
+        payload.update(_error_context(exc))
+        bundles = sorted(
+            glob.glob(str(out / POSTMORTEM_DIR / "postmortem-*.json"))
+        )
+        if bundles:
+            payload["postmortem"] = [
+                os.path.relpath(b, out) for b in bundles
+            ]
+        _write_result(out, payload)
+        raise SystemExit(1)
+    raise SystemExit(0)
+
+
+def _error_context(exc: BaseException) -> Dict:
+    """Structured fields for the failure classes the queue family raises."""
+    try:
+        from repro.simt.errors import QueueFullError, WedgeError
+    except ImportError:  # pragma: no cover - core package always present
+        return {}
+    if isinstance(exc, QueueFullError):
+        return {
+            "queue_full": {
+                "queue": getattr(exc, "queue", None),
+                "shard": getattr(exc, "shard", None),
+                "capacity": getattr(exc, "capacity", None),
+                "fill": getattr(exc, "fill", None),
+            }
+        }
+    if isinstance(exc, WedgeError):
+        return {
+            "wedge": {
+                "classification": getattr(exc, "classification", None),
+                "cycle": getattr(exc, "cycle", None),
+            }
+        }
+    return {}
+
+
+def _run_harness(spec, out: Path, job_id: str) -> Dict:
+    from repro.harness.jobspec import run_job_spec
+
+    artifacts = out / ARTIFACT_DIR
+    summary = run_job_spec(
+        spec,
+        str(artifacts),
+        job_id=job_id,
+        postmortem_dir=str(out / POSTMORTEM_DIR),
+    )
+    summary["artifacts"] = [
+        os.path.join(ARTIFACT_DIR, name) for name in summary["artifacts"]
+    ]
+    return summary
+
+
+def _run_canary(spec, attempt: int) -> Dict:
+    """Sleep, maybe fail: the scripted ops/test workload."""
+    deadline = time.time() + spec.seconds
+    while True:
+        left = deadline - time.time()
+        if left <= 0:
+            break
+        # short naps so terminate() lands promptly even on long canaries
+        time.sleep(min(left, 0.05))
+    if attempt <= spec.fail_attempts:
+        raise CanaryFailure(
+            f"canary scripted to fail attempt {attempt}"
+            f" (fail_attempts={spec.fail_attempts})"
+        )
+    return {"artifacts": [], "slept_seconds": spec.seconds}

@@ -1,0 +1,463 @@
+"""Durable sqlite job store: the service's single source of truth.
+
+Every job the daemon has ever accepted is one row in ``jobs.sqlite``,
+moving through a small, strictly enforced state machine::
+
+                    submit                    claim
+      (client) ──────────────▶ queued ──────────────────▶ running
+                                 ▲  │ cancel                │
+        retry w/ backoff,        │  └────────▶ cancelled ◀──┤ cancel delivered
+        orphan recovery,         │                          │
+        graceful shutdown        └──────────────────────────┤ requeue
+                                                            │
+                                              done ◀────────┤ finish
+                                            failed ◀────────┘ fail
+
+``done`` / ``failed`` / ``cancelled`` are terminal.  Everything else —
+``finish`` on a queued job, ``claim`` on a cancelled one — raises
+:class:`IllegalTransition`; the guard is the SQL ``WHERE state = ?``
+clause on every update, so two racing daemon threads cannot both win a
+transition.
+
+Durability and recovery properties:
+
+* **Idempotent submission** — a ``submit`` carrying an ``idem_key``
+  that already exists returns the existing job instead of creating a
+  duplicate, whatever state it is in.  Clients can retry a submission
+  over a flaky connection without double-running work.
+* **Atomic claim** — ``claim`` takes the highest-priority eligible
+  queued job (priority desc, then submission order) inside a
+  ``BEGIN IMMEDIATE`` transaction; concurrent workers never claim the
+  same row.
+* **Crash recovery** — rows left ``running`` by a dead daemon are
+  *orphans*; :meth:`JobStore.recover_orphans` (called at daemon start)
+  returns them to ``queued`` without burning retry budget, or honours
+  a pending cancel.
+* **Bounded retry with backoff** — ``fail(..., retry_in=s)`` requeues
+  with ``not_before = now + s``; ``claim`` skips ineligible rows, so a
+  backing-off job never starves a fresh one.
+
+The store opens one short-lived connection per call (WAL mode, busy
+timeout), which makes it safe to share across the daemon's HTTP
+threads and worker threads, and across daemon restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: job states, in lifecycle order.
+STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: states a job never leaves.
+TERMINAL = ("done", "failed", "cancelled")
+
+#: store schema version (bump on incompatible layout changes).
+SCHEMA = 1
+
+_CREATE = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    id TEXT PRIMARY KEY,
+    idem_key TEXT UNIQUE,
+    spec TEXT NOT NULL,
+    state TEXT NOT NULL CHECK (state IN
+        ('queued', 'running', 'done', 'failed', 'cancelled')),
+    priority INTEGER NOT NULL DEFAULT 0,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    retries INTEGER NOT NULL DEFAULT 0,
+    max_retries INTEGER NOT NULL DEFAULT 0,
+    timeout_s REAL,
+    submitted_at REAL NOT NULL,
+    started_at REAL,
+    finished_at REAL,
+    not_before REAL NOT NULL DEFAULT 0,
+    worker TEXT,
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    error TEXT,
+    result TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state
+    ON jobs (state, priority DESC, submitted_at);
+"""
+
+
+class StoreError(Exception):
+    """Store-level failures surfaced to the API layer."""
+
+
+class IllegalTransition(StoreError):
+    """A state change the lifecycle does not allow."""
+
+    def __init__(self, job_id: str, have: Optional[str], want: str, via: str):
+        self.job_id = job_id
+        self.have = have
+        self.want = want
+        super().__init__(
+            f"job {job_id}: illegal transition {have!r} -> {want!r} via {via}"
+            if have is not None
+            else f"job {job_id}: not found (wanted {want!r} via {via})"
+        )
+
+
+class UnknownJob(StoreError):
+    """A job id the store has never seen."""
+
+    def __init__(self, job_id: str):
+        self.job_id = job_id
+        super().__init__(f"no job {job_id!r} in the store")
+
+
+def _row_to_job(row: sqlite3.Row) -> Dict:
+    job = dict(row)
+    for field in ("spec", "result"):
+        if job.get(field):
+            try:
+                job[field] = json.loads(job[field])
+            except json.JSONDecodeError:
+                pass  # surface the raw text rather than dropping it
+    job["cancel_requested"] = bool(job["cancel_requested"])
+    return job
+
+
+class JobStore:
+    """One sqlite-backed job table (see module docstring)."""
+
+    def __init__(self, path: Union[str, Path], clock=time.time):
+        self.path = Path(path)
+        self._clock = clock
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._connect() as con:
+            con.executescript(_CREATE)
+            con.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES ('schema', ?)",
+                (str(SCHEMA),),
+            )
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        con = sqlite3.connect(self.path, timeout=30.0, isolation_level=None)
+        con.row_factory = sqlite3.Row
+        con.execute("PRAGMA journal_mode=WAL")
+        con.execute("PRAGMA busy_timeout=30000")
+        return con
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: Dict,
+        priority: int = 0,
+        idem_key: Optional[str] = None,
+        max_retries: int = 0,
+        timeout_s: Optional[float] = None,
+        job_id: Optional[str] = None,
+    ) -> Dict:
+        """Create a ``queued`` job; idempotent on ``idem_key``.
+
+        Returns the job dict with an extra ``resubmitted`` flag: True
+        when ``idem_key`` matched an existing row (which is returned
+        untouched — priority and retry knobs of the original win).
+        """
+        if job_id is None:
+            job_id = f"job-{uuid.uuid4().hex[:12]}"
+        now = self._clock()
+        with self._connect() as con:
+            con.execute("BEGIN IMMEDIATE")
+            try:
+                if idem_key is not None:
+                    row = con.execute(
+                        "SELECT * FROM jobs WHERE idem_key = ?", (idem_key,)
+                    ).fetchone()
+                    if row is not None:
+                        con.execute("COMMIT")
+                        job = _row_to_job(row)
+                        job["resubmitted"] = True
+                        return job
+                con.execute(
+                    "INSERT INTO jobs (id, idem_key, spec, state, priority,"
+                    " max_retries, timeout_s, submitted_at)"
+                    " VALUES (?, ?, ?, 'queued', ?, ?, ?, ?)",
+                    (job_id, idem_key, json.dumps(spec), int(priority),
+                     int(max_retries), timeout_s, now),
+                )
+                con.execute("COMMIT")
+            except BaseException:
+                con.execute("ROLLBACK")
+                raise
+        job = self.get(job_id)
+        job["resubmitted"] = False
+        return job
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def claim(self, worker: str) -> Optional[Dict]:
+        """Atomically move the best eligible queued job to ``running``.
+
+        Eligibility: ``state = 'queued'`` and ``not_before <= now``
+        (retry backoff).  Order: priority desc, then submission time,
+        then insertion order.  Returns the claimed job dict or None.
+        """
+        now = self._clock()
+        with self._connect() as con:
+            con.execute("BEGIN IMMEDIATE")
+            try:
+                row = con.execute(
+                    "SELECT id FROM jobs WHERE state = 'queued'"
+                    " AND not_before <= ?"
+                    " ORDER BY priority DESC, submitted_at, rowid LIMIT 1",
+                    (now,),
+                ).fetchone()
+                if row is None:
+                    con.execute("COMMIT")
+                    return None
+                con.execute(
+                    "UPDATE jobs SET state = 'running', worker = ?,"
+                    " started_at = ?, attempts = attempts + 1"
+                    " WHERE id = ? AND state = 'queued'",
+                    (worker, now, row["id"]),
+                )
+                con.execute("COMMIT")
+            except BaseException:
+                con.execute("ROLLBACK")
+                raise
+        return self.get(row["id"])
+
+    def _transition(
+        self,
+        job_id: str,
+        want: str,
+        via: str,
+        set_sql: str,
+        params: tuple,
+        require: str = "running",
+    ) -> Dict:
+        """Guarded single-row update; raises on a lost/illegal race."""
+        with self._connect() as con:
+            cur = con.execute(
+                f"UPDATE jobs SET state = ?, {set_sql}"
+                " WHERE id = ? AND state = ?",
+                (want, *params, job_id, require),
+            )
+            if cur.rowcount == 0:
+                row = con.execute(
+                    "SELECT state FROM jobs WHERE id = ?", (job_id,)
+                ).fetchone()
+                if row is None:
+                    raise UnknownJob(job_id)
+                raise IllegalTransition(job_id, row["state"], want, via)
+        return self.get(job_id)
+
+    def finish(self, job_id: str, result: Optional[Dict] = None) -> Dict:
+        """``running -> done`` with the job's result payload."""
+        return self._transition(
+            job_id, "done", "finish",
+            "finished_at = ?, result = ?, cancel_requested = 0",
+            (self._clock(), json.dumps(result) if result is not None else None),
+        )
+
+    def fail(
+        self,
+        job_id: str,
+        error: str,
+        result: Optional[Dict] = None,
+        retry_in: Optional[float] = None,
+    ) -> Dict:
+        """``running -> failed``, or requeue with backoff when retrying.
+
+        ``retry_in`` seconds > the claim-side eligibility window means
+        the retry waits its turn; the ``retries`` counter only moves on
+        this path, so orphan-recovery and shutdown requeues never burn
+        retry budget.  ``result`` carries failure context (e.g.
+        post-mortem bundle paths) either way.
+        """
+        payload = json.dumps(result) if result is not None else None
+        if retry_in is not None:
+            return self._transition(
+                job_id, "queued", "retry",
+                "not_before = ?, retries = retries + 1, error = ?,"
+                " result = ?, worker = NULL, started_at = NULL",
+                (self._clock() + retry_in, error, payload),
+            )
+        return self._transition(
+            job_id, "failed", "fail",
+            "finished_at = ?, error = ?, result = ?",
+            (self._clock(), error, payload),
+        )
+
+    def requeue(self, job_id: str, reason: str = "requeued") -> Dict:
+        """``running -> queued`` without burning retry budget.
+
+        Graceful shutdown uses this for in-flight jobs; the recorded
+        ``error`` notes why the attempt was abandoned.
+        """
+        return self._transition(
+            job_id, "queued", "requeue",
+            "not_before = 0, error = ?, worker = NULL, started_at = NULL",
+            (reason,),
+        )
+
+    # ------------------------------------------------------------------
+    # cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> Dict:
+        """Request cancellation; semantics depend on the current state.
+
+        * ``queued`` — cancelled immediately (never runs).
+        * ``running`` — ``cancel_requested`` is set; the worker pool
+          polls it, terminates the job's process, and calls
+          :meth:`mark_cancelled`.  The returned state is still
+          ``running`` until that lands.
+        * terminal — no-op (idempotent).
+
+        Returns the job dict with a ``changed`` flag.
+        """
+        now = self._clock()
+        with self._connect() as con:
+            con.execute("BEGIN IMMEDIATE")
+            try:
+                row = con.execute(
+                    "SELECT state FROM jobs WHERE id = ?", (job_id,)
+                ).fetchone()
+                if row is None:
+                    con.execute("ROLLBACK")
+                    raise UnknownJob(job_id)
+                state = row["state"]
+                changed = False
+                if state == "queued":
+                    con.execute(
+                        "UPDATE jobs SET state = 'cancelled',"
+                        " finished_at = ?, cancel_requested = 1"
+                        " WHERE id = ? AND state = 'queued'",
+                        (now, job_id),
+                    )
+                    changed = True
+                elif state == "running":
+                    con.execute(
+                        "UPDATE jobs SET cancel_requested = 1"
+                        " WHERE id = ? AND state = 'running'",
+                        (job_id,),
+                    )
+                    changed = True
+                con.execute("COMMIT")
+            except BaseException:
+                if con.in_transaction:
+                    con.execute("ROLLBACK")
+                raise
+        job = self.get(job_id)
+        job["changed"] = changed
+        return job
+
+    def cancel_requested(self, job_id: str) -> bool:
+        with self._connect() as con:
+            row = con.execute(
+                "SELECT cancel_requested FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            raise UnknownJob(job_id)
+        return bool(row["cancel_requested"])
+
+    def mark_cancelled(self, job_id: str, error: str = "cancelled") -> Dict:
+        """``running -> cancelled`` after the worker killed the process."""
+        return self._transition(
+            job_id, "cancelled", "mark_cancelled",
+            "finished_at = ?, error = ?",
+            (self._clock(), error),
+        )
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def recover_orphans(self) -> Dict[str, int]:
+        """Repair rows a dead daemon left ``running``.
+
+        Rows with a pending cancel become ``cancelled`` (the user asked
+        before the crash); the rest return to ``queued`` with retry
+        budget intact.  Returns ``{"requeued": n, "cancelled": m}``.
+        """
+        now = self._clock()
+        with self._connect() as con:
+            con.execute("BEGIN IMMEDIATE")
+            try:
+                cancelled = con.execute(
+                    "UPDATE jobs SET state = 'cancelled', finished_at = ?,"
+                    " error = 'cancelled during daemon crash'"
+                    " WHERE state = 'running' AND cancel_requested = 1",
+                    (now,),
+                ).rowcount
+                requeued = con.execute(
+                    "UPDATE jobs SET state = 'queued', not_before = 0,"
+                    " worker = NULL, started_at = NULL,"
+                    " error = 'orphaned by daemon crash; requeued'"
+                    " WHERE state = 'running'",
+                ).rowcount
+                con.execute("COMMIT")
+            except BaseException:
+                con.execute("ROLLBACK")
+                raise
+        return {"requeued": requeued, "cancelled": cancelled}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Dict:
+        with self._connect() as con:
+            row = con.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            raise UnknownJob(job_id)
+        return _row_to_job(row)
+
+    def list_jobs(
+        self, state: Optional[str] = None, limit: int = 100
+    ) -> List[Dict]:
+        """Newest-first job listing, optionally filtered by state."""
+        if state is not None and state not in STATES:
+            raise StoreError(f"unknown state {state!r} (one of {STATES})")
+        query = "SELECT * FROM jobs"
+        params: tuple = ()
+        if state is not None:
+            query += " WHERE state = ?"
+            params = (state,)
+        query += " ORDER BY submitted_at DESC, rowid DESC LIMIT ?"
+        with self._connect() as con:
+            rows = con.execute(query, (*params, int(limit))).fetchall()
+        return [_row_to_job(r) for r in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """``{state: n}`` over every state (zero-filled)."""
+        out = {s: 0 for s in STATES}
+        with self._connect() as con:
+            for row in con.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ):
+                out[row["state"]] = row["n"]
+        return out
+
+    def queue_depth(self) -> int:
+        return self.counts()["queued"]
+
+    def total_retries(self) -> int:
+        with self._connect() as con:
+            row = con.execute(
+                "SELECT COALESCE(SUM(retries), 0) AS n FROM jobs"
+            ).fetchone()
+        return int(row["n"])
+
+    def close(self) -> None:
+        """Connections are per-call; nothing to tear down (API symmetry)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JobStore({os.fspath(self.path)!r})"

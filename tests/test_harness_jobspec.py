@@ -1,0 +1,118 @@
+"""Job-spec serialization and the programmatic harness entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.jobspec import JobSpec, SpecError, submitting_job_id
+
+
+def test_harness_spec_roundtrip():
+    spec = JobSpec.from_dict({
+        "kind": "harness", "experiments": ["fig1", "tab1"],
+        "quick": True, "scale_factor": 2.0, "verify": False,
+        "jobs": 2, "flight": True,
+    })
+    again = JobSpec.from_dict(spec.to_dict())
+    assert again == spec
+
+
+def test_canary_spec_roundtrip():
+    spec = JobSpec.from_dict({"kind": "canary", "seconds": 1.5,
+                              "fail_attempts": 2})
+    assert JobSpec.from_dict(spec.to_dict()) == spec
+    # canary serialization carries no harness fields
+    assert set(spec.to_dict()) == {"kind", "seconds", "fail_attempts"}
+
+
+def test_defaults_are_quick_and_verified():
+    spec = JobSpec.from_dict({"experiments": ["fig1"]})
+    assert spec.kind == "harness"
+    assert spec.quick is True
+    assert spec.verify is True
+    assert spec.jobs == 1
+
+
+@pytest.mark.parametrize("bad", [
+    {"kind": "bogus"},
+    {"kind": "harness"},                                # no experiments
+    {"kind": "harness", "experiments": ["nope"]},       # unknown id
+    {"kind": "harness", "experiments": ["fig1"], "jobs": 0},
+    {"kind": "harness", "experiments": ["fig1"], "scale_factor": 0},
+    {"kind": "harness", "experiments": ["fig1"], "surprise": 1},
+    {"kind": "canary", "seconds": -1},
+    {"kind": "canary", "fail_attempts": -1},
+    "not a dict",
+    None,
+])
+def test_invalid_specs_rejected(bad):
+    with pytest.raises(SpecError):
+        JobSpec.from_dict(bad)
+
+
+def test_json_numeric_coercion():
+    spec = JobSpec.from_dict({
+        "kind": "harness", "experiments": ["fig1"],
+        "scale_factor": 1, "jobs": 2.0 if False else 2,
+    })
+    assert isinstance(spec.scale_factor, float)
+    assert isinstance(spec.jobs, int)
+
+
+def test_config_matches_harness_cli_shape():
+    """The hashed config must equal the CLI's, so runs diff compares."""
+    from repro.obs.ledger import config_hash
+
+    spec = JobSpec.from_dict({"experiments": ["fig1"], "quick": True})
+    cli_config = {
+        "experiments": ["fig1"],
+        "quick": True,
+        "scale_factor": 1.0,
+        "verify": True,
+    }
+    assert config_hash(spec.config()) == config_hash(cli_config)
+
+
+def test_config_excludes_execution_knobs():
+    a = JobSpec.from_dict({"experiments": ["fig1"], "jobs": 1,
+                           "flight": False})
+    b = JobSpec.from_dict({"experiments": ["fig1"], "jobs": 4,
+                           "flight": True})
+    assert a.config() == b.config()
+
+
+def test_run_job_spec_rejects_canary(tmp_path):
+    spec = JobSpec.from_dict({"kind": "canary"})
+    from repro.harness.jobspec import run_job_spec
+
+    with pytest.raises(SpecError):
+        run_job_spec(spec, str(tmp_path))
+
+
+def test_submitting_job_id_env(monkeypatch):
+    monkeypatch.delenv("REPRO_JOB_ID", raising=False)
+    assert submitting_job_id() is None
+    monkeypatch.setenv("REPRO_JOB_ID", "job-abc")
+    assert submitting_job_id() == "job-abc"
+    monkeypatch.setenv("REPRO_JOB_ID", "")
+    assert submitting_job_id() is None
+
+
+def test_ledger_records_job_id(tmp_path, monkeypatch):
+    """Ledger entries carry job_id in both the manifest and the index."""
+    from repro.obs.ledger import Ledger
+
+    root = tmp_path / "ledger"
+    ledger = Ledger(root)
+    entry = ledger.record(
+        kind="serve", config={"x": 1}, metrics={}, wall_seconds=0.1,
+        job_id="job-xyz",
+    )
+    assert entry["job_id"] == "job-xyz"
+    assert ledger.load(entry["run_id"])["job_id"] == "job-xyz"
+    assert ledger.entries()[-1]["job_id"] == "job-xyz"
+    # CLI-style entries without a job record None, not a crash
+    entry2 = ledger.record(
+        kind="harness", config={"x": 1}, metrics={}, wall_seconds=0.1,
+    )
+    assert entry2["job_id"] is None

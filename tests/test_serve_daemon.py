@@ -1,0 +1,271 @@
+"""In-process daemon tests: HTTP API, lifecycle, robustness (fast).
+
+These drive a real :class:`ServeDaemon` (real sockets, real worker
+threads, real job processes) but with ``canary`` specs only, so the
+whole file stays in the fast shard.  The slow end-to-end harness job
+(byte-identity vs a direct CLI run) lives in ``test_serve_e2e.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.serve import JobTimeout, ServeClient, ServeDaemon, ServeError
+from repro.serve.store import JobStore
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    d = ServeDaemon(
+        data_dir=tmp_path / "serve", port=0, workers=2,
+        poll_interval=0.05, quiet=True,
+    )
+    d.pool.backoff_base = 0.05  # fast retries for the test clock
+    d.start()
+    yield d
+    d.stop()
+
+
+@pytest.fixture
+def client(daemon):
+    return ServeClient(daemon.url)
+
+
+def wait_running(client, job_id, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = client.get(job_id)
+        if job["state"] != "queued":
+            return job
+        time.sleep(0.02)
+    raise AssertionError(f"{job_id} never left queued")
+
+
+# ----------------------------------------------------------------------
+# happy path + API surface
+# ----------------------------------------------------------------------
+def test_health_and_metrics(client):
+    health = client.health()
+    assert health["ok"] is True
+    assert health["workers"] == 2
+    metrics = client.metrics()
+    assert metrics["queue_depth"] == 0
+    assert "counts" in metrics
+
+
+def test_submit_run_fetch_result(client):
+    job = client.submit({"kind": "canary", "seconds": 0.05})
+    assert job["state"] == "queued"
+    job = client.wait(job["id"], timeout=15)
+    assert job["state"] == "done"
+    assert job["result"]["ok"] is True
+    assert job["result"]["slept_seconds"] == 0.05
+    files = client.artifacts(job["id"])["files"]
+    assert any(f["name"] == "result.json" for f in files)
+    raw = client.fetch_artifact(job["id"], "result.json")
+    assert json.loads(raw)["ok"] is True
+
+
+def test_list_and_status(client):
+    a = client.submit({"kind": "canary", "seconds": 0.02})
+    client.wait(a["id"], timeout=15)
+    jobs = client.list_jobs()
+    assert a["id"] in [j["id"] for j in jobs]
+    assert client.get(a["id"])["state"] == "done"
+    assert client.list_jobs(state="failed") == []
+
+
+def test_submission_validation(client):
+    with pytest.raises(ServeError) as exc:
+        client.submit({"kind": "harness", "experiments": ["nope"]})
+    assert exc.value.status == 400
+    with pytest.raises(ServeError):
+        client.submit({"kind": "bogus"})
+    with pytest.raises(ServeError):
+        client.submit({"kind": "canary", "bad_field": 1})
+    with pytest.raises(ServeError):
+        client.submit({"kind": "canary"}, max_retries=-1)
+    with pytest.raises(ServeError):
+        client.submit({"kind": "canary"}, timeout_s=0)
+
+
+def test_unknown_job_404(client):
+    with pytest.raises(ServeError) as exc:
+        client.get("job-doesnotexist")
+    assert exc.value.status == 404
+    with pytest.raises(ServeError):
+        client.cancel("job-doesnotexist")
+
+
+def test_artifact_path_traversal_refused(client):
+    job = client.submit({"kind": "canary", "seconds": 0})
+    client.wait(job["id"], timeout=15)
+    with pytest.raises(ServeError) as exc:
+        client.fetch_artifact(job["id"], "../../jobs.sqlite")
+    assert exc.value.status == 404
+
+
+def test_idempotent_submission_over_http(client):
+    a = client.submit({"kind": "canary", "seconds": 0.02}, idem_key="once")
+    b = client.submit({"kind": "canary", "seconds": 0.02}, idem_key="once")
+    assert b["id"] == a["id"]
+    assert b["resubmitted"] is True
+
+
+# ----------------------------------------------------------------------
+# cancellation interrupts, timeout bounds, retry recovers
+# ----------------------------------------------------------------------
+def test_cancel_queued_never_runs(daemon, client):
+    daemon.pool.stop()  # no workers: the job stays queued
+    job = client.submit({"kind": "canary", "seconds": 10})
+    out = client.cancel(job["id"])
+    assert out["state"] == "cancelled"
+    assert client.get(job["id"])["state"] == "cancelled"
+
+
+def test_cancel_interrupts_running_job(client):
+    job = client.submit({"kind": "canary", "seconds": 60})
+    wait_running(client, job["id"])
+    t0 = time.monotonic()
+    client.cancel(job["id"])
+    job = client.wait(job["id"], timeout=15)
+    elapsed = time.monotonic() - t0
+    assert job["state"] == "cancelled"
+    # a 60s job died in a few poll intervals, not at its own pace
+    assert elapsed < 30
+
+
+def test_timeout_kills_and_reports(client):
+    job = client.submit({"kind": "canary", "seconds": 60}, timeout_s=0.3)
+    job = client.wait(job["id"], timeout=20)
+    assert job["state"] == "failed"
+    assert "timeout" in job["error"]
+
+
+def test_retry_with_backoff_eventually_succeeds(client):
+    job = client.submit(
+        {"kind": "canary", "seconds": 0.02, "fail_attempts": 2},
+        max_retries=3,
+    )
+    job = client.wait(job["id"], timeout=30)
+    assert job["state"] == "done"
+    assert job["attempts"] == 3
+    assert job["retries"] == 2
+
+
+def test_retry_budget_exhausted_fails(client):
+    job = client.submit(
+        {"kind": "canary", "seconds": 0.02, "fail_attempts": 99},
+        max_retries=1,
+    )
+    job = client.wait(job["id"], timeout=30)
+    assert job["state"] == "failed"
+    assert job["attempts"] == 2
+    assert "canary scripted to fail" in job["error"]
+    # the failed attempt's payload survives on the record
+    assert job["result"]["ok"] is False
+    assert job["result"]["error_type"] == "CanaryFailure"
+
+
+def test_priority_orders_execution(tmp_path):
+    """With one worker busy, the high-priority job jumps the queue."""
+    daemon = ServeDaemon(
+        data_dir=tmp_path / "serve1", port=0, workers=1,
+        poll_interval=0.05, quiet=True,
+    )
+    daemon.start()
+    try:
+        client = ServeClient(daemon.url)
+        blocker = client.submit({"kind": "canary", "seconds": 0.6})
+        low = client.submit({"kind": "canary", "seconds": 0.02}, priority=0)
+        high = client.submit({"kind": "canary", "seconds": 0.02}, priority=9)
+        for jid in (blocker["id"], low["id"], high["id"]):
+            client.wait(jid, timeout=30)
+        t_low = client.get(low["id"])["started_at"]
+        t_high = client.get(high["id"])["started_at"]
+        assert t_high < t_low
+    finally:
+        daemon.stop()
+
+
+# ----------------------------------------------------------------------
+# shutdown and crash recovery
+# ----------------------------------------------------------------------
+def test_graceful_shutdown_requeues_in_flight(tmp_path):
+    data = tmp_path / "serve2"
+    daemon = ServeDaemon(data_dir=data, port=0, workers=1,
+                         poll_interval=0.05, quiet=True)
+    daemon.start()
+    client = ServeClient(daemon.url)
+    job = client.submit({"kind": "canary", "seconds": 60})
+    wait_running(client, job["id"])
+    daemon.stop()
+    store = JobStore(data / "jobs.sqlite")
+    row = store.get(job["id"])
+    assert row["state"] == "queued"
+    assert row["retries"] == 0
+    assert "shutdown" in row["error"]
+
+
+def test_restart_completes_orphaned_job(tmp_path):
+    """Crash (simulated), restart: the orphan requeues and finishes."""
+    data = tmp_path / "serve3"
+    store = JobStore(data / "jobs.sqlite")
+    job = store.submit({"kind": "canary", "seconds": 0.05})
+    store.claim("w-dead")  # a daemon that never came back
+    assert store.get(job["id"])["state"] == "running"
+    daemon = ServeDaemon(data_dir=data, port=0, workers=1,
+                         poll_interval=0.05, quiet=True)
+    daemon.start()
+    try:
+        client = ServeClient(daemon.url)
+        out = client.wait(job["id"], timeout=20)
+        assert out["state"] == "done"
+        assert out["attempts"] == 2  # the dead claim plus the real one
+    finally:
+        daemon.stop()
+
+
+def test_shutdown_endpoint_requests_drain(daemon, client):
+    client.shutdown()
+    assert daemon._shutdown_requested.wait(5.0)
+
+
+# ----------------------------------------------------------------------
+# job-level metrics
+# ----------------------------------------------------------------------
+def test_metrics_track_lifecycle(client):
+    done = client.submit({"kind": "canary", "seconds": 0.02})
+    client.wait(done["id"], timeout=15)
+    flaky = client.submit(
+        {"kind": "canary", "seconds": 0.02, "fail_attempts": 1},
+        max_retries=1,
+    )
+    client.wait(flaky["id"], timeout=30)
+    victim = client.submit({"kind": "canary", "seconds": 60})
+    wait_running(client, victim["id"])
+    client.cancel(victim["id"])
+    client.wait(victim["id"], timeout=15)
+
+    payload = client.metrics()
+    metrics = payload["metrics"]
+    assert payload["counts"]["done"] == 2
+    assert payload["counts"]["cancelled"] == 1
+    assert payload["total_retries"] == 1
+    assert metrics["serve.retries"] == 1
+    assert metrics["serve.cancelled"] == 1
+    assert metrics["serve.claims"] >= 4
+    assert metrics["serve.wait_seconds.count"] >= 4
+    assert metrics["serve.exec_seconds.count"] >= 4
+    assert metrics["serve.queue.depth"] == 0
+    assert metrics["serve.jobs"] >= 0  # gauge family exists
+
+
+def test_wait_times_out(client):
+    job = client.submit({"kind": "canary", "seconds": 30})
+    with pytest.raises(JobTimeout):
+        client.wait(job["id"], timeout=0.3, poll=0.05)
+    client.cancel(job["id"])

@@ -1,0 +1,161 @@
+"""End-to-end service test: a real harness job through the daemon (slow).
+
+The acceptance bar for the service: a spec submitted over HTTP runs
+through the same pipeline as ``python -m repro.harness`` and yields
+**byte-identical** report artifacts, plus ledger entries whose
+``config_hash`` matches the CLI's so ``runs diff`` compares them
+exactly — and ``runs list`` shows which entry came from which job.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.harness import HarnessConfig
+from repro.harness.experiments import run_many
+from repro.serve import ServeClient, ServeDaemon
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def fig1_direct(tmp_path_factory):
+    """The reference artifacts: fig1 --quick saved by the CLI pipeline."""
+    out = tmp_path_factory.mktemp("direct")
+    for result in run_many(HarnessConfig(quick=True), ["fig1"]):
+        result.save(out)
+    return out
+
+
+def test_service_run_is_byte_identical(tmp_path, fig1_direct):
+    daemon = ServeDaemon(data_dir=tmp_path / "serve", port=0, workers=1,
+                         poll_interval=0.05, quiet=True)
+    daemon.start()
+    try:
+        client = ServeClient(daemon.url)
+        job = client.submit({
+            "kind": "harness", "experiments": ["fig1"], "quick": True,
+        })
+        job = client.wait(job["id"], timeout=600)
+        assert job["state"] == "done", job.get("error")
+        result = job["result"]
+        assert result["ok"] is True
+        assert "artifacts/fig1.txt" in result["artifacts"]
+        assert result["ledger_run_id"]
+
+        fetched = tmp_path / "fetched"
+        client.fetch_artifacts(job["id"], fetched)
+        for name in ("fig1.txt", "fig1.json"):
+            direct = (fig1_direct / name).read_bytes()
+            served = (fetched / "artifacts" / name).read_bytes()
+            assert served == direct, f"{name} differs between CLI and service"
+
+        # the ledger entry carries the job id and the CLI's config hash
+        from repro.obs.ledger import Ledger, config_hash
+
+        entry = Ledger().load(result["ledger_run_id"])
+        assert entry["job_id"] == job["id"]
+        assert entry["config_hash"] == config_hash({
+            "experiments": ["fig1"], "quick": True,
+            "scale_factor": 1.0, "verify": True,
+        })
+
+        # runs list surfaces the job column
+        from repro.harness.runs import runs_main
+
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            assert runs_main(["list"]) == 0
+        listing = buf.getvalue()
+        assert job["id"] in listing
+        assert "job" in listing.splitlines()[1]
+    finally:
+        daemon.stop()
+
+
+def test_daemon_kill9_restart_requeues_and_completes(tmp_path):
+    """The crash-recovery contract, in-process.
+
+    A first daemon claims the job and dies without any cleanup
+    (simulated by tearing down its pool threads' child and leaving the
+    row ``running``); a second daemon over the same store requeues the
+    orphan and completes it.  The CI smoke (`tools/serve_smoke.py`)
+    repeats this with a real ``kill -9``.
+    """
+    data = tmp_path / "serve"
+    first = ServeDaemon(data_dir=data, port=0, workers=1,
+                        poll_interval=0.05, quiet=True)
+    first.start()
+    client = ServeClient(first.url)
+    job = client.submit({"kind": "canary", "seconds": 120})
+    import time
+    deadline = time.monotonic() + 10
+    while client.get(job["id"])["state"] == "queued":
+        assert time.monotonic() < deadline
+        time.sleep(0.02)
+    # kill -9 semantics: no graceful stop() — drop the HTTP server and
+    # murder the worker's child without touching the store
+    first._server.shutdown()
+    first._server.server_close()
+    first.pool._stop.set()
+    for t in first.pool._threads:
+        t.join(10)
+    # undo the graceful requeue the pool performed, restoring the
+    # crashed-daemon state a kill -9 leaves behind
+    store = first.store
+    if store.get(job["id"])["state"] == "queued":
+        store.claim("w-crashed")
+    assert store.get(job["id"])["state"] == "running"
+
+    second = ServeDaemon(data_dir=data, port=0, workers=1,
+                         poll_interval=0.05, quiet=True)
+    second.start()
+    try:
+        # recovery happened during start(): the orphan is queued or
+        # already re-running, never stuck in `running` without a worker
+        client2 = ServeClient(second.url)
+        row = client2.get(job["id"])
+        assert row["state"] in ("queued", "running")
+        client2.cancel(job["id"])  # don't actually sleep 120s
+        final = client2.wait(job["id"], timeout=30)
+        assert final["state"] == "cancelled"
+        events = (data / "serve.jsonl").read_text()
+        assert "crash recovery" in events
+    finally:
+        second.stop()
+
+
+def test_serve_cli_surfaces(tmp_path, capsys):
+    """The submit/status/list/fetch CLI against a live daemon."""
+    from repro.serve.cli import main as serve_main
+
+    daemon = ServeDaemon(data_dir=tmp_path / "serve", port=0, workers=1,
+                         poll_interval=0.05, quiet=True)
+    daemon.start()
+    try:
+        url = daemon.url
+        rc = serve_main([
+            "submit", "fig1", "--url", url, "--wait",
+            "--fetch", str(tmp_path / "out"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "state=done" in out
+        assert (tmp_path / "out" / "artifacts" / "fig1.txt").exists()
+
+        job_id = out.split()[1]
+        assert serve_main(["status", job_id, "--url", url]) == 0
+        assert job_id in capsys.readouterr().out
+        assert serve_main(["list", "--url", url]) == 0
+        assert job_id in capsys.readouterr().out
+        assert serve_main(["metrics", "--url", url]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["done"] == 1
+        assert serve_main(["health", "--url", url]) == 0
+        assert '"ok": true' in capsys.readouterr().out
+    finally:
+        daemon.stop()

@@ -1,0 +1,336 @@
+"""Unit coverage for the job store state machine (repro.serve.store).
+
+Every legal and illegal transition, priority ordering, idempotent
+resubmission, retry backoff eligibility, and orphan recovery — all
+against a real sqlite file in a tmp dir, with a fake clock where
+timing matters.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve.store import (
+    STATES,
+    TERMINAL,
+    IllegalTransition,
+    JobStore,
+    StoreError,
+    UnknownJob,
+)
+
+SPEC = {"kind": "canary", "seconds": 0}
+
+
+class FakeClock:
+    def __init__(self, t: float = 1000.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def store(tmp_path, clock):
+    return JobStore(tmp_path / "jobs.sqlite", clock=clock)
+
+
+def submit(store, **kw):
+    return store.submit(SPEC, **kw)
+
+
+# ----------------------------------------------------------------------
+# the legal lifecycle
+# ----------------------------------------------------------------------
+def test_submit_claim_finish(store):
+    job = submit(store)
+    assert job["state"] == "queued"
+    assert job["resubmitted"] is False
+    claimed = store.claim("w0")
+    assert claimed["id"] == job["id"]
+    assert claimed["state"] == "running"
+    assert claimed["attempts"] == 1
+    assert claimed["worker"] == "w0"
+    done = store.finish(job["id"], result={"artifacts": []})
+    assert done["state"] == "done"
+    assert done["result"] == {"artifacts": []}
+    assert done["finished_at"] is not None
+
+
+def test_fail_terminal(store):
+    job = submit(store)
+    store.claim("w0")
+    failed = store.fail(job["id"], "boom", result={"traceback": "..."})
+    assert failed["state"] == "failed"
+    assert failed["error"] == "boom"
+    assert failed["result"] == {"traceback": "..."}
+
+
+def test_cancel_queued_is_immediate(store):
+    job = submit(store)
+    out = store.cancel(job["id"])
+    assert out["state"] == "cancelled"
+    assert out["changed"] is True
+    # the cancelled job is never claimable
+    assert store.claim("w0") is None
+
+
+def test_cancel_running_sets_flag_then_mark(store):
+    job = submit(store)
+    store.claim("w0")
+    out = store.cancel(job["id"])
+    assert out["state"] == "running"  # worker has to deliver it
+    assert out["changed"] is True
+    assert store.cancel_requested(job["id"]) is True
+    done = store.mark_cancelled(job["id"])
+    assert done["state"] == "cancelled"
+
+
+def test_cancel_terminal_is_idempotent_noop(store):
+    job = submit(store)
+    store.claim("w0")
+    store.finish(job["id"])
+    out = store.cancel(job["id"])
+    assert out["state"] == "done"
+    assert out["changed"] is False
+
+
+def test_requeue_preserves_retry_budget(store):
+    job = submit(store, max_retries=2)
+    store.claim("w0")
+    back = store.requeue(job["id"], reason="daemon shutdown")
+    assert back["state"] == "queued"
+    assert back["retries"] == 0
+    assert back["worker"] is None
+    assert back["started_at"] is None
+    again = store.claim("w1")
+    assert again["id"] == job["id"]
+    assert again["attempts"] == 2
+
+
+# ----------------------------------------------------------------------
+# every illegal transition raises
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("terminal_via", ["finish", "fail", "cancelq"])
+@pytest.mark.parametrize("op", ["finish", "fail", "requeue", "mark_cancelled"])
+def test_terminal_states_are_terminal(store, terminal_via, op):
+    job = submit(store)
+    if terminal_via == "cancelq":
+        store.cancel(job["id"])
+    else:
+        store.claim("w0")
+        getattr(store, terminal_via)(
+            *([job["id"]] if terminal_via == "finish" else [job["id"], "x"])
+        )
+    with pytest.raises(IllegalTransition):
+        if op in ("fail",):
+            store.fail(job["id"], "boom")
+        elif op == "mark_cancelled":
+            store.mark_cancelled(job["id"])
+        else:
+            getattr(store, op)(job["id"])
+
+
+@pytest.mark.parametrize("op", ["finish", "fail", "requeue", "mark_cancelled"])
+def test_running_only_ops_reject_queued(store, op):
+    job = submit(store)
+    with pytest.raises(IllegalTransition) as exc:
+        if op == "fail":
+            store.fail(job["id"], "boom")
+        else:
+            getattr(store, op)(job["id"])
+    assert exc.value.have == "queued"
+
+
+def test_unknown_job_everywhere(store):
+    with pytest.raises(UnknownJob):
+        store.get("job-nope")
+    with pytest.raises(UnknownJob):
+        store.cancel("job-nope")
+    with pytest.raises(UnknownJob):
+        store.cancel_requested("job-nope")
+    with pytest.raises(UnknownJob):
+        store.finish("job-nope")
+
+
+def test_double_claim_needs_two_jobs(store):
+    submit(store)
+    assert store.claim("w0") is not None
+    assert store.claim("w1") is None  # no second queued job
+
+
+# ----------------------------------------------------------------------
+# priority ordering and backoff eligibility
+# ----------------------------------------------------------------------
+def test_priority_then_fifo(store, clock):
+    low1 = submit(store, priority=0)
+    clock.advance(1)
+    high = submit(store, priority=5)
+    clock.advance(1)
+    low2 = submit(store, priority=0)
+    order = [store.claim("w")["id"] for _ in range(3)]
+    assert order == [high["id"], low1["id"], low2["id"]]
+
+
+def test_retry_backoff_gates_claim(store, clock):
+    job = submit(store, max_retries=1)
+    store.claim("w0")
+    store.fail(job["id"], "flaky", retry_in=30.0)
+    back = store.get(job["id"])
+    assert back["state"] == "queued"
+    assert back["retries"] == 1
+    # not eligible yet: a backing-off job is invisible to claim
+    assert store.claim("w0") is None
+    clock.advance(31)
+    assert store.claim("w0")["id"] == job["id"]
+
+
+def test_backoff_does_not_starve_fresh_jobs(store, clock):
+    slow = submit(store, priority=9, max_retries=1)
+    store.claim("w0")
+    store.fail(slow["id"], "flaky", retry_in=60.0)
+    fresh = submit(store, priority=0)
+    assert store.claim("w0")["id"] == fresh["id"]
+
+
+# ----------------------------------------------------------------------
+# idempotent resubmission
+# ----------------------------------------------------------------------
+def test_idem_key_dedupes(store):
+    a = store.submit(SPEC, idem_key="abc", priority=3)
+    b = store.submit({"kind": "canary", "seconds": 99}, idem_key="abc",
+                     priority=7)
+    assert b["id"] == a["id"]
+    assert b["resubmitted"] is True
+    # the original submission's knobs win
+    assert b["priority"] == 3
+    assert b["spec"]["seconds"] == 0
+    assert store.queue_depth() == 1
+
+
+def test_idem_key_matches_terminal_jobs_too(store):
+    a = store.submit(SPEC, idem_key="abc")
+    store.claim("w0")
+    store.finish(a["id"])
+    b = store.submit(SPEC, idem_key="abc")
+    assert b["id"] == a["id"]
+    assert b["state"] == "done"
+    assert b["resubmitted"] is True
+
+
+def test_no_idem_key_always_new(store):
+    a = submit(store)
+    b = submit(store)
+    assert a["id"] != b["id"]
+    assert store.queue_depth() == 2
+
+
+# ----------------------------------------------------------------------
+# orphan recovery
+# ----------------------------------------------------------------------
+def test_recover_orphans_requeues_running(store):
+    a = submit(store)
+    b = submit(store)
+    store.claim("w0")
+    store.claim("w1")
+    out = store.recover_orphans()
+    assert out == {"requeued": 2, "cancelled": 0}
+    for job_id in (a["id"], b["id"]):
+        job = store.get(job_id)
+        assert job["state"] == "queued"
+        assert job["retries"] == 0  # recovery never burns retry budget
+        assert "orphaned" in job["error"]
+
+
+def test_recover_orphans_honours_pending_cancel(store):
+    job = submit(store)
+    store.claim("w0")
+    store.cancel(job["id"])  # flag set, worker died before delivering
+    out = store.recover_orphans()
+    assert out == {"requeued": 0, "cancelled": 1}
+    assert store.get(job["id"])["state"] == "cancelled"
+
+
+def test_recover_orphans_ignores_settled_jobs(store):
+    a = submit(store)
+    store.claim("w0")
+    store.finish(a["id"])
+    submit(store)  # queued
+    assert store.recover_orphans() == {"requeued": 0, "cancelled": 0}
+
+
+def test_recovery_survives_reopen(tmp_path, clock):
+    """The store is durable: a second JobStore sees the first's rows."""
+    store = JobStore(tmp_path / "jobs.sqlite", clock=clock)
+    job = store.submit(SPEC)
+    store.claim("w0")
+    reopened = JobStore(tmp_path / "jobs.sqlite", clock=clock)
+    assert reopened.get(job["id"])["state"] == "running"
+    reopened.recover_orphans()
+    assert reopened.claim("w1")["id"] == job["id"]
+
+
+# ----------------------------------------------------------------------
+# queries and misc
+# ----------------------------------------------------------------------
+def test_counts_and_listing(store):
+    ids = [submit(store)["id"] for _ in range(3)]
+    store.claim("w0")
+    counts = store.counts()
+    assert counts["queued"] == 2 and counts["running"] == 1
+    assert set(STATES) == set(counts)
+    running = store.list_jobs(state="running")
+    assert [j["id"] for j in running] == [ids[0]]
+    assert len(store.list_jobs()) == 3
+    assert len(store.list_jobs(limit=2)) == 2
+    with pytest.raises(StoreError):
+        store.list_jobs(state="bogus")
+
+
+def test_total_retries(store, clock):
+    job = submit(store, max_retries=3)
+    for _ in range(2):
+        store.claim("w0")
+        store.fail(job["id"], "flaky", retry_in=0.0)
+        clock.advance(1)
+    assert store.total_retries() == 2
+
+
+def test_concurrent_claims_are_exclusive(tmp_path):
+    """N threads racing claim() never double-claim one job."""
+    store = JobStore(tmp_path / "jobs.sqlite")
+    n_jobs = 8
+    for _ in range(n_jobs):
+        store.submit(SPEC)
+    claimed, lock = [], threading.Lock()
+
+    def worker(name):
+        while True:
+            job = store.claim(name)
+            if job is None:
+                return
+            with lock:
+                claimed.append(job["id"])
+
+    threads = [threading.Thread(target=worker, args=(f"w{i}",))
+               for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(claimed) == n_jobs
+    assert len(set(claimed)) == n_jobs
+
+
+def test_terminal_tuple_matches_states():
+    assert set(TERMINAL) < set(STATES)

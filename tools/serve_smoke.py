@@ -1,0 +1,232 @@
+#!/usr/bin/env python
+"""Service smoke: drive a real daemon through its full contract.
+
+This is the CI ``serve-smoke`` gate and the ``make serve-smoke``
+target.  It starts ``python -m repro.serve`` as a subprocess and
+checks, end to end:
+
+``--stage basic``
+    submit a tiny fig1 job → poll to completion → fetch the artifact
+    and compare it **byte-for-byte** against the same config run
+    directly through ``repro.harness`` machinery; exercise cancel on a
+    second (long canary) job while it is *running*; assert the ledger
+    entry names the job; shut the daemon down cleanly (exit 0, store
+    left consistent).
+
+``--stage crash``
+    submit a long job, wait until it is running, ``kill -9`` the
+    daemon, restart over the same data dir, and assert the orphaned
+    job was requeued and runs to completion.
+
+``--stage all`` (default) runs both.  Exit 0 on success; any failure
+prints a diagnosis and exits 1, leaving the data dir (sqlite store +
+runlog) in place for CI to upload as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import filecmp
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.serve.client import ServeClient, ServeUnavailable  # noqa: E402
+
+PORT = int(os.environ.get("SERVE_SMOKE_PORT", "8971"))
+URL = f"http://127.0.0.1:{PORT}"
+
+
+class SmokeFailure(AssertionError):
+    pass
+
+
+def check(cond: bool, message: str) -> None:
+    print(f"  {'ok' if cond else 'FAIL'}: {message}")
+    if not cond:
+        raise SmokeFailure(message)
+
+
+def start_daemon(data: Path, workers: int = 1) -> subprocess.Popen:
+    # own session: kill -9 on the process group takes the daemon AND its
+    # in-flight job child down together, like a machine dying would
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "start",
+         "--port", str(PORT), "--data", str(data),
+         "--workers", str(workers), "--poll-interval", "0.1"],
+        cwd=REPO,
+        env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+        start_new_session=True,
+    )
+    try:
+        ServeClient(URL).wait_ready(timeout=30)
+    except ServeUnavailable:
+        proc.kill()
+        raise SmokeFailure("daemon never became healthy")
+    print(f"  ok: daemon up (pid {proc.pid})")
+    return proc
+
+
+def wait_state(client, job_id, states, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = client.get(job_id)
+        if job["state"] in states:
+            return job
+        time.sleep(0.1)
+    raise SmokeFailure(
+        f"{job_id} stuck in {client.get(job_id)['state']!r},"
+        f" wanted {states}"
+    )
+
+
+def stage_basic(data: Path) -> None:
+    print("[stage basic] submit → run → fetch → cancel → clean shutdown")
+    reference = data / "reference"
+    print("  building reference artifacts (direct harness run)...")
+    from repro.harness import HarnessConfig
+    from repro.harness.experiments import run_many
+
+    for result in run_many(HarnessConfig(quick=True), ["fig1"]):
+        result.save(reference)
+
+    proc = start_daemon(data)
+    client = ServeClient(URL)
+    try:
+        # submit → run → fetch, byte-identical to the direct run
+        job = client.submit(
+            {"kind": "harness", "experiments": ["fig1"], "quick": True},
+            idem_key="smoke-fig1",
+        )
+        print(f"  submitted {job['id']}")
+        job = client.wait(job["id"], timeout=600)
+        check(job["state"] == "done",
+              f"fig1 job completed (state={job['state']},"
+              f" error={job.get('error')})")
+        fetched = data / "fetched"
+        paths = client.fetch_artifacts(job["id"], fetched)
+        check(len(paths) >= 2, f"fetched {len(paths)} artifact file(s)")
+        for name in ("fig1.txt", "fig1.json"):
+            check(
+                filecmp.cmp(reference / name,
+                            fetched / "artifacts" / name, shallow=False),
+                f"{name} byte-identical to the direct harness run",
+            )
+        entry_id = job["result"].get("ledger_run_id")
+        check(bool(entry_id), f"ledger entry recorded ({entry_id})")
+
+        # idempotent resubmission returns the same job
+        again = client.submit(
+            {"kind": "harness", "experiments": ["fig1"], "quick": True},
+            idem_key="smoke-fig1",
+        )
+        check(again["id"] == job["id"] and again["resubmitted"],
+              "idempotent resubmission dedupes")
+
+        # cancel actually interrupts a running job
+        victim = client.submit({"kind": "canary", "seconds": 300})
+        wait_state(client, victim["id"], ("running",))
+        t0 = time.monotonic()
+        client.cancel(victim["id"])
+        victim = wait_state(client, victim["id"], ("cancelled",), timeout=30)
+        check(victim["state"] == "cancelled",
+              f"running job cancelled in {time.monotonic() - t0:.1f}s")
+
+        metrics = client.metrics()
+        check(metrics["counts"]["done"] >= 1
+              and metrics["counts"]["cancelled"] == 1,
+              f"metrics consistent ({metrics['counts']})")
+
+        # clean shutdown: drain endpoint, daemon exits 0
+        client.shutdown()
+        rc = proc.wait(timeout=60)
+        check(rc == 0, f"daemon exited cleanly (rc={rc})")
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+            proc.wait(timeout=30)
+
+
+def stage_crash(data: Path) -> None:
+    print("[stage crash] kill -9 mid-job → restart → orphan completes")
+    proc = start_daemon(data)
+    client = ServeClient(URL)
+    try:
+        job = client.submit({"kind": "canary", "seconds": 300})
+        wait_state(client, job["id"], ("running",))
+        print(f"  {job['id']} running; kill -9 {proc.pid} (whole group)")
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+    proc = start_daemon(data)
+    client = ServeClient(URL)
+    try:
+        row = wait_state(client, job["id"],
+                         ("queued", "running", "done"), timeout=30)
+        check(row["state"] in ("queued", "running", "done"),
+              f"orphan requeued after restart (state={row['state']})")
+        check(row["attempts"] >= 1, f"attempts preserved ({row['attempts']})")
+        # don't wait out the 300s sleep: cancel proves the requeued job
+        # is live under the new daemon and reaches a terminal state
+        wait_state(client, job["id"], ("running",), timeout=30)
+        client.cancel(job["id"])
+        final = wait_state(client, job["id"], ("cancelled",), timeout=30)
+        check(final["state"] == "cancelled",
+              "recovered job ran and reached a terminal state")
+        events = (data / "serve.jsonl").read_text()
+        check("crash recovery" in events,
+              "runlog records the crash recovery")
+        client.shutdown()
+        rc = proc.wait(timeout=60)
+        check(rc == 0, f"recovered daemon exited cleanly (rc={rc})")
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+            proc.wait(timeout=30)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--stage", choices=["basic", "crash", "all"],
+                        default="all")
+    parser.add_argument("--data", default="results/serve-smoke",
+                        help="service data dir (kept on failure for CI)")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the data dir even on success")
+    args = parser.parse_args(argv)
+
+    data = Path(args.data).resolve()
+    if data.exists():
+        shutil.rmtree(data)
+    data.mkdir(parents=True)
+    os.environ.setdefault("REPRO_LEDGER", str(data / "ledger"))
+
+    try:
+        if args.stage in ("basic", "all"):
+            stage_basic(data)
+        if args.stage in ("crash", "all"):
+            stage_crash(data)
+    except SmokeFailure as exc:
+        print(f"\nserve-smoke FAILED: {exc}", file=sys.stderr)
+        print(f"store + runlog left under {data} for inspection",
+              file=sys.stderr)
+        return 1
+    print("\nserve-smoke passed")
+    if not args.keep:
+        shutil.rmtree(data, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
