@@ -13,6 +13,14 @@ RF/AN     yes          yes           :class:`~repro.core.queue_rfan.RetryFreeQue
 Use :func:`make_queue` to construct one by name, and
 :func:`~repro.core.scheduler.persistent_kernel` to drive it under the
 persistent-thread model.
+
+Two *adaptive-capacity* variants layer graceful overflow handling over
+the RF/AN protocol (:mod:`repro.core.queue_adaptive`): ``GROW`` chains
+recycled fixed-size segments behind a write-once segment map, and
+``SPILL`` dead-drops overflowing publishes into a side ring that a
+drain pump re-publishes under backpressure.  Both deliver the same
+token multisets as the bare variants — they just stop aborting on
+fill excursions (see ``docs/capacity.md``).
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from .host import (
     RFANConsumer,
     RFANProducer,
 )
+from .queue_adaptive import GrowQueue, SpillQueue
 from .queue_an import ArbitraryNQueue
 from .queue_api import DeviceQueue, QueueFull
 from .queue_base_cas import BaseCasQueue
@@ -47,6 +56,8 @@ QUEUE_VARIANTS: Dict[str, Type[DeviceQueue]] = {
     "BASE": BaseCasQueue,
     "AN": ArbitraryNQueue,
     "RF/AN": RetryFreeQueue,
+    "GROW": GrowQueue,
+    "SPILL": SpillQueue,
 }
 
 
@@ -74,6 +85,7 @@ __all__ = [
     "DONE",
     "DeviceQueue",
     "FRONT",
+    "GrowQueue",
     "HostCasQueue",
     "HostRFANQueue",
     "PENDING",
@@ -85,6 +97,7 @@ __all__ = [
     "RetryFreeQueue",
     "SchedulerControl",
     "ShardedQueue",
+    "SpillQueue",
     "WavefrontQueueState",
     "WorkCycleResult",
     "Worker",

@@ -1,0 +1,443 @@
+"""``python -m repro.harness capacity <workload>`` — capacity advisor.
+
+Replays one workload under a passive
+:class:`~repro.obs.session.ProfileSession`, collects every queue's
+depth-at-publish fill histogram (``fill_hist`` in
+:func:`repro.obs.metrics.compute_metrics`), and recommends a buffer size
+plus an overflow mode per queue:
+
+* ``abort`` — a bare fixed-capacity variant is safe: the recommended
+  capacity covers peak *demand* (highest raw index, the binding limit
+  for monotonic buffers) times the safety factor, within budget;
+* ``spill`` — circular reuse keeps steady-state *occupancy* far below
+  demand, so a modest ring plus host-side backpressure
+  (:class:`repro.core.SpillQueue`) fits the budget; the projected
+  per-publish spill probability at the recommended ring is reported;
+* ``grow`` — demand exceeds the slot budget and occupancy tracks demand
+  (circular reuse would not help), so chain segments on demand
+  (:class:`repro.core.GrowQueue`) with a pool sized to observed
+  occupancy and ``max_segments`` sized to demand.
+
+The §4.2 resident-lane constraint threads through every ring
+projection: each lane can hold a reserved-but-unpublished slot mid-AFA,
+so a circular ring's usable slack is ``capacity - resident_lanes`` and
+overflow probabilities are computed against that, not raw capacity.
+
+Output: an ASCII advisor table plus ``capacity.json`` under ``--out``
+(default ``results/capacity``) — the CI capacity-smoke artifact.
+``--from-metrics FILE`` skips the replay and advises from a saved
+``metrics.json`` (as written by ``repro-harness profile``), so the
+advisor is usable on archived runs without re-simulating.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .profile import DEVICES, WORKLOADS, _default_workgroups, _run_workload
+from .report import render_table
+
+SCHEMA = "repro.harness.capacity/v1"
+
+#: below this occupancy/demand ratio a circular ring pays off: most
+#: slots are drained and reused before the peak, so SPILL beats GROW.
+REUSE_SPILL_THRESHOLD = 0.5
+
+
+def _pow2_ceil(n: int) -> int:
+    n = max(int(n), 1)
+    return 1 << (n - 1).bit_length()
+
+
+def _hist_samples(hist: Optional[dict]) -> np.ndarray:
+    """Reconstruct approximate depth samples from a fill histogram.
+
+    Bucket midpoints weighted by counts — coarse, but the advisor only
+    needs tail fractions and quantiles, and this keeps it able to run
+    from the JSON artifact alone (no raw sample arrays persisted).
+    """
+    if not hist or not hist.get("counts"):
+        return np.zeros(0, dtype=np.float64)
+    edges = np.asarray(hist["edges"], dtype=np.float64)
+    counts = np.asarray(hist["counts"], dtype=np.int64)
+    mids = (edges[:-1] + edges[1:]) / 2.0
+    return np.repeat(mids, counts)
+
+
+def _tail_probability(samples: np.ndarray, threshold: float) -> float:
+    """Fraction of fill samples at or beyond *threshold* slots."""
+    if samples.size == 0:
+        return 0.0
+    return float(np.count_nonzero(samples >= threshold)) / float(samples.size)
+
+
+def aggregate_queues(launches: List[dict]) -> Dict[str, dict]:
+    """Merge per-launch queue metrics into one record per prefix."""
+    agg: Dict[str, dict] = {}
+    for m in launches:
+        lanes = int(m.get("n_wavefronts", 0)) * int(
+            m.get("wavefront_size", 0) or 0
+        )
+        for prefix, q in (m.get("queues") or {}).items():
+            a = agg.setdefault(
+                prefix,
+                {
+                    "variant": q.get("variant", "?"),
+                    "capacity": 0,
+                    "highwater": 0,
+                    "demand": 0,
+                    "lanes": 0,
+                    "launches": 0,
+                    "samples": [],
+                    "grow": None,
+                    "spill": None,
+                },
+            )
+            a["capacity"] = max(a["capacity"], int(q.get("capacity", 0)))
+            a["highwater"] = max(a["highwater"], int(q.get("highwater", 0)))
+            a["demand"] = max(a["demand"], int(q.get("max_raw_index", 0)))
+            a["lanes"] = max(a["lanes"], lanes)
+            a["launches"] += 1
+            a["samples"].append(_hist_samples(q.get("fill_hist")))
+            for key in ("grow", "spill"):
+                if q.get(key):
+                    a[key] = q[key]
+    for a in agg.values():
+        a["samples"] = (
+            np.concatenate(a["samples"]) if a["samples"]
+            else np.zeros(0, dtype=np.float64)
+        )
+    return agg
+
+
+def advise_queue(
+    prefix: str, agg: dict, budget: int, safety: float
+) -> dict:
+    """One queue's recommendation from its aggregated fill telemetry."""
+    occ = int(agg["highwater"])
+    demand = int(agg["demand"])
+    lanes = int(agg["lanes"])
+    samples: np.ndarray = agg["samples"]
+    margin = lanes  # §4.2: every lane may hold an unpublished reservation
+
+    safe_abort = _pow2_ceil(math.ceil(max(demand, 1) * safety))
+    safe_ring = _pow2_ceil(math.ceil(max(occ, 1) * safety) + margin)
+    reuse = (occ / demand) if demand else 1.0
+
+    # projected overflow probability ladder: per-publish probability the
+    # ring's usable slack (capacity - resident lanes) is already full.
+    ladder = sorted(
+        {
+            c
+            for c in (
+                safe_ring // 2, safe_ring, safe_ring * 2,
+                safe_abort, _pow2_ceil(budget),
+            )
+            if c >= max(margin + 1, 2)
+        }
+    )
+    overflow = {
+        str(c): round(_tail_probability(samples, c - margin), 6)
+        for c in ladder
+    }
+
+    if safe_abort <= budget:
+        mode = "abort"
+        params = {"capacity": safe_abort}
+        p_over = 0.0  # demand fits: a monotonic buffer cannot overflow
+        rationale = (
+            f"peak demand {demand} x safety {safety:g} fits the "
+            f"{budget}-slot budget; a bare variant at {safe_abort} "
+            f"slots cannot overflow"
+        )
+    elif reuse < REUSE_SPILL_THRESHOLD and safe_ring <= budget:
+        mode = "spill"
+        usable = safe_ring - margin
+        high = max(2, usable * 3 // 5)
+        low = max(1, high * 2 // 3)
+        params = {
+            "capacity": safe_ring,
+            "spill_capacity": _pow2_ceil(max(64, demand - occ)),
+            "high_water": high,
+            "low_water": low,
+        }
+        p_over = _tail_probability(samples, safe_ring - margin)
+        rationale = (
+            f"occupancy {occ} is {reuse:.0%} of demand {demand}: "
+            f"circular reuse works, so a {safe_ring}-slot ring with "
+            f"host backpressure covers it "
+            f"(projected spill probability {p_over:.2%}/publish)"
+        )
+    else:
+        mode = "grow"
+        seg_cap = _pow2_ceil(max(occ // 2, lanes, 8))
+        pool = max(2, -(-math.ceil(occ * safety) // seg_cap) + 1)
+        max_segments = max(pool + 1, -(-math.ceil(demand * safety) // seg_cap))
+        params = {
+            "capacity": seg_cap * pool,
+            "seg_cap": seg_cap,
+            "pool_segments": pool,
+            "max_segments": max_segments,
+        }
+        p_over = 0.0  # bounded by max_segments, sized to observed demand
+        why = (
+            f"occupancy tracks demand ({reuse:.0%})"
+            if reuse >= REUSE_SPILL_THRESHOLD
+            else f"even a {safe_ring}-slot ring (occupancy + resident "
+            f"lanes) exceeds it"
+        )
+        rationale = (
+            f"demand {demand} x safety {safety:g} exceeds the "
+            f"{budget}-slot budget and {why}: chain segments on demand "
+            f"({pool} x {seg_cap} resident, up to {max_segments} logical)"
+        )
+
+    quant = {}
+    if samples.size:
+        quant = {
+            "p50": float(np.percentile(samples, 50)),
+            "p95": float(np.percentile(samples, 95)),
+            "max": float(samples.max()),
+        }
+    return {
+        "queue": prefix,
+        "variant": agg["variant"],
+        "observed": {
+            "capacity": agg["capacity"],
+            "highwater": occ,
+            "demand": demand,
+            "resident_lanes": lanes,
+            "launches": agg["launches"],
+            "fill_samples": int(samples.size),
+            "fill_quantiles": quant,
+            "grow": agg["grow"],
+            "spill": agg["spill"],
+        },
+        "mode": mode,
+        "recommended": params,
+        "projected_overflow_probability": round(float(p_over), 6),
+        "overflow_probability_by_capacity": overflow,
+        "rationale": rationale,
+    }
+
+
+def render_advice(advice: List[dict], label: str, budget: int,
+                  safety: float) -> str:
+    lines: List[str] = []
+    lines.append(
+        f"capacity advisor {label}: budget={budget} slots "
+        f"safety={safety:g}x"
+    )
+    rows = []
+    for a in advice:
+        obs = a["observed"]
+        rows.append(
+            [
+                a["queue"],
+                a["variant"],
+                obs["highwater"],
+                obs["demand"],
+                obs["resident_lanes"],
+                a["mode"],
+                a["recommended"].get("capacity", "-"),
+                f"{a['projected_overflow_probability']:.2%}",
+            ]
+        )
+    lines.append("")
+    lines.append(
+        render_table(
+            ["queue", "variant", "hiwater", "demand", "lanes", "mode",
+             "rec.cap", "p(overflow)"],
+            rows,
+            title="per-queue recommendation (demand = peak raw index; "
+            "ring slack excludes resident lanes, §4.2)",
+        )
+    )
+    for a in advice:
+        lines.append(f"{a['queue']}: {a['rationale']}")
+        extra = {
+            k: v for k, v in a["recommended"].items() if k != "capacity"
+        }
+        if extra:
+            lines.append(
+                "  params: "
+                + " ".join(f"{k}={v}" for k, v in sorted(extra.items()))
+            )
+    return "\n".join(lines)
+
+
+def capacity_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness capacity",
+        description=(
+            "Replay one workload, collect per-queue fill histograms, and "
+            "recommend buffer sizes plus an overflow mode "
+            "(abort / grow / spill) with projected overflow probability "
+            "(see docs/capacity.md)."
+        ),
+    )
+    parser.add_argument("workload", choices=WORKLOADS, nargs="?")
+    parser.add_argument(
+        "--from-metrics", default=None, metavar="FILE",
+        help="advise from a saved profile metrics.json instead of replaying",
+    )
+    parser.add_argument(
+        "--device", choices=sorted(DEVICES), default="fiji",
+        help="simulated device (default fiji)",
+    )
+    parser.add_argument(
+        "--variant", default="RF/AN",
+        help="queue variant to replay under (default RF/AN)",
+    )
+    parser.add_argument(
+        "--dataset", default="USA-road-d.NY",
+        help="graph dataset for bfs/sssp (default USA-road-d.NY)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.125,
+        help="dataset scale relative to paper size (default 0.125)",
+    )
+    parser.add_argument("--source", type=int, default=0, help="source vertex")
+    parser.add_argument(
+        "--workgroups", type=int, default=None,
+        help="launched workgroups (default: 56 fiji / 16 spectre / 4 testgpu)",
+    )
+    parser.add_argument(
+        "--nqueens-n", type=int, default=6, help="board size for nqueens"
+    )
+    parser.add_argument(
+        "--budget", type=int, default=4096,
+        help="device-buffer slot budget per queue (default 4096)",
+    )
+    parser.add_argument(
+        "--safety", type=float, default=1.5,
+        help="sizing safety factor over observed peaks (default 1.5)",
+    )
+    parser.add_argument(
+        "--bins", type=int, default=60,
+        help="time bins for the metric series (default 60)",
+    )
+    parser.add_argument(
+        "--max-events", type=int, default=2_000_000,
+        help="per-launch event cap before the timeline truncates",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny run (scale 0.02, few workgroups) for smoke tests",
+    )
+    parser.add_argument("--no-verify", action="store_true")
+    parser.add_argument(
+        "--out", default="results/capacity", metavar="DIR",
+        help="output directory (default results/capacity)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.budget < 2:
+        print("--budget must be at least 2 slots", file=sys.stderr)
+        return 2
+    if args.safety < 1.0:
+        print("--safety below 1.0 would size under observed peaks",
+              file=sys.stderr)
+        return 2
+
+    t0 = time.time()
+    if args.from_metrics:
+        try:
+            with open(args.from_metrics, "r", encoding="utf-8") as fh:
+                saved = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read metrics file {args.from_metrics}: {exc}",
+                  file=sys.stderr)
+            return 2
+        launches = saved.get("launches") or []
+        # a profile metrics.json carries a list of per-launch metric
+        # dicts; anything else (e.g. a capacity.json, whose "launches"
+        # is a count) is the wrong artifact for this flag.
+        if not isinstance(launches, list) or not all(
+            isinstance(m, dict) for m in launches
+        ):
+            print(
+                f"{args.from_metrics} is not a profile metrics file: "
+                "expected a 'launches' list of per-launch metric dicts "
+                "(produced by `repro-harness profile`)",
+                file=sys.stderr,
+            )
+            return 2
+        label = saved.get("workload", args.from_metrics)
+        config = {"from_metrics": args.from_metrics}
+    else:
+        if not args.workload:
+            parser.error("a workload is required unless --from-metrics")
+        from repro.obs import ProfileSession
+
+        device = DEVICES[args.device]
+        if args.quick:
+            args.scale = min(args.scale, 0.02)
+            if args.workgroups is None:
+                args.workgroups = (
+                    2 if device.name.lower() == "testgpu" else 4
+                )
+            args.nqueens_n = min(args.nqueens_n, 5)
+        if args.workgroups is None:
+            args.workgroups = _default_workgroups(device)
+
+        session = ProfileSession(bins=args.bins, max_events=args.max_events)
+        with session:
+            _cycles, _stats, label = _run_workload(args, device)
+        launches = [entry["metrics"] for entry in session.launches]
+        config = {
+            "workload": args.workload,
+            "device": args.device,
+            "variant": args.variant,
+            "dataset": args.dataset,
+            "scale": args.scale,
+            "workgroups": args.workgroups,
+            "nqueens_n": args.nqueens_n,
+        }
+    elapsed = time.time() - t0
+
+    if not launches:
+        print("no launches were recorded", file=sys.stderr)
+        return 1
+
+    agg = aggregate_queues(launches)
+    if not agg:
+        print("no queues were registered in the recorded launches",
+              file=sys.stderr)
+        return 1
+    advice = [
+        advise_queue(prefix, a, budget=args.budget, safety=args.safety)
+        for prefix, a in sorted(agg.items())
+    ]
+
+    os.makedirs(args.out, exist_ok=True)
+    out_path = os.path.join(args.out, "capacity.json")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "schema": SCHEMA,
+                "workload": label,
+                "config": config,
+                "budget": args.budget,
+                "safety": args.safety,
+                "launches": len(launches),
+                "wall_seconds": round(elapsed, 3),
+                "queues": advice,
+            },
+            fh,
+            indent=1,
+        )
+        fh.write("\n")
+
+    print(render_advice(advice, label, args.budget, args.safety))
+    print()
+    print(f"[wrote {out_path}]")
+    return 0

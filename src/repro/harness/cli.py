@@ -51,6 +51,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .blame import blame_main
 
         return blame_main(argv[1:])
+    if argv and argv[0] == "capacity":
+        # fill-histogram replay + buffer-size advisor; see capacity.py.
+        from .capacity import capacity_main
+
+        return capacity_main(argv[1:])
     if argv and argv[0] == "runs":
         # ledger queries never touch the simulator; see runs.py.
         from .runs import runs_main
@@ -82,6 +87,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "or 'all'; "
             "or a subcommand: 'profile' (single profiled runs) / "
             "'blame' (stall attribution + what-if) / "
+            "'capacity' (queue buffer-size advisor) / "
             "'runs' (query the run ledger) / "
             "'watch' (live dashboard over a runlog) / "
             "'postmortem' (render failure bundles) — "

@@ -34,6 +34,18 @@ The dict produced by :func:`compute_metrics` has this shape::
           "proxy": {"acquire": {...}, "publish": {...}},  # lanes/op summaries
           "instants": {"empty": 12, ...},
           "starved_watches": 0,
+          "fill_hist": {             # depth-at-publish histogram (the
+            "edges": [...],          # capacity advisor's raw material,
+            "counts": [...],         # see repro.harness.capacity)
+            "samples": 1234,
+          },
+          # GROW queues additionally carry:
+          "grow": {"segment_links": n, "segment_releases": n,
+                   "peak_linked_segments": n, "live_segments": [...]},
+          # SPILL queues additionally carry:
+          "spill": {"spilled": n, "reinjected": n,
+                    "peak_overflow_depth": n, "overflow_depth": [...],
+                    "spill_burst": {...}},
         }, ...
       },
       "scheduler": {
@@ -207,6 +219,19 @@ def compute_metrics(probe, bins: int = 60) -> Dict:
             for (p, name), pts in sorted(probe.instants.items())
             if p == prefix
         }
+        # depth-at-publish histogram: the empirical fill distribution a
+        # capacity advisor projects overflow probabilities from.
+        fill_hist = None
+        if len(all_depths):
+            hi = max(int(np.max(all_depths)), 1)
+            counts, bucket_edges = np.histogram(
+                all_depths, bins=min(32, hi + 1), range=(0, hi + 1)
+            )
+            fill_hist = {
+                "edges": [float(e) for e in bucket_edges],
+                "counts": [int(c) for c in counts],
+                "samples": int(len(all_depths)),
+            }
         queues[prefix] = {
             "capacity": int(capacity),
             "variant": variant,
@@ -219,7 +244,45 @@ def compute_metrics(probe, bins: int = 60) -> Dict:
             "proxy": proxy,
             "instants": instants,
             "starved_watches": probe.pending_watches(prefix),
+            "fill_hist": fill_hist,
         }
+        links = probe.segment_links.get(prefix, [])
+        releases = probe.segment_releases.get(prefix, [])
+        if links or releases:
+            ev = sorted(
+                [(c, 1) for c, _, _ in links]
+                + [(c, -1) for c, _, _ in releases]
+            )
+            live, peak, series = 0, 0, []
+            for c, d in ev:
+                live += d
+                peak = max(peak, live)
+                series.append((c, live))
+            queues[prefix]["grow"] = {
+                "segment_links": len(links),
+                "segment_releases": len(releases),
+                "peak_linked_segments": peak,
+                "live_segments": _sample_steps(series, edges),
+            }
+        spills = probe.spills.get(prefix, [])
+        reinjects = probe.reinjects.get(prefix, [])
+        if spills or reinjects:
+            ev = sorted(
+                [(c, n) for c, n in spills]
+                + [(c, -n) for c, n in reinjects]
+            )
+            odepth, opeak, series = 0, 0, []
+            for c, d in ev:
+                odepth += d
+                opeak = max(opeak, odepth)
+                series.append((c, odepth))
+            queues[prefix]["spill"] = {
+                "spilled": int(sum(n for _, n in spills)),
+                "reinjected": int(sum(n for _, n in reinjects)),
+                "peak_overflow_depth": opeak,
+                "overflow_depth": _sample_steps(series, edges),
+                "spill_burst": summarize([n for _, n in spills]),
+            }
 
     # ---------------- scheduler ----------------
     par = _sample_steps(probe.parallelism, edges)
@@ -236,6 +299,7 @@ def compute_metrics(probe, bins: int = 60) -> Dict:
         "device": dev_name,
         "cycles": int(probe.cycles),
         "n_wavefronts": int(probe.n_wavefronts),
+        "wavefront_size": int(getattr(dev, "wavefront_size", 0) or 0),
         "bins": bins,
         "bin_cycles": int(bin_cycles),
         "engine": engine,

@@ -30,6 +30,14 @@ Streams
     ``(cycle, total_tokens)`` — device-wide count of lanes holding task
     tokens, sampled whenever a wavefront's share changes (the wavefront-
     parallelism ramp of Figure 3, but over *time* instead of BFS level).
+``segment_links`` / ``segment_releases``
+    ``{prefix: [(cycle, logical_seg, phys_seg), ...]}`` — GROW segment
+    hand-off (:mod:`repro.core.queue_adaptive`): pool segments linked
+    into / recycled out of the logical index space.
+``spills`` / ``reinjects``
+    ``{prefix: [(cycle, count), ...]}`` — SPILL backpressure: token
+    bursts dead-dropped into the overflow ring and re-published by the
+    drain pump.
 
 Only ``issues``, ``wakes``, and ``exits`` are unbounded in practice, so
 they share the ``max_events`` cap; everything else is small.  When the
@@ -76,6 +84,10 @@ class TimelineProbe(Probe):
         self.queues: Dict[str, Tuple[int, str]] = {}
         self.waits: Dict[str, List[int]] = {}
         self.parallelism: List[Tuple[int, int]] = []
+        self.segment_links: Dict[str, List[Tuple[int, int, int]]] = {}
+        self.segment_releases: Dict[str, List[Tuple[int, int, int]]] = {}
+        self.spills: Dict[str, List[Tuple[int, int]]] = {}
+        self.reinjects: Dict[str, List[Tuple[int, int]]] = {}
         self.truncated = False
 
         self._watch: Dict[str, Dict[int, int]] = {}
@@ -151,6 +163,29 @@ class TimelineProbe(Probe):
             # slots seeded by the host were never watched: wait unknown,
             # count it as measured-from-launch (cycle itself).
             waits.append(cycle - t0 if t0 is not None else cycle)
+
+    # ------------------------------------------------------------------
+    # adaptive capacity (GROW / SPILL)
+    # ------------------------------------------------------------------
+    def queue_segment_link(self, prefix, logical_seg, phys_seg, cycle) -> None:
+        self.segment_links.setdefault(prefix, []).append(
+            (int(cycle), int(logical_seg), int(phys_seg))
+        )
+
+    def queue_segment_release(self, prefix, logical_seg, phys_seg) -> None:
+        self.segment_releases.setdefault(prefix, []).append(
+            (int(self.now), int(logical_seg), int(phys_seg))
+        )
+
+    def queue_spill(self, prefix, tokens) -> None:
+        self.spills.setdefault(prefix, []).append(
+            (int(self.now), int(len(tokens)))
+        )
+
+    def queue_reinject(self, prefix, slots, tokens) -> None:
+        self.reinjects.setdefault(prefix, []).append(
+            (int(self.now), int(len(tokens)))
+        )
 
     # ------------------------------------------------------------------
     # scheduler

@@ -176,6 +176,32 @@ class Probe:
         """Raw ``slots`` handed ``tokens`` to dequeuing lanes (aligned
         arrays; the value-carrying companion of :meth:`queue_grant`)."""
 
+    def queue_segment_link(
+        self, prefix: str, logical_seg: int, phys_seg: int, cycle: int
+    ) -> None:
+        """A GROW queue linked pool segment ``phys_seg`` in as logical
+        segment ``logical_seg`` (the winning segment-map CAS; see
+        :mod:`repro.core.queue_adaptive`).  Write-once per logical
+        segment — losers adopt the winner's mapping and never emit."""
+
+    def queue_segment_release(
+        self, prefix: str, logical_seg: int, phys_seg: int
+    ) -> None:
+        """A GROW queue recycled pool segment ``phys_seg``: every slot of
+        logical segment ``logical_seg`` has been delivered and restored,
+        so the pool segment returned to the free list."""
+
+    def queue_spill(self, prefix: str, tokens) -> None:
+        """A SPILL queue dead-dropped ``tokens`` (array) into its
+        overflow ring instead of taking a Rear reservation (ring fill
+        above the high-water mark)."""
+
+    def queue_reinject(self, prefix: str, slots, tokens) -> None:
+        """A SPILL queue's drain pump re-published spilled ``tokens``
+        into fresh Rear reservations at raw ``slots`` (aligned arrays).
+        Fired immediately before the matching :meth:`queue_store`, so an
+        oracle can tell a re-publication from a first publication."""
+
     def queue_steal(
         self, src_prefix: str, dst_prefix: str, src_slots, dst_base: int,
         tokens,

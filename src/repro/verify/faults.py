@@ -48,6 +48,22 @@ deliver``                          twice (a re-executed transfer loop);
                                    the multi-queue oracle localizes the
                                    transfer that never landed
                                    (``steal-transfer-incomplete``).
+``grow-link-lost-      GROW        the publisher crashes between winning the
+task``                             segment-link CAS and completing the tail
+                                   publish: the first store into the freshly
+                                   linked segment never lands.  The scheduler
+                                   wedges on the in-flight counter and the
+                                   oracle localizes the reserved-but-empty
+                                   slot (``reservation-unfilled`` /
+                                   ``token-lost``).
+``spill-reinject-      SPILL       the pump crashes between the re-publish
+double-deliver``                   stores and the ring-head advance: head
+                                   never moves, entries are never restored to
+                                   ``dna``, so the next pump run re-publishes
+                                   the same entries again.  Caught at the
+                                   second announcement — the re-injected
+                                   multiset exceeds the dead-dropped one
+                                   (``reinject-unspilled``).
 =====================  ==========  ===========================================
 """
 
@@ -66,6 +82,7 @@ from repro.core.queue_api import (
     K_ENQ_TOKENS,
     K_PROXY_ATOMICS,
 )
+from repro.core.queue_adaptive import GrowQueue, SpillQueue
 from repro.core.queue_base_cas import BaseCasQueue
 from repro.core.queue_rfan import RetryFreeQueue
 from repro.core.queue_sharded import ShardedQueue
@@ -410,6 +427,60 @@ class StealLostTaskQueue(ShardedQueue):
         yield from super()._store_batch(ctx, h, dst_raw, dst_phys, tokens)
 
 
+class GrowLinkLostTaskQueue(GrowQueue):
+    """GROW whose publisher crashes between segment-link CAS and publish.
+
+    The link CAS wins and the segment map is updated, but the crash
+    window swallows the first token store destined for the freshly
+    linked segment (a masked-out lane at exactly the wrong moment).
+    The reservation stands, the slot stays ``dna`` forever, the watcher
+    parks forever, and the scheduler wedges on the in-flight counter.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._dropped = False
+
+    def _store_batch(self, ctx, raw, phys, vals):
+        if not self._dropped:
+            beyond = raw // self.seg_cap >= 1
+            if beyond.any():
+                # BUG: the first store into a device-linked segment
+                # (segment 0 is host-mapped) never reaches memory.
+                self._dropped = True
+                keep = np.ones(raw.size, dtype=bool)
+                keep[int(np.flatnonzero(beyond)[0])] = False
+                if keep.any():
+                    yield from super()._store_batch(
+                        ctx, raw[keep], phys[keep], vals[keep]
+                    )
+                return
+        yield from super()._store_batch(ctx, raw, phys, vals)
+
+
+class SpillReinjectDoubleDeliverQueue(SpillQueue):
+    """SPILL whose pump crashes between re-publish and head advance.
+
+    The re-injected tokens land in the ring, but the overflow-ring
+    entries are never restored to ``dna`` and the head never advances —
+    so the next pump run reads the very same entries and re-publishes
+    them again.  The forced gate models the pump believing (correctly,
+    per the un-advanced head) that work is still pending.
+    """
+
+    def _gate_ok(self):
+        # BUG-ADJACENT: with the head stuck, (tail - head) never shrinks,
+        # so an honest gate would keep pumping too; forcing it just makes
+        # the second pump deterministic under the selftest scenario.
+        return True
+
+    def _retire_entries(self, ctx, entries, new_head):
+        # BUG: the crash window — neither the dna restore nor the head
+        # advance happens.
+        return
+        yield  # pragma: no cover - keeps this a generator
+
+
 #: sharded-plant construction: two shards, eager stealing, so the steal
 #: path fires deterministically under the selftest's fanout scenario.
 _SHARDED_KW = {
@@ -470,15 +541,44 @@ PLANTS = {
         "needs_schedule": False,
         "kwargs": dict(_SHARDED_KW),
     },
+    "grow-link-lost-task": {
+        "cls": GrowLinkLostTaskQueue,
+        "variant": "GROW",
+        # the wedge audit localizes the reserved-but-empty slot.
+        "invariants": {"reservation-unfilled", "token-lost"},
+        "needs_schedule": False,
+        "kwargs": {"seg_cap": 8, "pool_segments": 6},
+    },
+    "spill-reinject-double-deliver": {
+        "cls": SpillReinjectDoubleDeliverQueue,
+        "variant": "SPILL",
+        # convicted synchronously at the duplicated announcement.
+        "invariants": {"reinject-unspilled"},
+        "needs_schedule": False,
+        "kwargs": {"spill_capacity": 1024, "high_water": 10,
+                   "low_water": 6},
+    },
 }
 
 
-def make_planted_queue(plant: str, capacity: int, circular: bool = False):
-    """Instantiate the sabotaged queue for ``plant``."""
+def make_planted_queue(
+    plant: str,
+    capacity: int,
+    circular: bool = False,
+    extra_kwargs: dict | None = None,
+):
+    """Instantiate the sabotaged queue for ``plant``.
+
+    ``extra_kwargs`` (scenario-supplied adaptive geometry) override the
+    plant's baked-in construction defaults.
+    """
     try:
         spec = PLANTS[plant]
     except KeyError:
         raise ValueError(
             f"unknown plant {plant!r}; have {sorted(PLANTS)}"
         ) from None
-    return spec["cls"](capacity, circular=circular, **spec.get("kwargs", {}))
+    kwargs = dict(spec.get("kwargs", {}))
+    if extra_kwargs:
+        kwargs.update(extra_kwargs)
+    return spec["cls"](capacity, circular=circular, **kwargs)

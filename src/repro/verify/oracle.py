@@ -24,6 +24,24 @@ happens, against a sequential **FIFO-with-reservation** specification:
   range, the control words equal the reservation totals, and the slot
   array / valid flags are back in their pristine (``dna`` / 0) state.
 
+For the adaptive-capacity variants (:mod:`repro.core.queue_adaptive`)
+the oracle additionally models segment hand-off and spill legality:
+
+* **GROW** — the segment map is write-once (``segment-double-link``), a
+  pool segment is never re-linked while a live logical segment still
+  occupies it (``link-unreleased-segment``), a release names the
+  mapping it dissolves (``release-unlinked-segment``, at most once:
+  ``segment-double-release``) and may only fire once every slot of the
+  logical segment was delivered (``release-undrained-segment``); stores
+  are bounded by the *logical* index space and every stored-into
+  segment must eventually be linked (``store-unlinked-segment``);
+* **SPILL** — re-injections must be backed by outstanding spills, token
+  for token (``reinject-unspilled``: the multiset of re-published
+  tokens never exceeds the multiset dead-dropped), and at quiescence no
+  spilled token is still parked in the overflow ring
+  (``spill-never-reinjected``), whose entries must be back to the
+  ``dna`` sentinel (``spill-ring-leak``).
+
 What the callback stream does and does not order
 ------------------------------------------------
 A wavefront's callbacks run when the engine *advances its generator* —
@@ -114,6 +132,41 @@ class InvariantOracle(Probe):
         self._rear_seen = 0
         #: total events checked (reported by the runner).
         self.events = 0
+        # -- adaptive-capacity model (repro.core.queue_adaptive) -------
+        self.growable = bool(getattr(queue, "growable", False))
+        self.spillable = bool(getattr(queue, "spillable", False))
+        #: monotonic store bound: GROW runs to the *logical* index
+        #: space, everything else to the physical capacity.
+        self.store_bound = int(
+            getattr(queue, "logical_capacity", self.capacity)
+            if self.growable else self.capacity
+        )
+        if self.growable:
+            self.seg_cap = int(queue.seg_cap)
+            #: logical segment -> pool segment (the write-once map).
+            self.seg_map: Dict[int, int] = {}
+            #: pool segment -> logical segment currently occupying it.
+            self.phys_live: Dict[int, int] = {}
+            #: logical segments already recycled.
+            self.seg_released: Set[int] = set()
+            #: per-logical-segment delivery tally (release legality).
+            self.seg_delivered: Counter = Counter()
+            #: stores seen before their segment's link callback.  The
+            #: winner's link callback can legally trail a loser's
+            #: adopted-mapping stores in the cross-wavefront stream, so
+            #: this is buffered, not convicted, until quiescence.
+            self._seg_unlinked_stores: Dict[int, int] = {}
+            self._adopt_host_segments()
+        if self.spillable:
+            #: multiset of tokens dead-dropped but not yet re-published.
+            self.pending_spill: Counter = Counter()
+            self.n_spilled = 0
+            self.n_reinjected = 0
+
+    def _adopt_host_segments(self) -> None:
+        for logical, phys in getattr(self.queue, "_host_mapped", ()):
+            self.seg_map.setdefault(int(logical), int(phys))
+            self.phys_live.setdefault(int(phys), int(logical))
 
     # ------------------------------------------------------------------
     # host-side wiring
@@ -124,6 +177,9 @@ class InvariantOracle(Probe):
             self.stored[int(i)] = int(t)
             self.enq_reserved.add(int(i))
         self.enq_next = len(self.stored)
+        if self.growable:
+            # seeding may host-link further segments; adopt them.
+            self._adopt_host_segments()
 
     def _fail(self, invariant: str, detail: str) -> None:
         raise VerificationError(
@@ -282,12 +338,18 @@ class InvariantOracle(Probe):
                     f"slot {s} written twice (had {self.stored[s]}, "
                     f"now {v}): entry duplicated or overwritten",
                 )
-            if not self.circular and s >= self.capacity:
+            if not self.circular and s >= self.store_bound:
                 self._fail(
                     "store-beyond-capacity",
-                    f"slot {s} stored beyond capacity {self.capacity}: "
-                    "the queue-full abort failed to fire",
+                    f"slot {s} stored beyond "
+                    + ("logical capacity" if self.growable else "capacity")
+                    + f" {self.store_bound}: the queue-full abort failed "
+                    "to fire",
                 )
+            if self.growable:
+                seg = s // self.seg_cap
+                if seg not in self.seg_map:
+                    self._seg_unlinked_stores.setdefault(seg, s)
             if self.circular:
                 prior = s - self.capacity
                 if prior >= 0 and prior not in self.delivered:
@@ -333,6 +395,96 @@ class InvariantOracle(Probe):
                 )
             self.delivered[s] = t
             self.watched.pop(s, None)
+            if self.growable:
+                self.seg_delivered[s // self.seg_cap] += 1
+
+    # ------------------------------------------------------------------
+    # adaptive-capacity callbacks (GROW segment hand-off, SPILL legality)
+    # ------------------------------------------------------------------
+    def queue_segment_link(self, prefix, logical_seg, phys_seg, cycle) -> None:
+        if prefix != self.prefix or not self.growable:
+            return
+        self.events += 1
+        logical_seg, phys_seg = int(logical_seg), int(phys_seg)
+        if logical_seg in self.seg_map:
+            self._fail(
+                "segment-double-link",
+                f"logical segment {logical_seg} linked to pool segment "
+                f"{phys_seg} but was already mapped to "
+                f"{self.seg_map[logical_seg]} (the write-once segment-map "
+                "CAS won twice)",
+            )
+        occupant = self.phys_live.get(phys_seg)
+        if occupant is not None:
+            self._fail(
+                "link-unreleased-segment",
+                f"pool segment {phys_seg} linked in as logical segment "
+                f"{logical_seg} while logical segment {occupant} still "
+                "occupies it (free-list pop of a live segment)",
+            )
+        self.seg_map[logical_seg] = phys_seg
+        self.phys_live[phys_seg] = logical_seg
+        self._seg_unlinked_stores.pop(logical_seg, None)
+
+    def queue_segment_release(self, prefix, logical_seg, phys_seg) -> None:
+        if prefix != self.prefix or not self.growable:
+            return
+        self.events += 1
+        logical_seg, phys_seg = int(logical_seg), int(phys_seg)
+        if logical_seg in self.seg_released:
+            self._fail(
+                "segment-double-release",
+                f"logical segment {logical_seg} released twice",
+            )
+        if self.seg_map.get(logical_seg) != phys_seg:
+            self._fail(
+                "release-unlinked-segment",
+                f"release of logical segment {logical_seg} names pool "
+                f"segment {phys_seg} but the map says "
+                f"{self.seg_map.get(logical_seg)}",
+            )
+        got = int(self.seg_delivered.get(logical_seg, 0))
+        if got != self.seg_cap:
+            self._fail(
+                "release-undrained-segment",
+                f"logical segment {logical_seg} released after only "
+                f"{got}/{self.seg_cap} deliveries: recycling a segment "
+                "whose slots are still in flight",
+            )
+        self.seg_released.add(logical_seg)
+        self.phys_live.pop(phys_seg, None)
+
+    def queue_spill(self, prefix, tokens) -> None:
+        if prefix != self.prefix or not self.spillable:
+            return
+        self.events += 1
+        toks = np.asarray(tokens, dtype=np.int64).reshape(-1)
+        for t in toks:
+            t = int(t)
+            if t == DNA:
+                self._fail(
+                    "spill-sentinel",
+                    "the dna sentinel was dead-dropped as a token",
+                )
+            self.pending_spill[t] += 1
+        self.n_spilled += int(toks.size)
+
+    def queue_reinject(self, prefix, slots, tokens) -> None:
+        if prefix != self.prefix or not self.spillable:
+            return
+        self.events += 1
+        toks = np.asarray(tokens, dtype=np.int64).reshape(-1)
+        for t in toks:
+            t = int(t)
+            if self.pending_spill.get(t, 0) <= 0:
+                self._fail(
+                    "reinject-unspilled",
+                    f"token {t} re-published from the overflow ring with "
+                    "no matching outstanding spill (a duplicated or "
+                    "invented re-injection)",
+                )
+            self.pending_spill[t] -= 1
+        self.n_reinjected += int(toks.size)
 
     # ------------------------------------------------------------------
     # quiescence
@@ -391,6 +543,23 @@ class InvariantOracle(Probe):
                     f"which lies inside the enqueued range "
                     f"[0, {self.enq_next})",
                 )
+        if self.growable and self._seg_unlinked_stores:
+            seg, slot = next(iter(self._seg_unlinked_stores.items()))
+            self._fail(
+                "store-unlinked-segment",
+                f"slot {slot} was stored into logical segment {seg}, "
+                "which was never linked to a pool segment",
+            )
+        if self.spillable:
+            leftover = +self.pending_spill
+            if leftover:
+                tok, cnt = next(iter(leftover.items()))
+                self._fail(
+                    "spill-never-reinjected",
+                    f"{sum(leftover.values())} dead-dropped token(s) "
+                    f"never re-published from the overflow ring, e.g. "
+                    f"token {tok} (x{cnt})",
+                )
         if memory is not None:
             ctrl = memory[self.queue.buf_ctrl]
             if int(ctrl[REAR]) != self.enq_next:
@@ -423,6 +592,17 @@ class InvariantOracle(Probe):
                         "valid-not-cleared",
                         f"{up.size} valid flag(s) still set at "
                         f"quiescence, e.g. physical slot {int(up[0])}",
+                    )
+            if self.spillable:
+                ring = memory[self.queue.buf_spill_toks]
+                stale = np.flatnonzero(ring != DNA)
+                if stale.size:
+                    self._fail(
+                        "spill-ring-leak",
+                        f"{stale.size} overflow-ring entr(ies) not "
+                        f"restored to the dna sentinel at quiescence, "
+                        f"e.g. entry {int(stale[0])} holding "
+                        f"{int(ring[stale[0]])}",
                     )
 
     # ------------------------------------------------------------------
@@ -550,6 +730,26 @@ class MultiQueueOracle(Probe):
         o = self.shards.get(prefix)
         if o is not None:
             o.queue_deliver(prefix, slots, tokens)
+
+    def queue_segment_link(self, prefix, logical_seg, phys_seg, cycle) -> None:
+        o = self.shards.get(prefix)
+        if o is not None:
+            o.queue_segment_link(prefix, logical_seg, phys_seg, cycle)
+
+    def queue_segment_release(self, prefix, logical_seg, phys_seg) -> None:
+        o = self.shards.get(prefix)
+        if o is not None:
+            o.queue_segment_release(prefix, logical_seg, phys_seg)
+
+    def queue_spill(self, prefix, tokens) -> None:
+        o = self.shards.get(prefix)
+        if o is not None:
+            o.queue_spill(prefix, tokens)
+
+    def queue_reinject(self, prefix, slots, tokens) -> None:
+        o = self.shards.get(prefix)
+        if o is not None:
+            o.queue_reinject(prefix, slots, tokens)
 
     # -- the cross-shard rules -----------------------------------------
     def queue_steal(

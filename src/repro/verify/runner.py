@@ -81,6 +81,63 @@ def quick_plan(base_seed: int = 0) -> List[Scenario]:
             capacity=30, expect_full=True,
         ))
     plan += _sharded_scenarios(base_seed, deep=False)
+    plan += _adaptive_scenarios(base_seed, deep=False)
+    return plan
+
+
+def _adaptive_scenarios(base_seed: int, deep: bool) -> List[Scenario]:
+    """Overflow-path scenarios for GROW / SPILL: capacities sized so the
+    bare variants would abort queue-full, native order plus seeded-random
+    schedules, and a deliberately exhausted pool / ring (the graceful
+    abort must still fire)."""
+    plan: List[Scenario] = []
+    n_rand = 20 if deep else 8
+    # GROW: 60 logical slots through a 24-slot pool (native order only —
+    # the 3-segment pool is sized to the native peak of 2 live segments)
+    # and through a 48-slot pool with headroom for schedule skew.
+    plan.append(Scenario(
+        variant="GROW", workload="countdown", scale=20,
+        capacity=24, seg_cap=8, pool_segments=3,
+    ))
+    plan.append(Scenario(
+        variant="GROW", workload="fanout", scale=63,
+        capacity=96, seg_cap=32, pool_segments=3,
+    ))
+    for k in range(n_rand):
+        plan.append(Scenario(
+            variant="GROW", workload="countdown", scale=20,
+            capacity=48, seg_cap=8, pool_segments=6,
+            schedule=_random(base_seed + 600 + k),
+        ))
+    # SPILL: a small ring absorbing a 255-node fanout at two wavefronts.
+    # The ring must exceed the 16 resident lanes plus the held-publish
+    # burst margin (§4.2): 24 slots suffice under the native order, but
+    # schedule holds stretch the reservation-to-store window, so the
+    # explored-schedule runs get 32.
+    plan.append(Scenario(
+        variant="SPILL", workload="fanout", scale=255, n_wavefronts=2,
+        capacity=24, spill_capacity=1024, high_water=10, low_water=6,
+    ))
+    spill_kw = dict(
+        variant="SPILL", workload="fanout", scale=255, n_wavefronts=2,
+        capacity=32, spill_capacity=1024, high_water=12, low_water=8,
+    )
+    for k in range(n_rand):
+        plan.append(Scenario(
+            **spill_kw, schedule=_random(base_seed + 700 + k),
+        ))
+    # exhausted segment pool: still a graceful queue-full abort
+    plan.append(Scenario(
+        variant="GROW", workload="fanout", scale=63,
+        capacity=24, seg_cap=8, pool_segments=3, expect_full=True,
+    ))
+    if deep:
+        for k in range(n_rand // 2):
+            plan.append(Scenario(
+                variant="GROW", workload="fanout", scale=127,
+                capacity=128, seg_cap=32, pool_segments=4,
+                schedule=_random(base_seed + 800 + k),
+            ))
     return plan
 
 
@@ -174,6 +231,7 @@ def deep_plan(base_seed: int = 0) -> List[Scenario]:
             capacity=60, expect_full=True,
         ))
     plan += _sharded_scenarios(base_seed, deep=True)
+    plan += _adaptive_scenarios(base_seed, deep=True)
     return plan
 
 
@@ -246,6 +304,29 @@ def _selftest_scenarios(plant: str, deep: bool) -> List[Scenario]:
                 for k in range(20 if deep else 10)
             ]
         return out
+    if variant == "GROW":
+        # the crash window needs the publish stream to cross into a
+        # device-linked segment; the pool is roomy so the wedge (not a
+        # pool-exhaustion abort) is what surfaces.
+        kw = spec.get("kwargs", {})
+        return [Scenario(
+            plant=plant, variant=variant, workload="countdown", scale=12,
+            capacity=48, seg_cap=kw.get("seg_cap", 8),
+            pool_segments=kw.get("pool_segments", 6),
+            max_work_cycles=3_000,
+        )]
+    if variant == "SPILL":
+        # the tight two-wavefront ring spills heavily, so the pump runs
+        # many times and the stuck head is re-announced deterministically.
+        kw = spec.get("kwargs", {})
+        return [Scenario(
+            plant=plant, variant=variant, workload="fanout", scale=255,
+            n_wavefronts=2, capacity=24,
+            spill_capacity=kw.get("spill_capacity", 1024),
+            high_water=kw.get("high_water", 10),
+            low_water=kw.get("low_water", 6),
+            max_work_cycles=3_000,
+        )]
     if not spec["needs_schedule"]:
         sc = Scenario(
             plant=plant, variant=variant, workload="countdown", scale=12,

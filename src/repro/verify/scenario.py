@@ -41,10 +41,15 @@ from .schedule import build_controller
 #: ablation from repro.ext.
 ALL_VARIANTS = ("RF/AN", "AN", "BASE", "NAIVE")
 
+#: adaptive-capacity variants (repro.core.queue_adaptive), explored via
+#: dedicated overflow scenarios on top of the default family.
+ADAPTIVE_VARIANTS = ("GROW", "SPILL")
+
 #: variants a scenario may name: the default family + the sharded
 #: composition (explored via dedicated multi-shard scenarios rather
-#: than the whole per-variant family — at ``shards=1`` it is RF/AN).
-CLI_VARIANTS = ALL_VARIANTS + ("SHARDED",)
+#: than the whole per-variant family — at ``shards=1`` it is RF/AN)
+#: + the adaptive-capacity modes.
+CLI_VARIANTS = ALL_VARIANTS + ("SHARDED",) + ADAPTIVE_VARIANTS
 
 
 @dataclass
@@ -67,11 +72,43 @@ class Scenario:
     steal: bool = True
     steal_quantum: int = 4
     spin_threshold: int = 1
+    # adaptive-capacity geometry (variants "GROW"/"SPILL" and their
+    # plants; None means the queue's own defaults)
+    seg_cap: Optional[int] = None
+    pool_segments: Optional[int] = None
+    max_segments: Optional[int] = None
+    spill_capacity: Optional[int] = None
+    high_water: Optional[int] = None
+    low_water: Optional[int] = None
+    pump_batch: Optional[int] = None
+
+    def adaptive_kwargs(self) -> dict:
+        """Constructor kwargs for the adaptive variants (set fields only)."""
+        fields = (
+            "seg_cap", "pool_segments", "max_segments",
+            "spill_capacity", "high_water", "low_water", "pump_batch",
+        )
+        return {
+            f: int(getattr(self, f))
+            for f in fields
+            if getattr(self, f) is not None
+        }
 
     def resolved_capacity(self) -> int:
         if self.capacity is not None:
             return int(self.capacity)
         total = workloads.max_enqueues(self.workload, self.scale)
+        if self.variant == "SPILL":
+            # the ring only needs resident lanes + a publish/pump burst
+            # margin (§4.2); fill excursions spill.  Auto-size like the
+            # bare circular family so un-parameterized scenarios match.
+            lanes = self.n_wavefronts * TESTGPU.wavefront_size
+            return lanes + min(total, self.scale + 4) + 8
+        if self.variant == "GROW":
+            # physical pool; logical throughput is unbounded.  The pool
+            # must cover the peak *live* working set, which undersized
+            # scenarios set explicitly — the default never recycles.
+            return total
         if not self.circular:
             # monotonic: one raw slot per token ever enqueued.  Sharded:
             # capacity is *per shard* — in the worst case one shard sees
@@ -139,7 +176,18 @@ class Outcome:
 
 def _build_queue(sc: Scenario, capacity: int):
     if sc.plant is not None:
-        return make_planted_queue(sc.plant, capacity, circular=sc.circular)
+        return make_planted_queue(
+            sc.plant, capacity, circular=sc.circular,
+            extra_kwargs=sc.adaptive_kwargs(),
+        )
+    if sc.variant == "GROW":
+        from repro.core import GrowQueue
+
+        return GrowQueue(capacity, **sc.adaptive_kwargs())
+    if sc.variant == "SPILL":
+        from repro.core import SpillQueue
+
+        return SpillQueue(capacity, **sc.adaptive_kwargs())
     if sc.variant == "NAIVE":
         from repro.ext.queue_naive_cas import NaiveCasQueue
 

@@ -68,6 +68,13 @@ def _candidates(sc: Scenario) -> List[Scenario]:
     # drop circularity (keeps capacity; the wrap bug may be a plain bug)
     if sc.circular:
         out.append(variant(circular=False, capacity=None))
+    # shrink the adaptive-capacity geometry (GROW segments, SPILL ring):
+    # smaller segments / batches mean fewer ops per link or pump run,
+    # so the surviving counterexample isolates the protocol step.
+    for f in ("seg_cap", "pool_segments", "spill_capacity", "pump_batch"):
+        v = getattr(sc, f)
+        if v is not None and int(v) > 1:
+            out.append(variant(**{f: max(1, int(v) // 2)}))
     return out
 
 

@@ -38,6 +38,12 @@ from repro.verify.shrink import (
 #: their own oracle (MultiQueueOracle) and exploration plan.
 FAMILY = ("RF/AN", "AN", "BASE", "NAIVE", "SHARDED")
 
+#: the adaptive-capacity variants ride the same configurations: given
+#: ample capacity they must be behaviourally invisible — the identical
+#: delivered multiset — while still exercising segment linking (GROW
+#: always starts with only segment 0 host-mapped) and the spill gate.
+ADAPTIVE = ("GROW", "SPILL")
+
 SEED = 0xD1FF
 N_CONFIGS = 12
 
@@ -68,9 +74,15 @@ def _configs(seed: int, n: int):
 
 
 def _scenario(variant, workload, scale, n_wf, schedule) -> Scenario:
+    extra = {}
+    if variant == "GROW":
+        # multi-segment geometry so device-side linking actually runs
+        # (pool_segments derives from capacity / seg_cap)
+        extra = dict(seg_cap=16)
     return Scenario(
         variant=variant, workload=workload, scale=scale,
         n_wavefronts=n_wf, schedule=schedule, max_work_cycles=5_000,
+        **extra,
     )
 
 
@@ -115,7 +127,7 @@ def test_queue_family_delivers_identical_multisets(
 ):
     reference = None
     ref_variant = None
-    for variant in FAMILY:
+    for variant in FAMILY + ADAPTIVE:
         sc = _scenario(variant, workload, scale, n_wf, schedule)
         out = run_scenario(sc)
         if not out.ok:
@@ -145,6 +157,73 @@ def test_queue_family_delivers_identical_multisets(
             )
             path = _dump_disagreement(sc, detail)
             pytest.fail(f"{detail}\n  artifact: {path}")
+
+
+class TestAdaptiveOutliveBareCapacity:
+    """The graceful-capacity contract: under a buffer every bare variant
+    overflows, GROW and SPILL must deliver the *identical* multiset a
+    roomy run would — and do it bit-identically across reruns.
+
+    countdown/20 stores 60 tokens through 24 slots: monotonic bare
+    variants hit queue-full, GROW recycles drained segments, SPILL's
+    ring plus host backpressure absorbs the overflow.
+    """
+
+    # 2 wavefronts = 16 resident lanes on TESTGPU: SPILL's 24-slot ring
+    # must exceed resident-lane demand (§4.2), so keep the launch narrow.
+    WORKLOAD, SCALE, N_WF, CAP = "countdown", 20, 2, 24
+
+    def _adaptive_scenario(self, variant) -> Scenario:
+        extra = (
+            dict(seg_cap=8, pool_segments=3)
+            if variant == "GROW"
+            else dict(spill_capacity=1024, high_water=10, low_water=6)
+        )
+        return Scenario(
+            variant=variant, workload=self.WORKLOAD, scale=self.SCALE,
+            n_wavefronts=self.N_WF, capacity=self.CAP,
+            max_work_cycles=5_000, **extra,
+        )
+
+    @pytest.mark.parametrize("variant", FAMILY)
+    def test_every_bare_variant_aborts(self, variant):
+        sc = Scenario(
+            variant=variant, workload=self.WORKLOAD, scale=self.SCALE,
+            n_wavefronts=self.N_WF, capacity=self.CAP,
+            max_work_cycles=5_000, expect_full=True,
+        )
+        out = run_scenario(sc)
+        assert out.ok, (
+            f"{variant} should abort queue-full at capacity "
+            f"{self.CAP}: [{out.invariant}] {out.detail}"
+        )
+
+    def test_adaptive_variants_deliver_the_roomy_multiset(self):
+        # the reference is a bare run with room to spare: adaptive
+        # queues under pressure must deliver exactly this multiset.
+        roomy = run_scenario(Scenario(
+            variant="RF/AN", workload=self.WORKLOAD, scale=self.SCALE,
+            n_wavefronts=self.N_WF, max_work_cycles=5_000,
+        ))
+        assert roomy.ok and roomy.delivered_counts
+        for variant in ADAPTIVE:
+            out = run_scenario(self._adaptive_scenario(variant))
+            assert out.ok, (
+                f"{variant} failed under pressure: "
+                f"[{out.invariant}] {out.detail}"
+            )
+            assert out.delivered_counts == roomy.delivered_counts, (
+                f"{variant} delivered a different multiset than the "
+                f"roomy bare reference"
+            )
+
+    @pytest.mark.parametrize("variant", ADAPTIVE)
+    def test_bit_identical_across_reruns(self, variant):
+        sc = self._adaptive_scenario(variant)
+        first, second = run_scenario(sc), run_scenario(sc)
+        assert first.ok and second.ok
+        assert first.delivered_counts == second.delivered_counts
+        assert first.cycles == second.cycles
 
 
 def test_config_generator_is_pinned():

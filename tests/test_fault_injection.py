@@ -194,6 +194,74 @@ class TestOracleCatchesInjectedQueueFaults:
         assert not out.ok
         assert out.invariant in PLANTS["skip-dna-restore"]["invariants"]
 
+    def test_crash_between_segment_link_and_store_publish(self):
+        """GROW's hand-off window: a producer wins the segment-link CAS
+        but dies before its store lands in the freshly linked segment.
+        The planted queue drops exactly that store — the slot stays DNA
+        forever, and the oracle must convict the unfilled reservation
+        (or the lost token, if a consumer parked on the slot) rather
+        than let the run wedge silently."""
+        from repro.verify.faults import PLANTS
+        from repro.verify.scenario import Scenario, run_scenario
+
+        spec = PLANTS["grow-link-lost-task"]
+        out = run_scenario(Scenario(
+            plant="grow-link-lost-task", variant="GROW",
+            workload="countdown", scale=12, capacity=48,
+            seg_cap=spec["kwargs"]["seg_cap"],
+            pool_segments=spec["kwargs"]["pool_segments"],
+            max_work_cycles=3_000,
+        ))
+        assert not out.ok
+        assert out.invariant in spec["invariants"]
+
+    def test_crash_between_spill_write_and_ring_head_advance(self):
+        """SPILL's pump window: entries are read from the overflow ring
+        and re-published, but the crash lands before the ring head
+        advances past them.  The next pump run re-reads the same
+        entries and re-announces tokens that were only spilled once —
+        the oracle's spill ledger convicts the duplicate reinject."""
+        from repro.verify.faults import PLANTS
+        from repro.verify.scenario import Scenario, run_scenario
+
+        spec = PLANTS["spill-reinject-double-deliver"]
+        out = run_scenario(Scenario(
+            plant="spill-reinject-double-deliver", variant="SPILL",
+            workload="fanout", scale=255, n_wavefronts=2, capacity=24,
+            spill_capacity=spec["kwargs"]["spill_capacity"],
+            high_water=spec["kwargs"]["high_water"],
+            low_water=spec["kwargs"]["low_water"],
+            max_work_cycles=3_000,
+        ))
+        assert not out.ok
+        assert out.invariant == "reinject-unspilled"
+        assert out.invariant in spec["invariants"]
+
+    @pytest.mark.parametrize("variant", ["GROW", "SPILL"])
+    def test_real_adaptive_queues_acquitted_under_plant_configs(
+        self, variant
+    ):
+        """The oracle must convict the plants *because of* the injected
+        fault, not because the configurations are inherently doomed:
+        the genuine queues pass clean under the identical geometry."""
+        from repro.verify.scenario import Scenario, run_scenario
+
+        if variant == "GROW":
+            sc = Scenario(
+                variant="GROW", workload="countdown", scale=12,
+                capacity=48, seg_cap=8, pool_segments=6,
+                max_work_cycles=3_000,
+            )
+        else:
+            sc = Scenario(
+                variant="SPILL", workload="fanout", scale=255,
+                n_wavefronts=2, capacity=24, spill_capacity=1024,
+                high_water=10, low_water=6, max_work_cycles=3_000,
+            )
+        out = run_scenario(sc)
+        assert out.ok, f"[{out.invariant}] {out.detail}"
+        assert out.delivered_counts
+
     def test_publication_order_fault_needs_an_adversarial_schedule(self):
         """Writing the valid flag before the data word is only visible
         when a schedule stretches the window between the two stores —

@@ -1,0 +1,180 @@
+"""Tests for ``python -m repro.harness capacity`` — the capacity advisor."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.harness.capacity import (
+    SCHEMA,
+    _hist_samples,
+    _pow2_ceil,
+    _tail_probability,
+    advise_queue,
+    aggregate_queues,
+    capacity_main,
+)
+from repro.harness.cli import main
+
+
+def _launch(highwater, demand, n_wf=2, wf_size=8, variant="RF/AN",
+            hist=None, capacity=64):
+    return {
+        "n_wavefronts": n_wf,
+        "wavefront_size": wf_size,
+        "queues": {
+            "wq": {
+                "variant": variant,
+                "capacity": capacity,
+                "highwater": highwater,
+                "max_raw_index": demand,
+                "fill_hist": hist,
+            }
+        },
+    }
+
+
+def _hist(depths):
+    depths = np.asarray(depths, dtype=np.float64)
+    hi = max(int(depths.max()), 1)
+    counts, edges = np.histogram(depths, bins=min(32, hi + 1),
+                                 range=(0, hi + 1))
+    return {
+        "edges": [float(e) for e in edges],
+        "counts": [int(c) for c in counts],
+        "samples": int(depths.size),
+    }
+
+
+class TestAdvisorMath:
+    def test_pow2_ceil(self):
+        assert _pow2_ceil(0) == 1
+        assert _pow2_ceil(1) == 1
+        assert _pow2_ceil(5) == 8
+        assert _pow2_ceil(64) == 64
+        assert _pow2_ceil(65) == 128
+
+    def test_hist_roundtrip_tail(self):
+        depths = [2] * 90 + [30] * 10
+        samples = _hist_samples(_hist(depths))
+        assert samples.size == 100
+        # ~10% of publishes sit at depth >= 20
+        assert _tail_probability(samples, 20) == pytest.approx(0.1)
+        assert _tail_probability(samples, 100) == 0.0
+        assert _tail_probability(np.zeros(0), 5) == 0.0
+
+    def test_aggregate_takes_maxima_across_launches(self):
+        agg = aggregate_queues([
+            _launch(10, 100, hist=_hist([5, 10])),
+            _launch(40, 60, hist=_hist([20, 40])),
+        ])
+        a = agg["wq"]
+        assert a["highwater"] == 40
+        assert a["demand"] == 100
+        assert a["lanes"] == 16
+        assert a["launches"] == 2
+        assert a["samples"].size == 4
+
+
+class TestModeSelection:
+    def test_abort_when_demand_fits_budget(self):
+        agg = aggregate_queues([_launch(50, 60, hist=_hist([50]))])
+        a = advise_queue("wq", agg["wq"], budget=4096, safety=1.5)
+        assert a["mode"] == "abort"
+        assert a["recommended"]["capacity"] >= 60
+        assert a["projected_overflow_probability"] == 0.0
+
+    def test_spill_when_reuse_is_high_and_ring_fits(self):
+        # occupancy 30 vs demand 5000: circular reuse pays off, but the
+        # bare monotonic sizing (8192) busts the 1024 budget.
+        agg = aggregate_queues([_launch(30, 5000, hist=_hist([10, 30]))])
+        a = advise_queue("wq", agg["wq"], budget=1024, safety=1.5)
+        assert a["mode"] == "spill"
+        rec = a["recommended"]
+        assert rec["capacity"] <= 1024
+        assert 0 < rec["low_water"] <= rec["high_water"] <= rec["capacity"]
+        assert rec["spill_capacity"] >= 64
+
+    def test_grow_when_occupancy_tracks_demand(self):
+        # everything resident at peak: a ring would need as much memory
+        # as a flat buffer, so segment chaining is the answer.
+        agg = aggregate_queues(
+            [_launch(4800, 5000, hist=_hist([4000, 4800]))]
+        )
+        a = advise_queue("wq", agg["wq"], budget=1024, safety=1.5)
+        assert a["mode"] == "grow"
+        rec = a["recommended"]
+        assert rec["max_segments"] * rec["seg_cap"] >= 5000
+        assert rec["pool_segments"] >= 2
+
+    def test_overflow_ladder_is_monotone_decreasing(self):
+        agg = aggregate_queues(
+            [_launch(60, 5000, hist=_hist(list(range(0, 64))))]
+        )
+        a = advise_queue("wq", agg["wq"], budget=1024, safety=1.5)
+        ladder = a["overflow_probability_by_capacity"]
+        caps = sorted(int(c) for c in ladder)
+        probs = [ladder[str(c)] for c in caps]
+        assert probs == sorted(probs, reverse=True)
+
+
+class TestCapacityCli:
+    def _metrics_file(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps({
+            "workload": "synthetic",
+            "launches": [_launch(30, 5000, hist=_hist([10, 30]))],
+        }))
+        return str(path)
+
+    def test_from_metrics_writes_artifact(self, tmp_path, capsys):
+        rc = main([
+            "capacity",
+            "--from-metrics", self._metrics_file(tmp_path),
+            "--budget", "1024",
+            "--out", str(tmp_path / "cap"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-queue recommendation" in out
+        payload = json.loads(
+            (tmp_path / "cap" / "capacity.json").read_text()
+        )
+        assert payload["schema"] == SCHEMA
+        assert payload["queues"][0]["mode"] == "spill"
+        assert payload["queues"][0]["rationale"]
+
+    def test_replay_smoke_on_testgpu(self, tmp_path, capsys):
+        rc = capacity_main([
+            "bfs",
+            "--device", "testgpu",
+            "--quick",
+            "--out", str(tmp_path),
+        ])
+        assert rc == 0
+        payload = json.loads((tmp_path / "capacity.json").read_text())
+        q = payload["queues"][0]
+        assert q["queue"] == "wq"
+        assert q["observed"]["fill_samples"] > 0
+        assert q["mode"] in ("abort", "grow", "spill")
+
+    def test_workload_required_without_from_metrics(self):
+        with pytest.raises(SystemExit):
+            capacity_main(["--budget", "64"])
+
+    def test_wrong_shape_metrics_file_rejected(self, tmp_path, capsys):
+        # feeding the advisor its own capacity.json (whose "launches"
+        # is a count, not a list) must be a clean exit 2, not a crash
+        path = tmp_path / "capacity.json"
+        path.write_text(json.dumps({"workload": "bfs", "launches": 27}))
+        assert capacity_main(["--from-metrics", str(path)]) == 2
+        assert "not a profile metrics file" in capsys.readouterr().err
+        missing = str(tmp_path / "nope.json")
+        assert capacity_main(["--from-metrics", missing]) == 2
+
+    def test_bad_budget_and_safety_rejected(self, tmp_path):
+        path = self._metrics_file(tmp_path)
+        assert capacity_main(["--from-metrics", path, "--budget", "1"]) == 2
+        assert capacity_main(
+            ["--from-metrics", path, "--safety", "0.5"]
+        ) == 2

@@ -86,6 +86,7 @@ BFS_SCALE = 0.125
 BFS_WORKGROUPS = 56
 BFS_SHARDS = 4
 BFS_STEAL_QUANTUM = 32
+GROW_SEG_CAP = 512
 IMB_DATASET = "Synthetic"
 IMB_SCALE = 0.125
 
@@ -208,6 +209,66 @@ def bench_bfs_flight(repeats: int, bare_bfs: dict) -> dict:
         "cycles": int(run.cycles),
         "ops_per_sec": int(run.stats.issued_ops / dt),
         "overhead_frac": round(dt / bare_bfs["seconds"] - 1.0, 4),
+    }
+
+
+def bench_bfs_grow(repeats: int, bare_bfs: dict) -> dict:
+    """The ``bfs`` launch through ``GrowQueue`` at a non-overflowing size.
+
+    Same graph and geometry as ``bfs``, but the queue is the
+    segment-chained GROW variant with the buffer split into
+    ``GROW_SEG_CAP``-slot pool segments — small enough that the BFS
+    frontier crosses several segment boundaries, so the link CAS and
+    drain accounting actually run (asserted: a config drift that
+    silently stopped linking would otherwise report a number that no
+    longer measures the grow path).  At a capacity the workload never
+    exhausts, that protocol is GROW's only extra cost, so
+    ``overhead_frac`` — measured in *simulated cycles* against the bare
+    ``bfs`` launch, and therefore deterministic and noise-free — is the
+    price of graceful capacity when you do not need it.  ``--guard``
+    fails the run when it exceeds ``--grow-budget``.
+    """
+    from repro.bfs import run_persistent_bfs
+    from repro.bfs.common import bfs_queue_capacity
+    from repro.core import GrowQueue
+    from repro.graphs import dataset
+
+    spec = dataset(BFS_DATASET)
+    g = spec.build(spec.default_scale * BFS_SCALE)
+    cap = bfs_queue_capacity(g, FIJI, BFS_WORKGROUPS)
+
+    def factory(_cap):
+        return GrowQueue(_cap, seg_cap=GROW_SEG_CAP)
+
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run = run_persistent_bfs(
+            g, spec.source, "GROW", FIJI, BFS_WORKGROUPS,
+            verify=False, queue_factory=factory, capacity=cap,
+        )
+        dt = time.perf_counter() - t0
+        if best is None or dt < best[0]:
+            best = (dt, run)
+    dt, run = best
+    links = int(run.stats.custom.get("queue.grow.segment_links", 0))
+    if links <= 0:
+        raise SystemExit(
+            "bfs_grow linked no segments — the config no longer "
+            "exercises the segment-chaining path"
+        )
+    return {
+        "seconds": round(dt, 4),
+        "issued_ops": int(run.stats.issued_ops),
+        "cycles": int(run.cycles),
+        "ops_per_sec": int(run.stats.issued_ops / dt),
+        "segment_links": links,
+        "segment_releases": int(
+            run.stats.custom.get("queue.grow.segment_releases", 0)
+        ),
+        "overhead_frac": round(
+            run.cycles / bare_bfs["cycles"] - 1.0, 4
+        ),
     }
 
 
@@ -341,6 +402,7 @@ def record_in_ledger(report: dict, wall: float, argv) -> None:
             "bfs_scale": BFS_SCALE,
             "bfs_workgroups": BFS_WORKGROUPS,
             "bfs_shards": BFS_SHARDS,
+            "grow_seg_cap": GROW_SEG_CAP,
             "benchmarks": sorted(report["benchmarks"]),
         },
         metrics=flatten_metrics(report["benchmarks"]),
@@ -397,6 +459,15 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--grow-budget", type=float, default=0.10, metavar="FRAC",
+        help=(
+            "under --guard, fail if the GROW queue's simulated-cycle "
+            "overhead_frac over the bare bfs launch exceeds FRAC "
+            "(default 0.10: graceful capacity must cost <=10%% when "
+            "the buffer never overflows; cycles-based, so noise-free)"
+        ),
+    )
+    parser.add_argument(
         "--flight-budget", type=float, default=1.0, metavar="FRAC",
         help=(
             "under --guard, fail if the flight recorder's measured "
@@ -428,6 +499,11 @@ def main(argv=None) -> int:
         repeats, report["benchmarks"]["bfs"]
     )
     print(f"  {report['benchmarks']['flight']}")
+    print(f"grow-queue BFS launch ({repeats} repeat(s))...")
+    report["benchmarks"]["bfs_grow"] = bench_bfs_grow(
+        repeats, report["benchmarks"]["bfs"]
+    )
+    print(f"  {report['benchmarks']['bfs_grow']}")
     print(f"fixed sharded BFS launch ({repeats} repeat(s))...")
     report["benchmarks"]["bfs_sharded"] = bench_bfs_sharded(repeats)
     print(f"  {report['benchmarks']['bfs_sharded']}")
@@ -530,6 +606,21 @@ def main(argv=None) -> int:
             print(
                 f"flight-recorder overhead guard passed "
                 f"(overhead_frac {frac} <= budget {args.flight_budget})"
+            )
+
+            gfrac = report["benchmarks"]["bfs_grow"]["overhead_frac"]
+            report["guard"]["grow_budget"] = args.grow_budget
+            report["guard"]["grow_overhead_frac"] = gfrac
+            if gfrac > args.grow_budget:
+                report["guard"]["passed"] = False
+                Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+                raise SystemExit(
+                    f"grow-queue overhead guard failed: simulated-cycle "
+                    f"overhead_frac {gfrac} > budget {args.grow_budget}"
+                )
+            print(
+                f"grow-queue overhead guard passed "
+                f"(overhead_frac {gfrac} <= budget {args.grow_budget})"
             )
 
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
